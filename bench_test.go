@@ -1,0 +1,143 @@
+// Benchmarks reproducing the paper's evaluation, one per table and
+// figure. Each benchmark sweeps the experiment's parameter and runs every
+// competing algorithm as a sub-benchmark; cmd/dpbench prints the same
+// series as tables (and, with -full, at the paper's exact sizes —
+// several of the 16-relation DPsize/DPsub cells take minutes, so the
+// testing.B versions here use the reduced "quick" sizes for the large
+// instances; IDs carry a -quick suffix where they differ).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//	go test -bench=Fig7 -benchtime=3x
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/optree"
+	"repro/internal/workload"
+)
+
+// benchSeries runs one experiment series as sub-benchmarks. For long
+// sweeps only representative points (first, middle, last) are measured;
+// cmd/dpbench covers the full sweep.
+func benchSeries(b *testing.B, id string, allPoints bool) {
+	s, ok := experiments.ByID(experiments.Quick(), id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	xs := s.Xs
+	if !allPoints && len(xs) > 3 {
+		xs = []int{s.Xs[0], s.Xs[len(s.Xs)/2], s.Xs[len(s.Xs)-1]}
+	}
+	for _, x := range xs {
+		for _, alg := range s.Algs {
+			run := s.Make(x, alg)
+			b.Run(fmt.Sprintf("%s=%d/%s", s.XLabel, x, alg), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTableCycle4 reproduces the §4.2 table (cycles, 4 relations).
+func BenchmarkTableCycle4(b *testing.B) { benchSeries(b, "table-cycle4", true) }
+
+// BenchmarkTableStar4 reproduces the §4.3 table (stars, 4 satellites).
+func BenchmarkTableStar4(b *testing.B) { benchSeries(b, "table-star4", true) }
+
+// BenchmarkFig5Cycle8 reproduces Fig. 5 (left): cycle-based hypergraphs
+// with 8 relations over hyperedge splits.
+func BenchmarkFig5Cycle8(b *testing.B) { benchSeries(b, "fig5-cycle8", true) }
+
+// BenchmarkFig5Cycle16 reproduces Fig. 5 (right) at the reduced size of
+// 12 relations (the paper's 16-relation DPsub cells run for seconds to
+// minutes; use `dpbench -full` for the original size).
+func BenchmarkFig5Cycle16(b *testing.B) { benchSeries(b, "fig5-cycle12-quick", false) }
+
+// BenchmarkFig6Star8 reproduces Fig. 6 (left): star-based hypergraphs
+// with 8 satellites over hyperedge splits.
+func BenchmarkFig6Star8(b *testing.B) { benchSeries(b, "fig6-star8", true) }
+
+// BenchmarkFig6Star16 reproduces Fig. 6 (right) at the reduced size of
+// 12 satellites (see BenchmarkFig5Cycle16).
+func BenchmarkFig6Star16(b *testing.B) { benchSeries(b, "fig6-star12-quick", false) }
+
+// BenchmarkFig7StarRegular reproduces Fig. 7: star queries without
+// hyperedges over the number of relations.
+func BenchmarkFig7StarRegular(b *testing.B) { benchSeries(b, "fig7-star-regular-quick", false) }
+
+// BenchmarkFig8aAntijoins reproduces Fig. 8a: a left-deep star operator
+// tree with increasing antijoins; hyperedge-driven DPhyp vs the TES
+// generate-and-test alternative.
+func BenchmarkFig8aAntijoins(b *testing.B) { benchSeries(b, "fig8a-antijoin-quick", false) }
+
+// BenchmarkFig8bOuterJoins reproduces Fig. 8b: a left-deep cycle operator
+// tree with increasing outer joins; DPhyp vs DPsize.
+func BenchmarkFig8bOuterJoins(b *testing.B) { benchSeries(b, "fig8b-outerjoin-quick", false) }
+
+// BenchmarkAblationConflictRules contrasts the conservative conflict rule
+// (default; reproduces the paper's measured Fig. 8a shrinkage) with the
+// literal published rule on the all-antijoin star: the published rule
+// leaves antijoins freely reorderable around the hub, so it explores the
+// full star space.
+func BenchmarkAblationConflictRules(b *testing.B) {
+	const n = 12
+	for _, rule := range []optree.ConflictRule{optree.Conservative, optree.Published} {
+		root, rels := workload.StarTree(n, n-1, workload.DefaultConfig())
+		tr, err := optree.Analyze(root, rels, rule)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := tr.Hypergraph(optree.TESEdges)
+		b.Run(rule.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := OptimizeGraph(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTopDown contrasts DPhyp with the naive top-down
+// memoization competitor of §1 on a mid-size clique (where partition
+// generate-and-test hurts most).
+func BenchmarkAblationTopDown(b *testing.B) {
+	g := workload.Clique(10, workload.DefaultConfig())
+	for _, alg := range []Algorithm{DPhyp, TopDown} {
+		b.Run(alg.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := OptimizeGraph(g, WithAlgorithm(alg)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCostModels measures the (small) cost-model influence
+// on optimization time: the enumeration dominates, the model does not.
+func BenchmarkAblationCostModels(b *testing.B) {
+	g := workload.Cycle(12, workload.DefaultConfig())
+	for _, m := range []CostModel{Cout, NestedLoop, Hash} {
+		b.Run(m.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := OptimizeGraph(g, WithCostModel(m)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,146 @@
+// Command dpbench reproduces every table and figure of the evaluation of
+// "Dynamic Programming Strikes Back" (SIGMOD 2008).
+//
+// Usage:
+//
+//	dpbench                 # run the quick (reduced-size) suite
+//	dpbench -full           # run at the paper's sizes (minutes)
+//	dpbench -run fig7-star-regular
+//	dpbench -list           # list experiment identifiers
+//	dpbench -reps 5         # median over more repetitions
+//	dpbench -csv            # machine-readable output
+//
+// For every experiment the output is one row per sweep value with the
+// median optimization time per competing algorithm in milliseconds —
+// the same series the paper plots — plus the number of csg-cmp-pairs
+// enumerated (the search-space size of §2.2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/dp"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		full = flag.Bool("full", false, "run at the paper's sizes (DPsize/DPsub on 16-relation stars take minutes)")
+		run  = flag.String("run", "", "comma-separated experiment ids to run (default: all)")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+		reps = flag.Int("reps", 3, "repetitions per measurement (median is reported)")
+		csv  = flag.Bool("csv", false, "emit CSV instead of tables")
+	)
+	flag.Parse()
+
+	set := experiments.Quick()
+	if *full {
+		set = experiments.All()
+	}
+	if *list {
+		for _, s := range set {
+			fmt.Printf("%-22s %s\n", s.ID, s.Title)
+		}
+		return
+	}
+	selected := set
+	if *run != "" {
+		selected = nil
+		for _, id := range strings.Split(*run, ",") {
+			s, ok := experiments.ByID(set, strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dpbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, s)
+		}
+	}
+
+	if *csv {
+		fmt.Println("experiment,x,algorithm,ms,csg_cmp_pairs,costed_plans,cost")
+	}
+	for _, s := range selected {
+		runSeries(s, *reps, *csv)
+	}
+}
+
+func runSeries(s experiments.Series, reps int, csv bool) {
+	if !csv {
+		fmt.Printf("\n## %s  [%s]\n", s.Title, s.ID)
+		if s.Paper != "" {
+			fmt.Printf("paper expectation: %s\n", s.Paper)
+		}
+		fmt.Printf("\n| %s |", s.XLabel)
+		for _, a := range s.Algs {
+			fmt.Printf(" %s [ms] |", a)
+		}
+		fmt.Printf(" #ccp |\n|")
+		for i := 0; i < len(s.Algs)+2; i++ {
+			fmt.Printf("---|")
+		}
+		fmt.Println()
+	}
+	for _, x := range s.Xs {
+		if !csv {
+			fmt.Printf("| %d |", x)
+		}
+		var pairs int
+		for _, alg := range s.Algs {
+			runner := s.Make(x, alg)
+			ms, st, cost := measure(runner, reps)
+			pairs = st.CsgCmpPairs
+			if csv {
+				fmt.Printf("%s,%d,%s,%.4f,%d,%d,%g\n", s.ID, x, alg, ms, st.CsgCmpPairs, st.CostedPlans, cost)
+			} else {
+				fmt.Printf(" %s |", fmtMS(ms))
+			}
+		}
+		if !csv {
+			fmt.Printf(" %d |\n", pairs)
+		}
+	}
+}
+
+// measure returns the median wall time in milliseconds over reps runs,
+// the enumeration statistics, and the plan cost.
+func measure(r experiments.Runner, reps int) (float64, dp.Stats, float64) {
+	times := make([]float64, 0, reps)
+	var stats dp.Stats
+	var cost float64
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		p, st, err := r()
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: optimization failed: %v\n", err)
+			os.Exit(1)
+		}
+		times = append(times, float64(elapsed.Nanoseconds())/1e6)
+		stats = st
+		cost = p.Cost
+		// Very slow cells are not repeated: one sample tells the story.
+		if elapsed > 20*time.Second {
+			break
+		}
+	}
+	sort.Float64s(times)
+	return times[len(times)/2], stats, cost
+}
+
+func fmtMS(ms float64) string {
+	switch {
+	case ms < 0.01:
+		return fmt.Sprintf("%.4f", ms)
+	case ms < 1:
+		return fmt.Sprintf("%.3f", ms)
+	case ms < 100:
+		return fmt.Sprintf("%.2f", ms)
+	default:
+		return fmt.Sprintf("%.0f", ms)
+	}
+}

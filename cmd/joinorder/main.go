@@ -1,0 +1,114 @@
+// Command joinorder optimizes a single query given in the repository's
+// JSON format (see repro.QueryJSON) and prints the optimal plan.
+//
+// Usage:
+//
+//	joinorder query.json
+//	joinorder -algorithm dpsize query.json
+//	cat query.json | joinorder -
+//	joinorder -trace -stats query.json
+//	joinorder -dot query.json        # emit the query hypergraph as Graphviz
+//
+// The query is either a hypergraph ("relations" + "edges") or an initial
+// operator tree ("relations" + "tree") for queries with outer joins,
+// antijoins, semijoins, or nestjoins.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		algName   = flag.String("algorithm", "dphyp", "dphyp | dpsize | dpsub | dpccp | topdown | greedy")
+		modelName = flag.String("model", "cout", "cost model: cout | nlj | hash")
+		genTest   = flag.Bool("generate-and-test", false, "use the §5.8 TES generate-and-test mode for tree queries")
+		published = flag.Bool("published-rule", false, "use the literal §5.5 conflict rule instead of the conservative default")
+		showTrace = flag.Bool("trace", false, "print the DPhyp enumeration trace (Fig. 3 style)")
+		showStats = flag.Bool("stats", false, "print enumeration statistics")
+		compact   = flag.Bool("compact", false, "print the plan on one line")
+		dot       = flag.Bool("dot", false, "emit the query hypergraph as Graphviz and exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: joinorder [flags] <query.json | ->")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	data, err := readInput(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	q, err := repro.ParseQuery(data)
+	if err != nil {
+		fail(err)
+	}
+
+	alg, err := repro.ParseAlgorithm(*algName)
+	if err != nil {
+		fail(err)
+	}
+	opts := []repro.Option{repro.WithAlgorithm(alg)}
+	switch *modelName {
+	case "cout":
+		opts = append(opts, repro.WithCostModel(repro.Cout))
+	case "nlj":
+		opts = append(opts, repro.WithCostModel(repro.NestedLoop))
+	case "hash":
+		opts = append(opts, repro.WithCostModel(repro.Hash))
+	default:
+		fail(fmt.Errorf("unknown cost model %q", *modelName))
+	}
+	if *genTest {
+		opts = append(opts, repro.WithGenerateAndTest())
+	}
+	if *published {
+		opts = append(opts, repro.WithPublishedConflictRule())
+	}
+	var tr repro.Trace
+	if *showTrace {
+		opts = append(opts, repro.WithTrace(&tr))
+	}
+
+	res, err := repro.OptimizeJSON(q, opts...)
+	if err != nil {
+		fail(err)
+	}
+
+	if *dot {
+		fmt.Print(res.Graph.Dot())
+		return
+	}
+	if *compact {
+		fmt.Println(res.Plan.Compact())
+	} else {
+		fmt.Print(res.Plan.String())
+	}
+	fmt.Printf("cost=%g cardinality=%g shape=%s\n", res.Cost(), res.Cardinality(), res.Plan.TreeShape())
+	if *showStats {
+		s := res.Stats
+		fmt.Printf("csg-cmp-pairs=%d costed-plans=%d filter-rejected=%d invalid-rejected=%d table-entries=%d\n",
+			s.CsgCmpPairs, s.CostedPlans, s.FilterReject, s.InvalidReject, s.TableEntries)
+	}
+	if *showTrace {
+		fmt.Print(tr.String())
+	}
+}
+
+func readInput(arg string) ([]byte, error) {
+	if arg == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(arg)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "joinorder:", err)
+	os.Exit(1)
+}

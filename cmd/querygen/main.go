@@ -1,0 +1,122 @@
+// Command querygen emits workload queries in the repository's JSON
+// format, ready for cmd/joinorder.
+//
+// Usage:
+//
+//	querygen -family chain -n 8
+//	querygen -family cycle-hyper -n 16 -splits 3
+//	querygen -family star-hyper -n 8 -splits 1      # n = satellites
+//	querygen -family star-antijoin -n 16 -k 5       # operator tree
+//	querygen -family cycle-outer -n 16 -k 8         # operator tree
+//	querygen -family random-hyper -n 10 -seed 7
+//
+// Graph families produce "relations" + "edges"; tree families produce
+// "relations" + "tree".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro"
+	"repro/internal/hypergraph"
+	"repro/internal/optree"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		family = flag.String("family", "chain", "chain | cycle | star | clique | cycle-hyper | star-hyper | star-antijoin | cycle-outer | random-simple | random-hyper")
+		n      = flag.Int("n", 8, "relations (satellites for star-hyper)")
+		splits = flag.Int("splits", 0, "hyperedge splits for *-hyper families")
+		k      = flag.Int("k", 0, "non-inner operators for tree families")
+		seed   = flag.Int64("seed", 2008, "seed for cardinalities/selectivities")
+	)
+	flag.Parse()
+
+	cfg := workload.DefaultConfig()
+	cfg.Seed = *seed
+
+	var doc *repro.QueryJSON
+	switch *family {
+	case "chain":
+		doc = fromGraph(workload.Chain(*n, cfg))
+	case "cycle":
+		doc = fromGraph(workload.Cycle(*n, cfg))
+	case "star":
+		doc = fromGraph(workload.Star(*n, cfg))
+	case "clique":
+		doc = fromGraph(workload.Clique(*n, cfg))
+	case "cycle-hyper":
+		doc = fromGraph(workload.CycleHyper(*n, *splits, cfg))
+	case "star-hyper":
+		doc = fromGraph(workload.StarHyper(*n, *splits, cfg))
+	case "star-antijoin":
+		root, rels := workload.StarTree(*n, *k, cfg)
+		doc = fromTree(root, rels)
+	case "cycle-outer":
+		root, rels := workload.CycleTree(*n, *k, cfg)
+		doc = fromTree(root, rels)
+	case "random-simple":
+		doc = fromGraph(workload.RandomSimple(rand.New(rand.NewSource(*seed)), *n, *n/2, cfg))
+	case "random-hyper":
+		doc = fromGraph(workload.RandomHyper(rand.New(rand.NewSource(*seed)), *n, *n/2, cfg))
+	default:
+		fmt.Fprintf(os.Stderr, "querygen: unknown family %q\n", *family)
+		os.Exit(2)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "querygen:", err)
+		os.Exit(1)
+	}
+}
+
+func fromGraph(g *hypergraph.Graph) *repro.QueryJSON {
+	doc := &repro.QueryJSON{}
+	for i := 0; i < g.NumRels(); i++ {
+		r := g.Relation(i)
+		doc.Relations = append(doc.Relations, repro.RelationJSON{
+			Name: r.Name, Card: r.Card, Free: r.Free.Elems(),
+		})
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		doc.Edges = append(doc.Edges, repro.EdgeJSON{
+			Left: e.U.Elems(), Right: e.V.Elems(), Free: e.W.Elems(),
+			Sel: e.Sel, Op: e.Op.String(), Label: e.Label,
+		})
+	}
+	return doc
+}
+
+func fromTree(root *optree.Node, rels []optree.RelInfo) *repro.QueryJSON {
+	doc := &repro.QueryJSON{}
+	for _, r := range rels {
+		doc.Relations = append(doc.Relations, repro.RelationJSON{
+			Name: r.Name, Card: r.Card, Free: r.Free.Elems(),
+		})
+	}
+	doc.Tree = treeJSON(root)
+	return doc
+}
+
+func treeJSON(n *optree.Node) *repro.TreeJSON {
+	if n.IsLeaf() {
+		rel := n.Rel
+		return &repro.TreeJSON{Rel: &rel}
+	}
+	return &repro.TreeJSON{
+		Op:    n.Op.String(),
+		Left:  treeJSON(n.Left),
+		Right: treeJSON(n.Right),
+		Pred:  n.Pred.Tables.Elems(),
+		Sel:   n.Pred.Sel,
+		Label: n.Pred.Label,
+	}
+}

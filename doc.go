@@ -1,0 +1,54 @@
+// Package repro is a from-scratch reproduction of "Dynamic Programming
+// Strikes Back" (Guido Moerkotte and Thomas Neumann, SIGMOD 2008): the
+// DPhyp join enumeration algorithm for query hypergraphs, its baselines
+// DPsize, DPsub, and DPccp, and the SES/TES conflict analysis that
+// reduces the ordering of outer joins, semijoins, antijoins, nestjoins,
+// and dependent joins to hypergraph join ordering.
+//
+// # Quick start
+//
+// Inner-join queries are described as hypergraphs: relations with
+// cardinalities, and (hyper)edges with selectivities.
+//
+//	q := repro.NewQuery()
+//	o := q.Relation("orders", 1_500_000)
+//	c := q.Relation("customer", 150_000)
+//	n := q.Relation("nation", 25)
+//	q.Join(o, c, 1.0/150_000)
+//	q.Join(c, n, 1.0/25)
+//	res, err := q.Optimize()
+//	// res.Plan is the optimal bushy, cross-product-free join tree.
+//
+// Complex predicates spanning more than two relations become hyperedges
+// (§2.1: R1.a + R2.b + R3.c = R4.d + R5.e + R6.f):
+//
+//	q.ComplexJoin([]repro.RelID{r1, r2, r3}, []repro.RelID{r4, r5, r6}, 0.05)
+//
+// Queries with non-inner joins are given as an initial operator tree
+// (§5.3); the library computes TESs and derives the conflict-covering
+// hyperedges of §5.7 automatically:
+//
+//	t := repro.NewTreeQuery()
+//	f := t.Table("fact", 1_000_000)
+//	d1 := t.Table("dim1", 1000)
+//	d2 := t.Table("dim2", 500)
+//	expr := f.Join(d1, 0.001).AntiJoin(d2, 0.002)
+//	res, err := t.Optimize(expr)
+//
+// # Algorithms
+//
+// Five enumeration strategies share one plan-construction core:
+//
+//   - DPhyp (the paper's contribution, default): enumerates exactly the
+//     csg-cmp-pairs of the hypergraph.
+//   - DPsize (Fig. 1): Selinger-style size-driven DP with hyperedge-
+//     capable connectivity tests.
+//   - DPsub: subset-driven DP with Vance–Maier subset enumeration.
+//   - DPccp (VLDB 2006): the simple-graph special case of DPhyp.
+//   - TopDown: naive memoization, the §1 competitor.
+//
+// All produce cost-optimal plans over the same search space; they differ
+// only in how much work they waste on failing candidate tests — the
+// subject of the paper's evaluation, reproduced by cmd/dpbench and
+// bench_test.go.
+package repro

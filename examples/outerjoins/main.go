@@ -1,0 +1,50 @@
+// Outerjoins walks the Fig. 8b scenario: a cycle query whose inner joins
+// are progressively replaced by left outer joins. Outer joins reorder
+// freely among themselves (eq. 4.46) but not across inner joins, so the
+// search space first shrinks, then grows again — and DPhyp stays ahead
+// of DPsize throughout.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/optree"
+	"repro/internal/workload"
+)
+
+func main() {
+	const n = 12
+	fmt.Printf("cycle query, %d relations; first k operators are left outer joins\n\n", n)
+	fmt.Println("k   #ccp   dphyp[ms]  dpsize[ms]  cost")
+	for k := 0; k <= n-1; k += 1 {
+		root, rels := workload.CycleTree(n, k, workload.DefaultConfig())
+		tr, err := optree.Analyze(root, rels, optree.Conservative)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g := tr.Hypergraph(optree.TESEdges)
+
+		start := time.Now()
+		res, err := repro.OptimizeGraph(g, repro.WithAlgorithm(repro.DPhyp))
+		if err != nil {
+			log.Fatal(err)
+		}
+		hypMS := float64(time.Since(start).Microseconds()) / 1000
+
+		start = time.Now()
+		_, err = repro.OptimizeGraph(g, repro.WithAlgorithm(repro.DPsize))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sizeMS := float64(time.Since(start).Microseconds()) / 1000
+
+		fmt.Printf("%-3d %-6d %-10.3f %-11.3f %.4g\n",
+			k, res.Stats.CsgCmpPairs, hypMS, sizeMS, res.Cost())
+	}
+	fmt.Println("\nThe dip-then-rise in #ccp mirrors the paper's Fig. 8b: outer joins")
+	fmt.Println("first freeze orderings against the inner joins, then, once they")
+	fmt.Println("dominate, reorder among themselves and re-grow the space.")
+}

@@ -1,0 +1,68 @@
+// Starschema optimizes a data-warehouse report query with non-inner
+// joins — the §5 scenario. The query, in SQL terms:
+//
+//	SELECT ..., COUNT(returns per sale)
+//	FROM sales s
+//	JOIN date_dim d      ON s.date_sk = d.date_sk
+//	JOIN store st        ON s.store_sk = st.store_sk
+//	SEMI JOIN promotion p ON s.promo_sk = p.promo_sk      (EXISTS subquery)
+//	ANTI JOIN clearance c ON s.item_sk = c.item_sk        (NOT EXISTS subquery)
+//	NEST JOIN returns r   ON s.ticket = r.ticket          (per-sale aggregation)
+//
+// The initial operator tree fixes one valid evaluation order; the TES
+// analysis (§5.5–5.7) derives hyperedges that let DPhyp consider every
+// equivalent order, and the statistics show how much smaller that search
+// space is than the generate-and-test alternative.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func build() (*repro.TreeQuery, *repro.Expr) {
+	t := repro.NewTreeQuery()
+	sales := t.Table("sales", 10_000_000)
+	date := t.Table("date_dim", 2_555)
+	store := t.Table("store", 1_002)
+	promo := t.Table("promotion", 2_300)
+	clearance := t.Table("clearance", 5_000)
+	returns := t.Table("returns", 120_000)
+
+	expr := sales.
+		Join(date, 0.2/2_555, repro.Label("s.date_sk = d.date_sk")).
+		Join(store, 1.0/1_002, repro.Label("s.store_sk = st.store_sk")).
+		SemiJoin(promo, 0.4/2_300, repro.Label("EXISTS promotion")).
+		AntiJoin(clearance, 0.3/5_000, repro.Label("NOT EXISTS clearance")).
+		NestJoin(returns, 0.5/120_000, repro.Label("COUNT(returns)"))
+	return t, expr
+}
+
+func main() {
+	t, expr := build()
+	fmt.Println("initial operator tree:", t.InitialTree(expr))
+
+	res, err := t.Optimize(expr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\noptimized plan (TES-derived hyperedges):")
+	fmt.Print(res.Plan)
+	fmt.Printf("cost=%.4g  pairs=%d\n", res.Cost(), res.Stats.CsgCmpPairs)
+
+	// The same query through the §5.8 generate-and-test paradigm: same
+	// plan quality, more wasted enumeration.
+	t2, expr2 := build()
+	gat, err := t2.Optimize(expr2, repro.WithGenerateAndTest())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngenerate-and-test: cost=%.4g  pairs=%d  rejected=%d\n",
+		gat.Cost(), gat.Stats.CsgCmpPairs, gat.Stats.FilterReject)
+
+	fmt.Println("\nThe hyperedge formulation avoids enumerating the candidates the")
+	fmt.Println("TES test would reject (§5.7: \"the hyperedges directly cover all")
+	fmt.Println("possible conflicts\"), which is the Fig. 8a effect.")
+}

@@ -1,0 +1,242 @@
+// Package algebra defines the binary operator vocabulary of §5.1 of
+// "Dynamic Programming Strikes Back" together with the algebraic
+// properties the plan generator relies on: linearity (Definition 5),
+// commutativity, and the operator conflict matrix OC(∘1,∘2) derived in
+// the paper's appendix.
+//
+// The operator set is: the inner join B; the non-inner operators
+// full outer join M, left outer join P, left antijoin I, left semijoin G,
+// left nestjoin T; and the dependent counterparts d-join C, dependent
+// left outer join Q, dependent left antijoin J, dependent left semijoin H,
+// and dependent left nestjoin U. The paper's LOP set is
+// {P, I, G, T, C, Q, J, H, U}.
+package algebra
+
+import "fmt"
+
+// Op identifies a binary algebraic operator.
+type Op uint8
+
+// The operators of §5.1. The single-letter comments show the symbols the
+// paper uses.
+const (
+	InvalidOp Op = iota
+
+	Join      // B  — inner join, fully reorderable
+	FullOuter // M  — full outer join
+	LeftOuter // P  — left outer join
+	AntiJoin  // I  — left antijoin
+	SemiJoin  // G  — left semijoin
+	NestJoin  // T  — left nestjoin (binary grouping / MD-join)
+
+	DepJoin      // C — left dependent join (d-join / cross apply)
+	DepLeftOuter // Q — dependent left outer join (outer apply)
+	DepAntiJoin  // J — dependent left antijoin
+	DepSemiJoin  // H — dependent left semijoin
+	DepNestJoin  // U — dependent left nestjoin
+
+	numOps
+)
+
+// NumOps is the number of valid operators (excluding InvalidOp).
+const NumOps = int(numOps) - 1
+
+var opNames = [...]string{
+	InvalidOp:    "invalid",
+	Join:         "join",
+	FullOuter:    "fullouterjoin",
+	LeftOuter:    "leftouterjoin",
+	AntiJoin:     "antijoin",
+	SemiJoin:     "semijoin",
+	NestJoin:     "nestjoin",
+	DepJoin:      "dep-join",
+	DepLeftOuter: "dep-leftouterjoin",
+	DepAntiJoin:  "dep-antijoin",
+	DepSemiJoin:  "dep-semijoin",
+	DepNestJoin:  "dep-nestjoin",
+}
+
+var opSymbols = [...]string{
+	InvalidOp:    "?",
+	Join:         "⋈",
+	FullOuter:    "⟗",
+	LeftOuter:    "⟕",
+	AntiJoin:     "▷",
+	SemiJoin:     "⋉",
+	NestJoin:     "△",
+	DepJoin:      "⋈d",
+	DepLeftOuter: "⟕d",
+	DepAntiJoin:  "▷d",
+	DepSemiJoin:  "⋉d",
+	DepNestJoin:  "△d",
+}
+
+// String returns the lower-case operator name (stable; used in the JSON
+// query format).
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Symbol returns the algebraic symbol used in plan pretty-printing.
+func (o Op) Symbol() string {
+	if int(o) < len(opSymbols) {
+		return opSymbols[o]
+	}
+	return "?"
+}
+
+// Valid reports whether o is one of the defined operators.
+func (o Op) Valid() bool { return o > InvalidOp && o < numOps }
+
+// ParseOp is the inverse of String. It returns InvalidOp and an error for
+// unknown names.
+func ParseOp(name string) (Op, error) {
+	for o := Join; o < numOps; o++ {
+		if opNames[o] == name {
+			return o, nil
+		}
+	}
+	return InvalidOp, fmt.Errorf("algebra: unknown operator %q", name)
+}
+
+// Commutative reports whether the operator commutes: R ∘ S = S ∘ R.
+// "Only the join and the full outer join are commutative; all other
+// operators are not." (§5.4). Dependent operators never commute because
+// their right side is evaluated per left tuple.
+func (o Op) Commutative() bool { return o == Join || o == FullOuter }
+
+// LeftLinear reports whether the operator is left linear (Definition 5).
+// Observation 1: all operators in LOP are left-linear and B is left- and
+// right-linear. The full outer join is neither.
+func (o Op) LeftLinear() bool {
+	switch o {
+	case Join, LeftOuter, AntiJoin, SemiJoin, NestJoin,
+		DepJoin, DepLeftOuter, DepAntiJoin, DepSemiJoin, DepNestJoin:
+		return true
+	}
+	return false
+}
+
+// RightLinear reports whether the operator is right linear (Definition 5).
+// Only the inner join is right-linear among the considered operators.
+func (o Op) RightLinear() bool { return o == Join }
+
+// Dependent reports whether the operator is one of the dependent variants
+// of §5.1/§5.6 whose right-hand side references attributes of the left.
+func (o Op) Dependent() bool {
+	switch o {
+	case DepJoin, DepLeftOuter, DepAntiJoin, DepSemiJoin, DepNestJoin:
+		return true
+	}
+	return false
+}
+
+// DependentVariant returns the dependent counterpart of a regular
+// operator (§5.6: EmitCsgCmp turns an operator into its dependent
+// counterpart when FT(P2) ∩ S1 ≠ ∅). Dependent operators map to
+// themselves.
+func (o Op) DependentVariant() Op {
+	switch o {
+	case Join:
+		return DepJoin
+	case LeftOuter:
+		return DepLeftOuter
+	case AntiJoin:
+		return DepAntiJoin
+	case SemiJoin:
+		return DepSemiJoin
+	case NestJoin:
+		return DepNestJoin
+	case FullOuter:
+		// The full outer join has no dependent counterpart in §5.1; a
+		// dependent full outer would need both sides to preserve rows
+		// while one depends on the other, which is not well defined.
+		return InvalidOp
+	}
+	return o
+}
+
+// RegularVariant is the inverse of DependentVariant: it strips the
+// dependency, mapping C→B, Q→P, J→I, H→G, U→T. Regular operators map to
+// themselves.
+func (o Op) RegularVariant() Op {
+	switch o {
+	case DepJoin:
+		return Join
+	case DepLeftOuter:
+		return LeftOuter
+	case DepAntiJoin:
+		return AntiJoin
+	case DepSemiJoin:
+		return SemiJoin
+	case DepNestJoin:
+		return NestJoin
+	}
+	return o
+}
+
+// NullRejecting is a helper for executor-side checks: it reports whether
+// the operator can introduce NULL-padded tuples on some side (outer
+// joins). Left outer pads the right side, full outer pads both.
+func (o Op) PadsRight() bool {
+	return o == LeftOuter || o == FullOuter || o == DepLeftOuter
+}
+
+// PadsLeft reports whether the operator can NULL-pad left-side columns.
+func (o Op) PadsLeft() bool { return o == FullOuter }
+
+// OC is the operator conflict predicate of §5.5 / appendix A.3:
+//
+//	OC(∘1,∘2) = (∘1 = B ∧ ∘2 = M)
+//	          ∨ (∘1 ≠ B ∧ ¬(∘1 = ∘2 = P) ∧ ¬(∘1 = M ∧ ∘2 ∈ {P,M}))
+//
+// where "each operator also stands for its dependent counterpart". The
+// argument order follows the appendix: for left nesting (the descendant
+// in the left subtree) the descendant is ∘1 and the ancestor ∘2; for
+// right nesting the ancestor is ∘1 and the descendant ∘2. A true result
+// means the pair is NOT freely reorderable, so (together with the LC/RC
+// table-overlap gate) the descendant's TES is merged into the ancestor's.
+func OC(o1, o2 Op) bool {
+	// Dependent operators inherit the conflict behaviour of their regular
+	// counterparts.
+	a := o1.RegularVariant()
+	b := o2.RegularVariant()
+	if a == Join && b == FullOuter {
+		return true
+	}
+	if a == Join {
+		return false
+	}
+	// a ≠ B from here on.
+	if a == LeftOuter && b == LeftOuter {
+		return false // 4.46: (R P S) P T = R P (S P T) when pST strong
+	}
+	if a == FullOuter && (b == LeftOuter || b == FullOuter) {
+		return false // 4.50/4.51 with strong predicates
+	}
+	return true
+}
+
+// AllOps lists every valid operator; useful for exhaustive tests.
+func AllOps() []Op {
+	ops := make([]Op, 0, NumOps)
+	for o := Join; o < numOps; o++ {
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+// RegularOps lists the non-dependent operators of §5.1.
+func RegularOps() []Op {
+	return []Op{Join, FullOuter, LeftOuter, AntiJoin, SemiJoin, NestJoin}
+}
+
+// LOP is the paper's set of left-linear operators with limited
+// reorderability: {P, I, G, T, C, Q, J, H, U}.
+func LOP() []Op {
+	return []Op{LeftOuter, AntiJoin, SemiJoin, NestJoin,
+		DepJoin, DepLeftOuter, DepAntiJoin, DepSemiJoin, DepNestJoin}
+}

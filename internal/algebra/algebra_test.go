@@ -1,0 +1,220 @@
+package algebra
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStringAndParseRoundTrip(t *testing.T) {
+	for _, o := range AllOps() {
+		got, err := ParseOp(o.String())
+		if err != nil {
+			t.Fatalf("ParseOp(%q): %v", o.String(), err)
+		}
+		if got != o {
+			t.Errorf("round trip %v -> %v", o, got)
+		}
+	}
+}
+
+func TestParseOpUnknown(t *testing.T) {
+	if _, err := ParseOp("bogus"); err == nil {
+		t.Error("expected error for unknown operator")
+	}
+	if _, err := ParseOp(""); err == nil {
+		t.Error("expected error for empty name")
+	}
+}
+
+func TestValid(t *testing.T) {
+	if InvalidOp.Valid() {
+		t.Error("InvalidOp must not be valid")
+	}
+	for _, o := range AllOps() {
+		if !o.Valid() {
+			t.Errorf("%v must be valid", o)
+		}
+	}
+	if Op(200).Valid() {
+		t.Error("out-of-range op must not be valid")
+	}
+}
+
+func TestCommutativity(t *testing.T) {
+	// §5.4: only join and full outer join commute.
+	want := map[Op]bool{Join: true, FullOuter: true}
+	for _, o := range AllOps() {
+		if got := o.Commutative(); got != want[o] {
+			t.Errorf("Commutative(%v) = %v", o, got)
+		}
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	// Observation 1: all operators in LOP are left-linear; B is left- and
+	// right-linear; full outer is neither.
+	for _, o := range LOP() {
+		if !o.LeftLinear() {
+			t.Errorf("%v must be left-linear", o)
+		}
+		if o.RightLinear() {
+			t.Errorf("%v must not be right-linear", o)
+		}
+	}
+	if !Join.LeftLinear() || !Join.RightLinear() {
+		t.Error("join must be left- and right-linear")
+	}
+	if FullOuter.LeftLinear() || FullOuter.RightLinear() {
+		t.Error("full outer join is neither left- nor right-linear")
+	}
+}
+
+func TestDependentVariants(t *testing.T) {
+	pairs := map[Op]Op{
+		Join:      DepJoin,
+		LeftOuter: DepLeftOuter,
+		AntiJoin:  DepAntiJoin,
+		SemiJoin:  DepSemiJoin,
+		NestJoin:  DepNestJoin,
+	}
+	for reg, dep := range pairs {
+		if got := reg.DependentVariant(); got != dep {
+			t.Errorf("DependentVariant(%v) = %v, want %v", reg, got, dep)
+		}
+		if got := dep.RegularVariant(); got != reg {
+			t.Errorf("RegularVariant(%v) = %v, want %v", dep, got, reg)
+		}
+		if !dep.Dependent() {
+			t.Errorf("%v must report Dependent", dep)
+		}
+		if reg.Dependent() {
+			t.Errorf("%v must not report Dependent", reg)
+		}
+	}
+	if FullOuter.DependentVariant() != InvalidOp {
+		t.Error("full outer join has no dependent counterpart")
+	}
+	if DepJoin.DependentVariant() != DepJoin {
+		t.Error("dependent op maps to itself")
+	}
+}
+
+// TestOCMatrix checks OC against the appendix conflict table (Fig. 9),
+// restricted to the rows/columns where the left-hand side is expressible
+// (the "lhs not possible" rows of Fig. 9 never reach OC because the
+// syntactic constraints already rule them out; OC must still be
+// conservative for them, which the paper's formula is).
+func TestOCMatrix(t *testing.T) {
+	cases := []struct {
+		o1, o2 Op
+		want   bool
+	}{
+		// ∘1 = B row: conflicts only with full outer below it.
+		{Join, Join, false},
+		{Join, SemiJoin, false},
+		{Join, AntiJoin, false},
+		{Join, NestJoin, false},
+		{Join, LeftOuter, false},
+		{Join, FullOuter, true}, // (R B S) M T ≠ R B (S M T), GOJ 4.54
+
+		// ∘1 = P (left outer).
+		{LeftOuter, Join, true},       // 4.48: lhs simplifiable, not equal
+		{LeftOuter, LeftOuter, false}, // 4.46 with pST strong
+		{LeftOuter, SemiJoin, true},
+		{LeftOuter, AntiJoin, true},
+		{LeftOuter, NestJoin, true},
+		{LeftOuter, FullOuter, true},
+
+		// ∘1 = M (full outer).
+		{FullOuter, Join, true},
+		{FullOuter, LeftOuter, false}, // 4.51 with pST strong
+		{FullOuter, FullOuter, false}, // 4.50 with both strong
+		{FullOuter, SemiJoin, true},
+		{FullOuter, AntiJoin, true},
+		{FullOuter, NestJoin, true},
+
+		// Other non-inner ancestors conflict with everything.
+		{SemiJoin, Join, true},
+		{SemiJoin, SemiJoin, true},
+		{AntiJoin, LeftOuter, true},
+		{NestJoin, Join, true},
+	}
+	for _, c := range cases {
+		if got := OC(c.o1, c.o2); got != c.want {
+			t.Errorf("OC(%v,%v) = %v, want %v", c.o1, c.o2, got, c.want)
+		}
+	}
+}
+
+// Property: dependent operators behave exactly like their regular
+// counterparts in OC (the paper: "each operator also stands for its
+// dependent counterpart").
+func TestOCDependentEquivalence(t *testing.T) {
+	all := AllOps()
+	f := func(i, j uint8) bool {
+		o1 := all[int(i)%len(all)]
+		o2 := all[int(j)%len(all)]
+		return OC(o1, o2) == OC(o1.RegularVariant(), o2.RegularVariant())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the inner join as descendant never conflicts unless the
+// ancestor is non-inner (B is freely reorderable below everything except
+// by the ∘1≠B clause).
+func TestOCJoinAncestorOnlyFullOuterConflicts(t *testing.T) {
+	for _, o2 := range AllOps() {
+		want := o2.RegularVariant() == FullOuter
+		if got := OC(Join, o2); got != want {
+			t.Errorf("OC(Join,%v) = %v, want %v", o2, got, want)
+		}
+	}
+}
+
+func TestSymbols(t *testing.T) {
+	seen := map[string]Op{}
+	for _, o := range AllOps() {
+		sym := o.Symbol()
+		if sym == "" || sym == "?" {
+			t.Errorf("missing symbol for %v", o)
+		}
+		if prev, dup := seen[sym]; dup {
+			t.Errorf("symbol %q reused by %v and %v", sym, prev, o)
+		}
+		seen[sym] = o
+	}
+}
+
+func TestOpSetHelpers(t *testing.T) {
+	if len(AllOps()) != NumOps {
+		t.Errorf("AllOps has %d ops, want %d", len(AllOps()), NumOps)
+	}
+	if len(RegularOps()) != 6 {
+		t.Errorf("RegularOps = %v", RegularOps())
+	}
+	if len(LOP()) != 9 {
+		t.Errorf("LOP must have 9 operators per §5.1, got %d", len(LOP()))
+	}
+	for _, o := range LOP() {
+		if o == Join || o == FullOuter {
+			t.Errorf("%v must not be in LOP", o)
+		}
+	}
+}
+
+func TestPadding(t *testing.T) {
+	if !LeftOuter.PadsRight() || !FullOuter.PadsRight() {
+		t.Error("outer joins pad the right side")
+	}
+	if Join.PadsRight() || SemiJoin.PadsRight() || AntiJoin.PadsRight() {
+		t.Error("non-outer ops do not pad")
+	}
+	if !FullOuter.PadsLeft() {
+		t.Error("full outer pads the left side")
+	}
+	if LeftOuter.PadsLeft() {
+		t.Error("left outer does not pad the left side")
+	}
+}

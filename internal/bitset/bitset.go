@@ -1,0 +1,242 @@
+// Package bitset implements fixed-width sets of relation indices.
+//
+// Join enumeration algorithms manipulate sets of relations at very high
+// frequency: membership tests, unions, neighborhood masks, and — most
+// importantly — enumeration of all subsets of a set. Following Vance and
+// Maier ("Rapid bushy join-order optimization with Cartesian products",
+// SIGMOD 1996), a set of up to 64 relations is represented as a single
+// uint64 so that all of these operations are a handful of machine
+// instructions. The DPhyp paper (Moerkotte & Neumann, SIGMOD 2008)
+// explicitly builds on this representation: "Since we want to use the fast
+// subset enumeration procedure introduced by Vance and Maier, we must have
+// a single bit representing a hypernode" (§2.3).
+//
+// Sets are values; all operations return new sets. The zero value is the
+// empty set.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxElems is the largest number of distinct elements a Set can hold.
+// Element indices must lie in [0, MaxElems).
+const MaxElems = 64
+
+// Set is a set of small non-negative integers (relation indices) packed
+// into a machine word. Bit i is set iff element i is a member.
+type Set uint64
+
+// Empty is the empty set.
+const Empty Set = 0
+
+// New returns a set containing the given elements.
+// It panics if any element is outside [0, MaxElems).
+func New(elems ...int) Set {
+	var s Set
+	for _, e := range elems {
+		s = s.Add(e)
+	}
+	return s
+}
+
+// Single returns the singleton set {e}.
+func Single(e int) Set {
+	if e < 0 || e >= MaxElems {
+		panic(fmt.Sprintf("bitset: element %d out of range [0,%d)", e, MaxElems))
+	}
+	return Set(1) << uint(e)
+}
+
+// Range returns the set {lo, lo+1, ..., hi-1}. Range(a, a) is empty.
+func Range(lo, hi int) Set {
+	if lo < 0 || hi > MaxElems || lo > hi {
+		panic(fmt.Sprintf("bitset: invalid range [%d,%d)", lo, hi))
+	}
+	var s Set
+	for e := lo; e < hi; e++ {
+		s |= Single(e)
+	}
+	return s
+}
+
+// Full returns the set {0, 1, ..., n-1}.
+func Full(n int) Set { return Range(0, n) }
+
+// Add returns s ∪ {e}.
+func (s Set) Add(e int) Set { return s | Single(e) }
+
+// Remove returns s ∖ {e}.
+func (s Set) Remove(e int) Set { return s &^ Single(e) }
+
+// Has reports whether e ∈ s.
+func (s Set) Has(e int) bool {
+	return e >= 0 && e < MaxElems && s&(Set(1)<<uint(e)) != 0
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Minus returns s ∖ t.
+func (s Set) Minus(t Set) Set { return s &^ t }
+
+// IsEmpty reports whether s = ∅.
+func (s Set) IsEmpty() bool { return s == 0 }
+
+// Len returns |s|.
+func (s Set) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// SubsetOf reports whether s ⊆ t.
+func (s Set) SubsetOf(t Set) bool { return s&^t == 0 }
+
+// ProperSubsetOf reports whether s ⊂ t (subset and not equal).
+func (s Set) ProperSubsetOf(t Set) bool { return s&^t == 0 && s != t }
+
+// Disjoint reports whether s ∩ t = ∅.
+func (s Set) Disjoint(t Set) bool { return s&t == 0 }
+
+// Overlaps reports whether s ∩ t ≠ ∅.
+func (s Set) Overlaps(t Set) bool { return s&t != 0 }
+
+// IsSingleton reports whether |s| = 1.
+func (s Set) IsSingleton() bool { return s != 0 && s&(s-1) == 0 }
+
+// Min returns the smallest element of s. This is the representative node
+// min(S) used throughout the DPhyp paper (§2.3). It panics on the empty
+// set; use MinSet for the set-valued variant that maps ∅ to ∅.
+func (s Set) Min() int {
+	if s == 0 {
+		panic("bitset: Min of empty set")
+	}
+	return bits.TrailingZeros64(uint64(s))
+}
+
+// MinSet returns min(S) as a set: the singleton holding the smallest
+// element, or the empty set if s is empty (Definition of min in §2.3).
+func (s Set) MinSet() Set {
+	return s & -s // lowest set bit
+}
+
+// MinusMin returns s ∖ min(s): every element except the representative.
+// This is the min̄(S) = S ∖ min(S) of §2.3. For the empty set it returns
+// the empty set.
+func (s Set) MinusMin() Set {
+	return s & (s - 1) // clear lowest set bit
+}
+
+// Max returns the largest element of s. It panics on the empty set.
+func (s Set) Max() int {
+	if s == 0 {
+		panic("bitset: Max of empty set")
+	}
+	return 63 - bits.LeadingZeros64(uint64(s))
+}
+
+// Below returns the set {w | w < e}: all elements strictly ordered before
+// e. Combined with Add(e) this yields the B_v = {w | w ≤ v} sets used by
+// Solve and EmitCsg for duplicate avoidance.
+func Below(e int) Set {
+	if e < 0 || e >= MaxElems {
+		panic(fmt.Sprintf("bitset: element %d out of range [0,%d)", e, MaxElems))
+	}
+	return Set(1)<<uint(e) - 1
+}
+
+// BelowEq returns B_e = {w | w ≤ e}.
+func BelowEq(e int) Set { return Below(e) | Single(e) }
+
+// Elems returns the elements of s in ascending order.
+func (s Set) Elems() []int {
+	out := make([]int, 0, s.Len())
+	for t := s; t != 0; t &= t - 1 {
+		out = append(out, bits.TrailingZeros64(uint64(t)))
+	}
+	return out
+}
+
+// ForEach calls f for every element of s in ascending order.
+func (s Set) ForEach(f func(e int)) {
+	for t := s; t != 0; t &= t - 1 {
+		f(bits.TrailingZeros64(uint64(t)))
+	}
+}
+
+// NextElem returns the smallest element of s that is ≥ from, or -1 if
+// there is none. It enables allocation-free iteration:
+//
+//	for e := s.NextElem(0); e >= 0; e = s.NextElem(e + 1) { ... }
+func (s Set) NextElem(from int) int {
+	if from >= MaxElems {
+		return -1
+	}
+	if from < 0 {
+		from = 0
+	}
+	t := s &^ (Set(1)<<uint(from) - 1)
+	if t == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(t))
+}
+
+// String renders the set as {R0,R3,R5} style for debugging.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(e int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "R%d", e)
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// NextSubset returns the next non-empty subset of m after s in the
+// Vance–Maier enumeration order, which visits all non-empty subsets of m
+// in increasing numeric value of their bit patterns, ending with m itself.
+// The iteration protocol is:
+//
+//	for n := Empty.NextSubset(m); ; n = n.NextSubset(m) {
+//	    ...use n...
+//	    if n == m { break }
+//	}
+//
+// Starting from the empty set it yields the first (numerically smallest)
+// non-empty subset. After s == m it wraps to the empty set.
+func (s Set) NextSubset(m Set) Set {
+	return (s - m) & m
+}
+
+// Subsets returns all non-empty subsets of m in Vance–Maier order.
+// Intended for tests and small sets; hot paths should use NextSubset.
+func Subsets(m Set) []Set {
+	if m == 0 {
+		return nil
+	}
+	out := make([]Set, 0, 1<<uint(m.Len())-1)
+	for n := Empty.NextSubset(m); ; n = n.NextSubset(m) {
+		out = append(out, n)
+		if n == m {
+			break
+		}
+	}
+	return out
+}
+
+// ProperSubsets returns all non-empty proper subsets of m (excludes m).
+func ProperSubsets(m Set) []Set {
+	subs := Subsets(m)
+	if len(subs) == 0 {
+		return nil
+	}
+	return subs[:len(subs)-1] // m is always last in Vance–Maier order
+}

@@ -1,0 +1,205 @@
+// Package core implements DPhyp, the join enumeration algorithm of
+// "Dynamic Programming Strikes Back" (Moerkotte & Neumann, SIGMOD 2008).
+//
+// DPhyp enumerates exactly the csg-cmp-pairs of a query hypergraph in an
+// order valid for dynamic programming: every pair (S1',S2') with
+// S1' ⊆ S1 and S2' ⊆ S2 is enumerated before (S1,S2). The algorithm is
+// structured as the five member functions of §3:
+//
+//   - Solve initializes the DP table with single-relation plans and
+//     seeds the enumeration from every node in decreasing ≺ order;
+//   - EnumerateCsgRec grows connected subgraphs by adding subsets of the
+//     neighborhood, using DP-table lookups as the connectivity test;
+//   - EmitCsg finds complement seeds in the neighborhood of a finished
+//     connected subgraph;
+//   - EnumerateCmpRec grows those seeds into connected complements;
+//   - EmitCsgCmp builds and prices plans for each csg-cmp-pair (shared
+//     with the other algorithms via internal/dp).
+//
+// Hyperedges are traversed as n:1 edges leading to a canonical
+// representative node of the far side (Equation 1); the remaining nodes
+// of a hypernode are picked up by recursive growth and validated against
+// the DP table ("this exploits the fact that DP strategies enumerate
+// subsets before supersets").
+//
+// Duplicate complements are avoided with the refinement inherited from
+// DPccp [17]: the seed v additionally forbids all neighborhood members
+// ordered before it, so every complement is grown from its ≺-minimal
+// neighbor exactly once.
+package core
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/cost"
+	"repro/internal/dp"
+	"repro/internal/hypergraph"
+	"repro/internal/plan"
+)
+
+// Options configures a DPhyp run.
+type Options struct {
+	// Model is the cost model; cost.Default() when nil.
+	Model cost.Model
+
+	// Filter enables the generate-and-test paradigm of §5.8: candidate
+	// plans are enumerated from the (smaller-edged) graph and rejected
+	// late, inside EmitCsgCmp. Used to reproduce the "DPhyp TESs" curve
+	// of Fig. 8a. Nil for the pure hypergraph-driven mode.
+	Filter dp.Filter
+
+	// OnEmit observes csg-cmp-pairs in emission order (tests, traces).
+	OnEmit func(S1, S2 bitset.Set)
+
+	// Trace, when non-nil, records the traversal steps analogous to
+	// Fig. 3.
+	Trace *Trace
+}
+
+// Solver runs DPhyp over one hypergraph.
+type Solver struct {
+	g    *hypergraph.Graph
+	b    *dp.Builder
+	opts Options
+}
+
+// New prepares a solver. The graph must stay unmodified during Run.
+func New(g *hypergraph.Graph, opts Options) *Solver {
+	b := dp.NewBuilder(g, opts.Model)
+	b.Filter = opts.Filter
+	b.OnEmit = opts.OnEmit
+	return &Solver{g: g, b: b, opts: opts}
+}
+
+// Solve is the convenience entry point: it runs DPhyp on g and returns
+// the optimal bushy plan without cross products.
+func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
+	s := New(g, opts)
+	p, err := s.Run()
+	return p, s.Stats(), err
+}
+
+// Stats returns the enumeration statistics of the last Run.
+func (s *Solver) Stats() dp.Stats { return s.b.Stats }
+
+// Table exposes the DP table (read-only use) for tests and tooling.
+func (s *Solver) Table() map[bitset.Set]*plan.Node { return s.b.Table }
+
+// Run executes the Solve routine of §3.1.
+func (s *Solver) Run() (*plan.Node, error) {
+	n := s.g.NumRels()
+	if n == 0 {
+		return nil, errEmpty
+	}
+	s.b.Init()
+	s.opts.Trace.init(n)
+
+	// "for each v ∈ V descending according to ≺: EmitCsg({v});
+	// EnumerateCsgRec({v}, B_v)"
+	for v := n - 1; v >= 0; v-- {
+		S := bitset.Single(v)
+		s.opts.Trace.add(StepStartNode, S, bitset.Empty)
+		s.emitCsg(S)
+		s.enumerateCsgRec(S, bitset.BelowEq(v))
+	}
+	return s.b.Final()
+}
+
+// enumerateCsgRec extends the connected subgraph S1 (§3.2). X is the set
+// of forbidden nodes; every node the function will consider itself is
+// forbidden in recursive calls to avoid duplicate enumeration.
+func (s *Solver) enumerateCsgRec(S1, X bitset.Set) {
+	N := s.g.Neighborhood(S1, X)
+	if N.IsEmpty() {
+		return
+	}
+	// First pass: emit smaller sets before growing them further. The
+	// Vance–Maier order enumerates every proper subset of a subset
+	// before it, so the DP order is respected within the loop, too.
+	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
+		next := S1.Union(n)
+		if s.b.Best(next) != nil {
+			s.opts.Trace.add(StepCsg, next, bitset.Empty)
+			s.emitCsg(next)
+		}
+		if n == N {
+			break
+		}
+	}
+	// Second pass: recursive growth with the whole neighborhood
+	// forbidden ("when a function performs a recursive call it forbids
+	// all nodes it will investigate itself").
+	newX := X.Union(N)
+	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
+		s.enumerateCsgRec(S1.Union(n), newX)
+		if n == N {
+			break
+		}
+	}
+}
+
+// emitCsg generates the seeds of all complements of the connected
+// subgraph S1 (§3.3).
+func (s *Solver) emitCsg(S1 bitset.Set) {
+	X := S1.Union(bitset.BelowEq(S1.Min()))
+	N := s.g.Neighborhood(S1, X)
+	if N.IsEmpty() {
+		return
+	}
+	// "for each v ∈ N descending according to ≺"
+	for v := N.Max(); v >= 0; v = prevElem(N, v) {
+		S2 := bitset.Single(v)
+		// "if ∃(u,v) ∈ E : u ⊆ S1 ∧ v ⊆ S2": the neighborhood may
+		// contain representatives of larger hypernodes that do not yet
+		// connect (§3.3's step 20: no edge between {R1,R2,R3} and {R4}).
+		if s.g.ConnectsTo(S1, S2) {
+			s.opts.Trace.add(StepCmp, S1, S2)
+			s.b.EmitCsgCmp(S1, S2)
+		}
+		// Forbid the smaller-ordered neighbors while growing this seed so
+		// each complement is produced from its ≺-minimal seed only (the
+		// duplicate-avoidance scheme of DPccp [17]).
+		s.enumerateCmpRec(S1, S2, X.Union(N.Intersect(bitset.BelowEq(v))))
+	}
+}
+
+// prevElem returns the largest element of N strictly below v, or -1.
+func prevElem(N bitset.Set, v int) int {
+	below := N.Intersect(bitset.Below(v))
+	if below.IsEmpty() {
+		return -1
+	}
+	return below.Max()
+}
+
+// enumerateCmpRec grows the complement S2 of S1 (§3.4).
+func (s *Solver) enumerateCmpRec(S1, S2, X bitset.Set) {
+	N := s.g.Neighborhood(S2, X)
+	if N.IsEmpty() {
+		return
+	}
+	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
+		next := S2.Union(n)
+		// "if dpTable[S2 ∪ N] ≠ ∅ ∧ ∃(u,v) ∈ E : u ⊆ S1 ∧ v ⊆ S2 ∪ N"
+		if s.b.Best(next) != nil && s.g.ConnectsTo(S1, next) {
+			s.opts.Trace.add(StepCmp, S1, next)
+			s.b.EmitCsgCmp(S1, next)
+		}
+		if n == N {
+			break
+		}
+	}
+	// "X = X ∪ N(S2,X)" before the recursive descent.
+	newX := X.Union(N)
+	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
+		s.enumerateCmpRec(S1, S2.Union(n), newX)
+		if n == N {
+			break
+		}
+	}
+}
+
+type solverError string
+
+func (e solverError) Error() string { return string(e) }
+
+const errEmpty = solverError("dphyp: empty hypergraph")

@@ -1,0 +1,106 @@
+// Package cost provides cardinality estimation and cost models for the
+// join-ordering optimizers.
+//
+// The DPhyp paper hides cost calculation behind an abstract cost function
+// (§3.5: "we hide the cost calculations in an abstract function cost").
+// This package supplies concrete instances. The default is C_out — the
+// sum of the cardinalities of all intermediate results — which is the
+// standard model in the join-ordering literature (including the DPccp
+// paper the algorithms build on) because it is independent of physical
+// operator choices and makes optimality easy to verify.
+//
+// Cardinality estimation is classical: the size of an inner join is the
+// product of the input sizes discounted by the product of the
+// selectivities of all predicates connecting the two sides. Non-inner
+// operators get the natural adaptations (a left outer join preserves all
+// left rows; a semijoin never exceeds the left input; a nestjoin emits
+// exactly one row per left row; and so on).
+package cost
+
+import (
+	"math"
+
+	"repro/internal/algebra"
+)
+
+// EstimateCard estimates the output cardinality of applying op to inputs
+// with cardinalities leftCard and rightCard under the combined predicate
+// selectivity sel (the product of the selectivities of all edges
+// connecting the two sides).
+func EstimateCard(op algebra.Op, leftCard, rightCard, sel float64) float64 {
+	inner := leftCard * rightCard * sel
+	// matchFrac approximates the fraction of left rows with at least one
+	// join partner. For independent matches, a left row expects
+	// rightCard*sel partners, capped at probability 1.
+	matchFrac := math.Min(1, rightCard*sel)
+	switch op.RegularVariant() {
+	case algebra.Join:
+		return inner
+	case algebra.SemiJoin:
+		return leftCard * matchFrac
+	case algebra.AntiJoin:
+		return leftCard * (1 - matchFrac)
+	case algebra.LeftOuter:
+		// Matching rows plus NULL-padded non-matching left rows.
+		return inner + leftCard*(1-matchFrac)
+	case algebra.FullOuter:
+		rightMatchFrac := math.Min(1, leftCard*sel)
+		return inner + leftCard*(1-matchFrac) + rightCard*(1-rightMatchFrac)
+	case algebra.NestJoin:
+		// One output row per left row (§5.1: RT S = {r ∘ ν(r) | r ∈ R}).
+		return leftCard
+	}
+	return inner
+}
+
+// Model prices a single join node given the costs and cardinalities of
+// its inputs and the estimated output cardinality. Implementations must
+// be monotone in the input costs so that dynamic programming over
+// subplans is admissible (Bellman's principle).
+type Model interface {
+	// JoinCost returns the TOTAL cost of the combined plan (it already
+	// includes leftCost and rightCost).
+	JoinCost(op algebra.Op, leftCost, rightCost, leftCard, rightCard, outCard float64) float64
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Cout is the C_out cost model: the cost of a plan is the sum of the
+// cardinalities of all intermediate (non-leaf) results.
+type Cout struct{}
+
+// JoinCost implements Model.
+func (Cout) JoinCost(_ algebra.Op, leftCost, rightCost, _, _, outCard float64) float64 {
+	return leftCost + rightCost + outCard
+}
+
+// Name implements Model.
+func (Cout) Name() string { return "Cout" }
+
+// NestedLoop models a tuple-at-a-time nested-loop evaluation: each join
+// reads the full cross product of its inputs.
+type NestedLoop struct{}
+
+// JoinCost implements Model.
+func (NestedLoop) JoinCost(_ algebra.Op, leftCost, rightCost, leftCard, rightCard, _ float64) float64 {
+	return leftCost + rightCost + leftCard*rightCard
+}
+
+// Name implements Model.
+func (NestedLoop) Name() string { return "Cnlj" }
+
+// Hash models a main-memory hash join: build on the right input, probe
+// with the left, pay for the output.
+type Hash struct{}
+
+// JoinCost implements Model.
+func (Hash) JoinCost(_ algebra.Op, leftCost, rightCost, leftCard, rightCard, outCard float64) float64 {
+	const buildFactor = 1.5 // hashing a row is a bit dearer than probing
+	return leftCost + rightCost + leftCard + buildFactor*rightCard + outCard
+}
+
+// Name implements Model.
+func (Hash) Name() string { return "Chash" }
+
+// Default is the model used when none is specified.
+func Default() Model { return Cout{} }

@@ -1,0 +1,147 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algebra"
+)
+
+func TestEstimateCardInner(t *testing.T) {
+	got := EstimateCard(algebra.Join, 100, 200, 0.01)
+	if got != 200 {
+		t.Errorf("inner join card = %g, want 200", got)
+	}
+}
+
+func TestEstimateCardSemiAnti(t *testing.T) {
+	// 100 left rows, each expects 0.5 partners -> matchFrac 0.5.
+	semi := EstimateCard(algebra.SemiJoin, 100, 50, 0.01)
+	anti := EstimateCard(algebra.AntiJoin, 100, 50, 0.01)
+	if semi != 50 {
+		t.Errorf("semijoin card = %g, want 50", semi)
+	}
+	if anti != 50 {
+		t.Errorf("antijoin card = %g, want 50", anti)
+	}
+	// Semi + anti must always partition the left input.
+	f := func(l, r uint16, s uint8) bool {
+		lc, rc := float64(l%1000)+1, float64(r%1000)+1
+		sel := (float64(s%100) + 1) / 100
+		sm := EstimateCard(algebra.SemiJoin, lc, rc, sel)
+		an := EstimateCard(algebra.AntiJoin, lc, rc, sel)
+		return math.Abs(sm+an-lc) < 1e-9 && sm >= 0 && an >= 0 && sm <= lc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateCardSemiCapped(t *testing.T) {
+	// With many partners per row the match fraction caps at 1.
+	got := EstimateCard(algebra.SemiJoin, 100, 1000, 0.5)
+	if got != 100 {
+		t.Errorf("capped semijoin card = %g, want 100", got)
+	}
+}
+
+func TestEstimateCardOuter(t *testing.T) {
+	// Left outer preserves all left rows: card >= leftCard and
+	// card >= inner join card.
+	f := func(l, r uint16, s uint8) bool {
+		lc, rc := float64(l%1000)+1, float64(r%1000)+1
+		sel := (float64(s%100) + 1) / 100
+		lo := EstimateCard(algebra.LeftOuter, lc, rc, sel)
+		in := EstimateCard(algebra.Join, lc, rc, sel)
+		fo := EstimateCard(algebra.FullOuter, lc, rc, sel)
+		return lo >= lc-1e-9 && lo >= in-1e-9 && fo >= lo-1e-9 && fo >= rc-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateCardNestJoin(t *testing.T) {
+	// Exactly one output row per left row (§5.1).
+	if got := EstimateCard(algebra.NestJoin, 123, 456, 0.1); got != 123 {
+		t.Errorf("nestjoin card = %g, want 123", got)
+	}
+}
+
+func TestEstimateCardDependentMirrorsRegular(t *testing.T) {
+	for _, pair := range [][2]algebra.Op{
+		{algebra.DepJoin, algebra.Join},
+		{algebra.DepLeftOuter, algebra.LeftOuter},
+		{algebra.DepAntiJoin, algebra.AntiJoin},
+		{algebra.DepSemiJoin, algebra.SemiJoin},
+		{algebra.DepNestJoin, algebra.NestJoin},
+	} {
+		d := EstimateCard(pair[0], 100, 50, 0.1)
+		r := EstimateCard(pair[1], 100, 50, 0.1)
+		if d != r {
+			t.Errorf("%v card %g != %v card %g", pair[0], d, pair[1], r)
+		}
+	}
+}
+
+func TestCoutModel(t *testing.T) {
+	m := Cout{}
+	if m.Name() != "Cout" {
+		t.Error("name")
+	}
+	got := m.JoinCost(algebra.Join, 10, 20, 5, 5, 100)
+	if got != 130 {
+		t.Errorf("Cout = %g, want 130", got)
+	}
+}
+
+func TestNestedLoopModel(t *testing.T) {
+	m := NestedLoop{}
+	got := m.JoinCost(algebra.Join, 10, 20, 5, 6, 100)
+	if got != 10+20+30 {
+		t.Errorf("Cnlj = %g", got)
+	}
+	if m.Name() != "Cnlj" {
+		t.Error("name")
+	}
+}
+
+func TestHashModel(t *testing.T) {
+	m := Hash{}
+	got := m.JoinCost(algebra.Join, 10, 20, 5, 6, 100)
+	want := 10.0 + 20 + 5 + 1.5*6 + 100
+	if got != want {
+		t.Errorf("Chash = %g, want %g", got, want)
+	}
+	if m.Name() != "Chash" {
+		t.Error("name")
+	}
+}
+
+// Monotonicity: every model's JoinCost must grow with the input costs so
+// that DP over optimal subplans is admissible.
+func TestModelsMonotone(t *testing.T) {
+	models := []Model{Cout{}, NestedLoop{}, Hash{}}
+	f := func(lc, rc uint16, extra uint8) bool {
+		l, r := float64(lc), float64(rc)
+		e := float64(extra) + 1
+		for _, m := range models {
+			base := m.JoinCost(algebra.Join, l, r, 10, 10, 100)
+			bumped := m.JoinCost(algebra.Join, l+e, r, 10, 10, 100)
+			if bumped <= base {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefault(t *testing.T) {
+	if Default().Name() != "Cout" {
+		t.Error("default model must be Cout")
+	}
+}

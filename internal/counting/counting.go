@@ -1,0 +1,162 @@
+// Package counting provides brute-force enumeration oracles for the
+// search-space quantities of §2.2: connected subgraphs (csg) — the number
+// of DP table entries — and csg-cmp-pairs (ccp) — the lower bound on the
+// number of cost function calls of any dynamic programming algorithm.
+//
+// Everything here is deliberately simple and exponential; it exists to
+// validate the fast enumerators and to report search-space sizes in the
+// experiment harness, not to be fast.
+package counting
+
+import (
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/bitset"
+	"repro/internal/hypergraph"
+)
+
+// Pair is a csg-cmp-pair (Definition 4), normalized so that
+// min(S1) ≺ min(S2), matching the restriction DPhyp enumerates under
+// (§2.2: "we will restrict the enumeration of csg-cmp-pairs to those
+// (S1,S2) which satisfy min(S1) ≺ min(S2)").
+type Pair struct {
+	S1, S2 bitset.Set
+}
+
+// ConnectedSubgraphs returns every node set that induces a connected
+// subgraph (Definition 3), in ascending bit-pattern order.
+func ConnectedSubgraphs(g *hypergraph.Graph) []bitset.Set {
+	all := g.AllNodes()
+	var out []bitset.Set
+	for s := bitset.Empty.NextSubset(all); ; s = s.NextSubset(all) {
+		if g.IsConnected(s) {
+			out = append(out, s)
+		}
+		if s == all {
+			break
+		}
+	}
+	return out
+}
+
+// CsgCmpPairs returns every normalized csg-cmp-pair of g.
+func CsgCmpPairs(g *hypergraph.Graph) []Pair {
+	csgs := ConnectedSubgraphs(g)
+	all := g.AllNodes()
+	var out []Pair
+	for _, s1 := range csgs {
+		rest := all.Minus(s1)
+		if rest.IsEmpty() {
+			continue
+		}
+		for s2 := bitset.Empty.NextSubset(rest); ; s2 = s2.NextSubset(rest) {
+			if s1.Min() < s2.Min() && g.IsConnected(s2) && g.ConnectsTo(s1, s2) {
+				out = append(out, Pair{S1: s1, S2: s2})
+			}
+			if s2 == rest {
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].S1 != out[j].S1 {
+			return out[i].S1 < out[j].S1
+		}
+		return out[i].S2 < out[j].S2
+	})
+	return out
+}
+
+// CountCsgCmpPairs returns the number of normalized csg-cmp-pairs: the
+// minimal number of cost-function calls of any DP algorithm (§2.2).
+func CountCsgCmpPairs(g *hypergraph.Graph) int { return len(CsgCmpPairs(g)) }
+
+// Normalize maps an arbitrary (S1,S2) to its normalized form.
+func Normalize(s1, s2 bitset.Set) Pair {
+	if s1.Min() < s2.Min() {
+		return Pair{S1: s1, S2: s2}
+	}
+	return Pair{S1: s2, S2: s1}
+}
+
+// BruteForceCout computes the optimal C_out cost over all bushy,
+// cross-product-free join trees of an inner-join-only hypergraph, by
+// memoized recursion over all graph-connected partitions. It is an
+// independent implementation (own cardinality computation, no shared
+// plan-construction code) used to validate the optimizers' optimality.
+//
+// It panics if the graph contains non-inner edges or dependent relations;
+// those cases are validated differentially between enumerators instead.
+func BruteForceCout(g *hypergraph.Graph) (float64, bool) {
+	for i := 0; i < g.NumEdges(); i++ {
+		if g.Edge(i).Op != algebra.Join {
+			panic("counting: BruteForceCout supports inner joins only")
+		}
+	}
+	for i := 0; i < g.NumRels(); i++ {
+		if !g.Relation(i).Free.IsEmpty() {
+			panic("counting: BruteForceCout does not support dependent relations")
+		}
+	}
+
+	// card(S) for inner joins is partition independent: the product of
+	// base cardinalities and of the selectivities of all edges internal
+	// to S (each predicate applied exactly once).
+	cardMemo := map[bitset.Set]float64{}
+	var card func(S bitset.Set) float64
+	card = func(S bitset.Set) float64 {
+		if c, ok := cardMemo[S]; ok {
+			return c
+		}
+		c := 1.0
+		S.ForEach(func(i int) { c *= g.Relation(i).Card })
+		for i := 0; i < g.NumEdges(); i++ {
+			e := g.Edge(i)
+			// Internal iff both hypernodes (and the free part) lie in S.
+			if e.U.SubsetOf(S) && e.V.SubsetOf(S) && e.W.SubsetOf(S) {
+				c *= e.Sel
+			}
+		}
+		cardMemo[S] = c
+		return c
+	}
+
+	const inf = 1e308
+	memo := map[bitset.Set]float64{}
+	var best func(S bitset.Set) float64
+	best = func(S bitset.Set) float64 {
+		if S.IsSingleton() {
+			return 0
+		}
+		if c, ok := memo[S]; ok {
+			return c
+		}
+		res := inf
+		rest := S.MinusMin()
+		lo := S.MinSet()
+		for a := bitset.Empty; ; a = a.NextSubset(rest) {
+			s1 := lo.Union(a)
+			s2 := S.Minus(s1)
+			if !s2.IsEmpty() && g.ConnectsTo(s1, s2) {
+				c1, c2 := best(s1), best(s2)
+				if c1 < inf && c2 < inf {
+					if total := c1 + c2 + card(S); total < res {
+						res = total
+					}
+				}
+			}
+			if a == rest {
+				break
+			}
+		}
+		memo[S] = res
+		return res
+	}
+
+	res := best(g.AllNodes())
+	if res >= inf {
+		return 0, false
+	}
+	return res, true
+}

@@ -1,0 +1,220 @@
+package counting
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/hypergraph"
+)
+
+func chainGraph(n int) *hypergraph.Graph {
+	g := hypergraph.New()
+	g.AddRelations(n, "R", 100)
+	for i := 0; i+1 < n; i++ {
+		g.AddSimpleEdge(i, i+1, 0.1)
+	}
+	return g
+}
+
+func cycleGraph(n int) *hypergraph.Graph {
+	g := chainGraph(n)
+	g.AddSimpleEdge(n-1, 0, 0.1)
+	return g
+}
+
+func starGraph(n int) *hypergraph.Graph { // n total relations: center 0
+	g := hypergraph.New()
+	g.AddRelations(n, "R", 100)
+	for i := 1; i < n; i++ {
+		g.AddSimpleEdge(0, i, 0.1)
+	}
+	return g
+}
+
+func cliqueGraph(n int) *hypergraph.Graph {
+	g := hypergraph.New()
+	g.AddRelations(n, "R", 100)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddSimpleEdge(i, j, 0.1)
+		}
+	}
+	return g
+}
+
+// Closed-form search space sizes for the standard graph shapes, from the
+// complexity analysis in Moerkotte & Neumann, VLDB 2006 [17].
+func TestConnectedSubgraphCounts(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		if got, want := len(ConnectedSubgraphs(chainGraph(n))), n*(n+1)/2; got != want {
+			t.Errorf("chain(%d): #csg = %d, want %d", n, got, want)
+		}
+		if got, want := len(ConnectedSubgraphs(starGraph(n))), 1<<(n-1)+n-1; got != want {
+			t.Errorf("star(%d): #csg = %d, want %d", n, got, want)
+		}
+		if got, want := len(ConnectedSubgraphs(cliqueGraph(n))), 1<<n-1; got != want {
+			t.Errorf("clique(%d): #csg = %d, want %d", n, got, want)
+		}
+		if n >= 3 {
+			if got, want := len(ConnectedSubgraphs(cycleGraph(n))), n*n-n+1; got != want {
+				t.Errorf("cycle(%d): #csg = %d, want %d", n, got, want)
+			}
+		}
+	}
+}
+
+func TestCsgCmpPairCounts(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		if got, want := CountCsgCmpPairs(chainGraph(n)), (n*n*n-n)/6; got != want {
+			t.Errorf("chain(%d): #ccp = %d, want %d", n, got, want)
+		}
+		if got, want := CountCsgCmpPairs(starGraph(n)), (n-1)*(1<<(n-2)); got != want {
+			t.Errorf("star(%d): #ccp = %d, want %d", n, got, want)
+		}
+		cliqueWant := (pow3(n) - 2*(1<<n) + 1) / 2
+		if got := CountCsgCmpPairs(cliqueGraph(n)); got != cliqueWant {
+			t.Errorf("clique(%d): #ccp = %d, want %d", n, got, cliqueWant)
+		}
+		if n >= 3 {
+			if got, want := CountCsgCmpPairs(cycleGraph(n)), (n*n*n-2*n*n+n)/2; got != want {
+				t.Errorf("cycle(%d): #ccp = %d, want %d", n, got, want)
+			}
+		}
+	}
+}
+
+func pow3(n int) int {
+	p := 1
+	for i := 0; i < n; i++ {
+		p *= 3
+	}
+	return p
+}
+
+func TestPairsNormalized(t *testing.T) {
+	pairs := CsgCmpPairs(cycleGraph(5))
+	seen := map[Pair]bool{}
+	for _, p := range pairs {
+		if p.S1.Min() >= p.S2.Min() {
+			t.Errorf("pair %v|%v not normalized", p.S1, p.S2)
+		}
+		if !p.S1.Disjoint(p.S2) {
+			t.Errorf("pair %v|%v overlaps", p.S1, p.S2)
+		}
+		if seen[p] {
+			t.Errorf("duplicate pair %v|%v", p.S1, p.S2)
+		}
+		seen[p] = true
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	a, b := bitset.New(2, 3), bitset.New(0, 1)
+	p := Normalize(a, b)
+	if p.S1 != b || p.S2 != a {
+		t.Errorf("Normalize = %v", p)
+	}
+	p2 := Normalize(b, a)
+	if p2 != p {
+		t.Error("Normalize must be orientation independent")
+	}
+}
+
+// The Figure 2 hypergraph: its big hyperedge means far fewer
+// csg-cmp-pairs than the same graph with a clique of simple edges.
+func TestPaperExampleSearchSpace(t *testing.T) {
+	g := hypergraph.PaperExampleGraph()
+	csgs := ConnectedSubgraphs(g)
+	pairs := CsgCmpPairs(g)
+	// Connected subgraphs: chains within {R1,R2,R3}: {0},{1},{2},{01},
+	// {12},{012}; within {R4,R5,R6}: {3},{4},{5},{34},{45},{345}; and the
+	// sets containing both sides require the hyperedge: {012345} plus
+	// supersets of 012|345 unions... only {012}∪{345} qualifies, plus
+	// nothing partial (hyperedge needs all six). So 6 + 6 + 1 = 13.
+	if len(csgs) != 13 {
+		t.Errorf("#csg = %d, want 13: %v", len(csgs), csgs)
+	}
+	// Pairs: chain(3) on each side contributes 4 each; across the
+	// hyperedge only ({012},{345}). So 4 + 4 + 1 = 9.
+	if len(pairs) != 9 {
+		t.Errorf("#ccp = %d, want 9: %v", len(pairs), pairs)
+	}
+	found := false
+	for _, p := range pairs {
+		if p.S1 == bitset.New(0, 1, 2) && p.S2 == bitset.New(3, 4, 5) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("hyperedge pair ({R1,R2,R3},{R4,R5,R6}) missing")
+	}
+}
+
+func TestBruteForceCoutChain(t *testing.T) {
+	// Chain R0-R1-R2 with cards 100 and sel 0.1: ((R0⋈R1)⋈R2) costs
+	// card(01)+card(012) = 1000 + 10000... card(012)=100^3*0.1*0.1=1e4.
+	// (R0⋈(R1⋈R2)) symmetric: also 1000+10000. No cheaper tree.
+	g := chainGraph(3)
+	got, ok := BruteForceCout(g)
+	if !ok {
+		t.Fatal("chain must have a plan")
+	}
+	if got != 11000 {
+		t.Errorf("optimal Cout = %g, want 11000", got)
+	}
+}
+
+func TestBruteForceCoutDisconnected(t *testing.T) {
+	g := hypergraph.New()
+	g.AddRelations(2, "R", 10)
+	if _, ok := BruteForceCout(g); ok {
+		t.Error("disconnected graph must have no cross-product-free plan")
+	}
+}
+
+func TestBruteForceCoutFavorsSelectiveJoin(t *testing.T) {
+	// Star with one very selective satellite: best plan joins it first.
+	g := hypergraph.New()
+	g.AddRelation("F", 10000)
+	g.AddRelation("D1", 100)
+	g.AddRelation("D2", 100)
+	g.AddSimpleEdge(0, 1, 0.0001) // F-D1 very selective
+	g.AddSimpleEdge(0, 2, 0.01)   // F-D2
+	got, ok := BruteForceCout(g)
+	if !ok {
+		t.Fatal("no plan")
+	}
+	// (F⋈D1) card = 10000*100*0.0001 = 100; then ⋈D2 = 100*100*0.01 = 100.
+	// Total 200. Other order: (F⋈D2)=10^7*0.01=10^5? 10000*100*0.01=10^4,
+	// then *100*0.0001 = 10^4*100*0.0001=100; total 10100. So 200 wins.
+	if got != 200 {
+		t.Errorf("optimal Cout = %g, want 200", got)
+	}
+}
+
+func TestBruteForceCoutPanics(t *testing.T) {
+	g := hypergraph.New()
+	g.AddRelations(2, "R", 10)
+	g.AddEdge(hypergraph.Edge{U: bitset.New(0), V: bitset.New(1), Sel: 0.5, Op: 3 /* non-join */})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("non-inner edge must panic")
+			}
+		}()
+		BruteForceCout(g)
+	}()
+
+	g2 := hypergraph.New()
+	g2.AddRelations(2, "R", 10)
+	g2.AddSimpleEdge(0, 1, 0.5)
+	g2.SetFree(1, bitset.New(0))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("dependent relation must panic")
+			}
+		}()
+		BruteForceCout(g2)
+	}()
+}

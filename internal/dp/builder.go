@@ -1,0 +1,232 @@
+// Package dp provides the dynamic-programming plumbing shared by all
+// join enumeration algorithms in this repository (DPhyp, DPsize, DPsub,
+// DPccp, and the top-down memoization baseline).
+//
+// The central piece is Builder, which owns the DP table mapping relation
+// sets to their best plans and implements the plan-construction logic of
+// EmitCsgCmp (§3.5): recovering the operator attached to the connecting
+// hyperedges (§5.4), switching to dependent variants when the right side
+// references the left (§5.6), applying the optional generate-and-test
+// filter (the TES-check alternative measured in Fig. 8a), estimating
+// cardinalities, and costing both orientations of commutative operators.
+package dp
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/bitset"
+	"repro/internal/cost"
+	"repro/internal/hypergraph"
+	"repro/internal/plan"
+)
+
+// EdgeRef identifies a hyperedge connecting a concrete csg-cmp-pair.
+// Flipped is true when the edge's stored (U,V) orientation is reversed
+// relative to the pair: U ⊆ S2 rather than U ⊆ S1.
+type EdgeRef struct {
+	Idx     int
+	Flipped bool
+}
+
+// Filter decides whether a candidate join of left and right (in that
+// argument order) may be built. conn lists the connecting edges with
+// Flipped relative to (left, right). It implements the generate-and-test
+// paradigm of §5.8: the TES test rejects plans after they have been
+// enumerated, which is exactly the overhead Fig. 8a measures.
+type Filter func(left, right bitset.Set, conn []EdgeRef) bool
+
+// Stats counts the work an enumeration performed. The number of
+// csg-cmp-pairs is the paper's yardstick: "the minimal number of cost
+// function calls of any dynamic programming algorithm is exactly the
+// number of csg-cmp-pairs" (§2.2).
+type Stats struct {
+	CsgCmpPairs   int // EmitCsgCmp invocations (unordered pairs)
+	CostedPlans   int // plans actually priced (2x for commutative ops)
+	FilterReject  int // plans rejected by the generate-and-test filter
+	InvalidReject int // plans rejected by dependency constraints
+	AmbiguousOps  int // pairs connected by more than one non-inner edge
+	TableEntries  int // number of connected subgraphs with a plan
+}
+
+// Builder is the shared DP state.
+type Builder struct {
+	G      *hypergraph.Graph
+	Model  cost.Model
+	Filter Filter
+
+	// OnEmit, if set, observes every csg-cmp-pair in emission order.
+	OnEmit func(S1, S2 bitset.Set)
+
+	Table map[bitset.Set]*plan.Node
+	Stats Stats
+
+	connBuf []EdgeRef
+}
+
+// NewBuilder returns a Builder over g using the given cost model
+// (cost.Default() if nil).
+func NewBuilder(g *hypergraph.Graph, m cost.Model) *Builder {
+	if m == nil {
+		m = cost.Default()
+	}
+	return &Builder{
+		G:     g,
+		Model: m,
+		Table: make(map[bitset.Set]*plan.Node, 1<<uint(min(g.NumRels(), 20))),
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Init seeds the DP table with access plans for single relations
+// ("dpTable[{v}] = plan for v").
+func (b *Builder) Init() {
+	for i := 0; i < b.G.NumRels(); i++ {
+		b.Table[bitset.Single(i)] = plan.Leaf(i, b.G.Relation(i).Card)
+	}
+}
+
+// Best returns the best plan for S, or nil.
+func (b *Builder) Best(S bitset.Set) *plan.Node { return b.Table[S] }
+
+// Final returns the plan covering all relations, or an error when the
+// enumeration could not connect the graph (the hypergraph was not
+// Definition-3 connected, or every candidate plan was filtered out).
+func (b *Builder) Final() (*plan.Node, error) {
+	p := b.Table[b.G.AllNodes()]
+	if p == nil {
+		return nil, fmt.Errorf("dp: no plan for %v: hypergraph not connected or all plans rejected", b.G.AllNodes())
+	}
+	b.Stats.TableEntries = len(b.Table)
+	return p, nil
+}
+
+// EmitCsgCmp considers building plans from the csg-cmp-pair (S1, S2),
+// following §3.5: it recovers the connecting edges and their predicates,
+// resolves the operator, and prices one orientation for non-commutative
+// operators or both for commutative ones.
+func (b *Builder) EmitCsgCmp(S1, S2 bitset.Set) {
+	b.Stats.CsgCmpPairs++
+	if b.OnEmit != nil {
+		b.OnEmit(S1, S2)
+	}
+
+	conn := b.connBuf[:0]
+	b.G.EachConnectingEdge(S1, S2, func(idx int, flipped bool) {
+		conn = append(conn, EdgeRef{Idx: idx, Flipped: flipped})
+	})
+	b.connBuf = conn
+	if len(conn) == 0 {
+		// Not a csg-cmp-pair; callers are expected to have checked, so
+		// this indicates an enumeration bug.
+		panic(fmt.Sprintf("dp: EmitCsgCmp(%v,%v) without connecting edge", S1, S2))
+	}
+
+	// Operator recovery (§5.4): every hyperedge carries the operator it
+	// was derived from. Simple predicate edges carry the inner join. At
+	// most one connecting edge should be non-inner for TES-derived
+	// graphs; if several are, the latest wins and the event is counted.
+	op := algebra.Join
+	leftIsS1 := true
+	nonInner := 0
+	for _, ref := range conn {
+		e := b.G.Edge(ref.Idx)
+		if e.Op != algebra.Join {
+			nonInner++
+			op = e.Op
+			leftIsS1 = !ref.Flipped
+		}
+	}
+	if nonInner > 1 {
+		b.Stats.AmbiguousOps++
+	}
+
+	if op.Commutative() {
+		b.tryBuild(S1, S2, op, conn, false)
+		b.tryBuild(S2, S1, op, conn, true)
+		return
+	}
+	if leftIsS1 {
+		b.tryBuild(S1, S2, op, conn, false)
+	} else {
+		b.tryBuild(S2, S1, op, conn, true)
+	}
+}
+
+// tryBuild prices "left op right" and stores it if it improves the table
+// entry for left ∪ right. connFlipped indicates that the EdgeRef.Flipped
+// flags in conn are relative to the swapped orientation.
+func (b *Builder) tryBuild(left, right bitset.Set, op algebra.Op, conn []EdgeRef, connFlipped bool) {
+	p1 := b.Table[left]
+	p2 := b.Table[right]
+	if p1 == nil || p2 == nil {
+		panic(fmt.Sprintf("dp: missing subplan for %v or %v", left, right))
+	}
+
+	// Dependency constraints (§5.6). The left argument must not reference
+	// the right side; if the right side references the left, the operator
+	// becomes its dependent counterpart.
+	if b.G.FreeTables(left).Overlaps(right) {
+		b.Stats.InvalidReject++
+		return
+	}
+	if b.G.FreeTables(right).Overlaps(left) {
+		op = op.DependentVariant()
+		if !op.Valid() {
+			b.Stats.InvalidReject++
+			return
+		}
+	}
+
+	if b.Filter != nil {
+		fc := conn
+		if connFlipped {
+			fc = flipRefs(conn)
+		}
+		if !b.Filter(left, right, fc) {
+			b.Stats.FilterReject++
+			return
+		}
+	}
+
+	// Predicate application (§3.5): a predicate is evaluated at the first
+	// node that covers all relations it references. For simple edges this
+	// is the join separating the two endpoints, but a hyperedge can
+	// become fully covered at a join that splits its hypernodes across
+	// sides in a way that never satisfies u ⊆ S1 ∧ v ⊆ S2; its
+	// selectivity must still be charged exactly once. We therefore apply
+	// every edge covered by S = left ∪ right but by neither child alone,
+	// which keeps cardinality estimates independent of the join order.
+	S := left.Union(right)
+	sel := 1.0
+	var applied []int
+	for i := 0; i < b.G.NumEdges(); i++ {
+		e := b.G.Edge(i)
+		nodes := e.Nodes()
+		if nodes.SubsetOf(S) && !nodes.SubsetOf(left) && !nodes.SubsetOf(right) {
+			sel *= e.Sel
+			applied = append(applied, i)
+		}
+	}
+	card := cost.EstimateCard(op, p1.Card, p2.Card, sel)
+	c := b.Model.JoinCost(op, p1.Cost, p2.Cost, p1.Card, p2.Card, card)
+	b.Stats.CostedPlans++
+
+	if cur := b.Table[S]; cur == nil || c < cur.Cost {
+		b.Table[S] = plan.Join(op, p1, p2, applied, card, c)
+	}
+}
+
+func flipRefs(conn []EdgeRef) []EdgeRef {
+	out := make([]EdgeRef, len(conn))
+	for i, r := range conn {
+		out[i] = EdgeRef{Idx: r.Idx, Flipped: !r.Flipped}
+	}
+	return out
+}

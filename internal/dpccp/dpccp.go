@@ -1,0 +1,134 @@
+// Package dpccp implements DPccp, the csg-cmp-pair enumerator for
+// ordinary (simple) query graphs from Moerkotte & Neumann, VLDB 2006
+// [17] — the starting point the DPhyp paper generalizes.
+//
+// On simple graphs connectivity is preserved by construction (subgraphs
+// grow along adjacency), so DPccp needs no failing tests at all: every
+// emission is a valid csg-cmp-pair, which is why it meets the §2.2 lower
+// bound exactly. The package exists as a cross-check for §4.4's claim
+// that "DPhyp performs exactly like DPccp on regular graphs": the tests
+// verify both emit identical pair sequences.
+//
+// Solve panics if the graph contains hyperedges; use DPhyp for those.
+package dpccp
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/cost"
+	"repro/internal/dp"
+	"repro/internal/hypergraph"
+	"repro/internal/plan"
+)
+
+// Options mirrors the options of the other enumerators.
+type Options struct {
+	Model  cost.Model
+	Filter dp.Filter
+	OnEmit func(S1, S2 bitset.Set)
+}
+
+type solver struct {
+	g *hypergraph.Graph
+	b *dp.Builder
+}
+
+// Solve runs DPccp over the simple graph g.
+func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
+	for i := 0; i < g.NumEdges(); i++ {
+		if !g.Edge(i).Simple() {
+			panic("dpccp: hyperedge in input graph; DPccp handles simple graphs only")
+		}
+	}
+	b := dp.NewBuilder(g, opts.Model)
+	b.Filter = opts.Filter
+	b.OnEmit = opts.OnEmit
+	n := g.NumRels()
+	if n == 0 {
+		return nil, b.Stats, errEmpty
+	}
+	b.Init()
+	s := &solver{g: g, b: b}
+
+	for v := n - 1; v >= 0; v-- {
+		S := bitset.Single(v)
+		s.emitCmp(S)
+		s.enumerateCsgRec(S, bitset.BelowEq(v))
+	}
+	p, err := b.Final()
+	return p, b.Stats, err
+}
+
+// enumerateCsgRec grows connected subgraphs along the adjacency
+// structure. On simple graphs S1 ∪ N' is connected for every non-empty
+// N' ⊆ N(S1), so no membership test is required.
+func (s *solver) enumerateCsgRec(S1, X bitset.Set) {
+	N := s.g.Neighborhood(S1, X)
+	if N.IsEmpty() {
+		return
+	}
+	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
+		s.emitCmp(S1.Union(n))
+		if n == N {
+			break
+		}
+	}
+	newX := X.Union(N)
+	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
+		s.enumerateCsgRec(S1.Union(n), newX)
+		if n == N {
+			break
+		}
+	}
+}
+
+// emitCmp enumerates all connected complements of the csg S1. Nodes
+// ordered before min(S1) are excluded to avoid duplicate pairs; each
+// complement is grown from its ≺-minimal neighbor.
+func (s *solver) emitCmp(S1 bitset.Set) {
+	X := S1.Union(bitset.BelowEq(S1.Min()))
+	N := s.g.Neighborhood(S1, X)
+	if N.IsEmpty() {
+		return
+	}
+	for v := N.Max(); v >= 0; v = prevElem(N, v) {
+		S2 := bitset.Single(v)
+		s.b.EmitCsgCmp(S1, S2)
+		s.growCmp(S1, S2, X.Union(N.Intersect(bitset.BelowEq(v))))
+	}
+}
+
+// growCmp extends the complement S2; every grown set remains connected
+// and adjacent to S1, so every subset is emitted unconditionally.
+func (s *solver) growCmp(S1, S2, X bitset.Set) {
+	N := s.g.Neighborhood(S2, X)
+	if N.IsEmpty() {
+		return
+	}
+	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
+		s.b.EmitCsgCmp(S1, S2.Union(n))
+		if n == N {
+			break
+		}
+	}
+	newX := X.Union(N)
+	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
+		s.growCmp(S1, S2.Union(n), newX)
+		if n == N {
+			break
+		}
+	}
+}
+
+func prevElem(N bitset.Set, v int) int {
+	below := N.Intersect(bitset.Below(v))
+	if below.IsEmpty() {
+		return -1
+	}
+	return below.Max()
+}
+
+type solverError string
+
+func (e solverError) Error() string { return string(e) }
+
+const errEmpty = solverError("dpccp: empty graph")

@@ -1,0 +1,89 @@
+// Package dpsize implements the size-driven dynamic programming
+// algorithm of Figure 1 of the paper — the Selinger-style enumerator
+// "which still forms the core of state-of-the-art commercial query
+// optimizers like the one of DB2" — extended to hypergraphs.
+//
+// DPsize generates plans in the order of increasing size: for every plan
+// size s it pairs every table entry of size s1 with every entry of size
+// s − s1 and applies two tests, marked (*) in the paper's pseudocode:
+// disjointness and graph connectivity. As the paper's complexity
+// analysis [17] shows, these tests fail far more often than they
+// succeed, which is exactly the overhead the evaluation measures. To
+// deal with hypergraphs, "the pseudocode does not have to be changed:
+// only the second test has to be implemented in such a way that it is
+// capable to deal with hyperedges" (§4.1) — here via
+// hypergraph.ConnectsTo, which understands hypernodes and generalized
+// edges.
+package dpsize
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/cost"
+	"repro/internal/dp"
+	"repro/internal/hypergraph"
+	"repro/internal/plan"
+)
+
+// Options configures a DPsize run. It mirrors core.Options so that the
+// baselines run under identical cost models and filters.
+type Options struct {
+	Model  cost.Model
+	Filter dp.Filter
+	OnEmit func(S1, S2 bitset.Set)
+}
+
+// Solve runs DPsize over g and returns the optimal bushy cross-product-
+// free plan, enumeration statistics, and an error if no plan exists.
+func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
+	b := dp.NewBuilder(g, opts.Model)
+	b.Filter = opts.Filter
+	b.OnEmit = opts.OnEmit
+	n := g.NumRels()
+	if n == 0 {
+		return nil, b.Stats, errEmpty
+	}
+	b.Init()
+
+	// bySize[s] lists the connected subgraphs of size s discovered so
+	// far. Entries of size s are only created while processing plan size
+	// s, so collecting after each round keeps the lists complete.
+	bySize := make([][]bitset.Set, n+1)
+	for i := 0; i < n; i++ {
+		bySize[1] = append(bySize[1], bitset.Single(i))
+	}
+
+	for s := 2; s <= n; s++ { // "for ∀ 1 < s ≤ n ascending: size of plan"
+		for s1 := 1; s1 < s; s1++ { // "size of left subplan"
+			s2 := s - s1
+			for _, S1 := range bySize[s1] {
+				for _, S2 := range bySize[s2] {
+					if !S1.Disjoint(S2) { // (*) "if S1 ∩ S2 ≠ ∅ continue"
+						continue
+					}
+					if !g.ConnectsTo(S1, S2) { // (*) hyperedge-capable test
+						continue
+					}
+					// The s1/s2 double loop visits each unordered pair in
+					// both orientations; EmitCsgCmp prices both sides of
+					// commutative operators itself, so emit once.
+					if S1.Min() < S2.Min() {
+						b.EmitCsgCmp(S1, S2)
+					}
+				}
+			}
+		}
+		for S := range b.Table {
+			if S.Len() == s {
+				bySize[s] = append(bySize[s], S)
+			}
+		}
+	}
+	p, err := b.Final()
+	return p, b.Stats, err
+}
+
+type solverError string
+
+func (e solverError) Error() string { return string(e) }
+
+const errEmpty = solverError("dpsize: empty hypergraph")

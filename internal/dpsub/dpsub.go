@@ -1,0 +1,76 @@
+// Package dpsub implements the subset-driven dynamic programming
+// enumerator (§4.1): for every relation set S in ascending integer order
+// it generates all subsets S1 ⊂ S with the Vance–Maier procedure, joins
+// the best plans for S1 and S2 = S ∖ S1, and tests that (S1,S2) is a
+// csg-cmp-pair. The subset tests fail massively on sparse query graphs —
+// DPsub touches all 2^n subsets and, for each, all 2^|S| partitions
+// (Θ(3^n) total) regardless of how few of them are connected — which is
+// why the paper's evaluation shows it losing to DPhyp everywhere and to
+// DPsize on large cycles, while winning over DPsize on stars.
+//
+// As with DPsize, hypergraph support needs no structural change: only
+// the connectivity test must understand hyperedges (§4.1).
+package dpsub
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/cost"
+	"repro/internal/dp"
+	"repro/internal/hypergraph"
+	"repro/internal/plan"
+)
+
+// Options mirrors the options of the other enumerators.
+type Options struct {
+	Model  cost.Model
+	Filter dp.Filter
+	OnEmit func(S1, S2 bitset.Set)
+}
+
+// Solve runs DPsub over g.
+func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
+	b := dp.NewBuilder(g, opts.Model)
+	b.Filter = opts.Filter
+	b.OnEmit = opts.OnEmit
+	n := g.NumRels()
+	if n == 0 {
+		return nil, b.Stats, errEmpty
+	}
+	b.Init()
+
+	all := g.AllNodes()
+	// Ascending integer order enumerates every proper subset of S before
+	// S itself, so the DP order is respected.
+	for S := bitset.Empty.NextSubset(all); ; S = S.NextSubset(all) {
+		if S.Len() >= 2 {
+			// "DPsub generates all subsets S1 ⊂ S and joins the best
+			// plans for S1 and S2 = S ∖ S1."
+			for S1 := bitset.Empty.NextSubset(S); S1 != S; S1 = S1.NextSubset(S) {
+				S2 := S.Minus(S1)
+				if b.Best(S1) == nil || b.Best(S2) == nil {
+					continue // one side is not a connected subgraph
+				}
+				if !g.ConnectsTo(S1, S2) {
+					continue
+				}
+				// Both orientations appear in the subset loop; emit the
+				// normalized one (EmitCsgCmp prices commutative operators
+				// in both directions itself).
+				if S1.Min() < S2.Min() {
+					b.EmitCsgCmp(S1, S2)
+				}
+			}
+		}
+		if S == all {
+			break
+		}
+	}
+	p, err := b.Final()
+	return p, b.Stats, err
+}
+
+type solverError string
+
+func (e solverError) Error() string { return string(e) }
+
+const errEmpty = solverError("dpsub: empty hypergraph")

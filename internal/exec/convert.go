@@ -1,0 +1,136 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+	"repro/internal/optree"
+	"repro/internal/plan"
+)
+
+// DB binds relation indices to row sources.
+type DB struct {
+	Sources []Source
+}
+
+// FromOpTree converts an initial operator tree into an executable plan.
+// Each operator applies exactly its own predicate (the payload of its
+// Predicate), which defines the query's reference semantics.
+func FromOpTree(n *optree.Node, db *DB) (*Plan, error) {
+	if n.IsLeaf() {
+		if n.Rel >= len(db.Sources) || db.Sources[n.Rel] == nil {
+			return nil, fmt.Errorf("exec: no source for relation %d", n.Rel)
+		}
+		return NewLeaf(db.Sources[n.Rel]), nil
+	}
+	left, err := FromOpTree(n.Left, db)
+	if err != nil {
+		return nil, err
+	}
+	right, err := FromOpTree(n.Right, db)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := specOf(n.Pred.Payload)
+	if err != nil {
+		return nil, err
+	}
+	// If the right side contains dependent tables bound by the left, the
+	// initial tree's operator is evaluated dependently (the initial tree
+	// writes R ⋈ S(R) with a regular operator; evaluation is dependent by
+	// nature, cf. the §5.6 equivalences).
+	op := n.Op
+	if dependsOnSibling(n.Right, n.Left, db) {
+		op = op.DependentVariant()
+		if !op.Valid() {
+			return nil, fmt.Errorf("exec: operator %v cannot be made dependent", n.Op)
+		}
+	}
+	return NewJoin(op, left, right, spec), nil
+}
+
+// dependsOnSibling reports whether some dependent table under sub reads
+// columns of relations under sibling.
+func dependsOnSibling(sub, sibling *optree.Node, db *DB) bool {
+	sibs := map[int]bool{}
+	var collect func(n *optree.Node)
+	collect = func(n *optree.Node) {
+		if n.IsLeaf() {
+			sibs[n.Rel] = true
+			return
+		}
+		collect(n.Left)
+		collect(n.Right)
+	}
+	collect(sibling)
+
+	found := false
+	var walk func(n *optree.Node)
+	walk = func(n *optree.Node) {
+		if n.IsLeaf() {
+			if dt, ok := db.Sources[n.Rel].(*DepTable); ok {
+				for _, c := range dt.Needs {
+					if sibs[c.Rel] {
+						found = true
+					}
+				}
+			}
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(sub)
+	return found
+}
+
+// FromPlan converts an optimizer plan into an executable plan. The
+// predicates applied at each node are the payloads of the hypergraph
+// edges the optimizer assigned there (plan.Node.Edges), conjoined into
+// the operator's join condition.
+func FromPlan(p *plan.Node, g *hypergraph.Graph, db *DB) (*Plan, error) {
+	if p.IsLeaf() {
+		if p.Rel >= len(db.Sources) || db.Sources[p.Rel] == nil {
+			return nil, fmt.Errorf("exec: no source for relation %d", p.Rel)
+		}
+		return NewLeaf(db.Sources[p.Rel]), nil
+	}
+	left, err := FromPlan(p.Left, g, db)
+	if err != nil {
+		return nil, err
+	}
+	right, err := FromPlan(p.Right, g, db)
+	if err != nil {
+		return nil, err
+	}
+	var spec JoinSpec
+	for _, ei := range p.Edges {
+		s, err := specOf(g.Edge(ei).Payload)
+		if err != nil {
+			return nil, fmt.Errorf("edge %d: %w", ei, err)
+		}
+		spec.Preds = append(spec.Preds, s.Preds...)
+		if s.Agg != nil {
+			if spec.Agg != nil {
+				return nil, fmt.Errorf("exec: two aggregates at one plan node")
+			}
+			spec.Agg = s.Agg
+		}
+	}
+	return NewJoin(p.Op, left, right, spec), nil
+}
+
+func specOf(payload any) (JoinSpec, error) {
+	switch v := payload.(type) {
+	case nil:
+		return JoinSpec{}, nil // e.g. selectivity-1 cross repair edges
+	case JoinSpec:
+		return v, nil
+	case *JoinSpec:
+		return *v, nil
+	case Pred:
+		return JoinSpec{Preds: []Pred{v}}, nil
+	default:
+		return JoinSpec{}, fmt.Errorf("exec: unsupported predicate payload %T", payload)
+	}
+}

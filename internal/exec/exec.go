@@ -1,0 +1,515 @@
+// Package exec is a small in-memory tuple engine that evaluates both
+// initial operator trees and optimized plans, so the repository can
+// verify — not merely assert — that every reordering the optimizer
+// produces computes the same result as the original query.
+//
+// The engine implements all binary operators of §5.1: inner join, left
+// and full outer join (with NULL padding), left semijoin and antijoin,
+// the nestjoin (binary grouping with aggregate expressions), and all
+// dependent counterparts (the right side is re-evaluated per left tuple
+// under a binding, as in the d-join R C S(R)).
+//
+// Predicates follow the §5.2 assumption that "all predicates are strong
+// on all tables": the provided SumEq predicate evaluates to false as soon
+// as any referenced attribute is NULL, so NULL-padded tuples never join.
+//
+// Everything is deliberately simple nested-loops evaluation — the engine
+// exists for correctness checking and examples, not performance.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/algebra"
+)
+
+// Value is a nullable 64-bit integer.
+type Value struct {
+	Int  int64
+	Null bool
+}
+
+// NullValue is the SQL NULL used for outer-join padding.
+var NullValue = Value{Null: true}
+
+// V is shorthand for a non-null value.
+func V(i int64) Value { return Value{Int: i} }
+
+func (v Value) String() string {
+	if v.Null {
+		return "NULL"
+	}
+	return fmt.Sprintf("%d", v.Int)
+}
+
+// ColID identifies a column. Rel ≥ 0 names a column of a base relation
+// (or dependent table); Rel < 0 identifies computed columns such as
+// nestjoin aggregates (by convention Rel = -1-k for the k-th aggregate).
+type ColID struct {
+	Rel, Col int
+}
+
+func (c ColID) String() string {
+	if c.Rel < 0 {
+		return fmt.Sprintf("agg%d", -1-c.Rel)
+	}
+	return fmt.Sprintf("R%d.c%d", c.Rel, c.Col)
+}
+
+// AggCol returns the ColID of the k-th nestjoin aggregate column.
+func AggCol(k int) ColID { return ColID{Rel: -1 - k} }
+
+// Row is one tuple.
+type Row []Value
+
+// Rel is a materialized intermediate result: a schema plus rows.
+type Rel struct {
+	Cols []ColID
+	Rows []Row
+}
+
+// index maps the schema to positions for predicate evaluation.
+func (r *Rel) index() map[ColID]int {
+	m := make(map[ColID]int, len(r.Cols))
+	for i, c := range r.Cols {
+		m[c] = i
+	}
+	return m
+}
+
+// Canonical renders the relation as a sorted multiset fingerprint:
+// columns ordered by ColID, rows sorted lexicographically. Two results
+// are equivalent iff their fingerprints match, independent of column or
+// row order.
+func (r *Rel) Canonical() string {
+	perm := make([]int, len(r.Cols))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		ca, cb := r.Cols[perm[a]], r.Cols[perm[b]]
+		if ca.Rel != cb.Rel {
+			return ca.Rel < cb.Rel
+		}
+		return ca.Col < cb.Col
+	})
+	lines := make([]string, 0, len(r.Rows)+1)
+	var hdr strings.Builder
+	for _, p := range perm {
+		hdr.WriteString(r.Cols[p].String())
+		hdr.WriteByte('|')
+	}
+	rows := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		var b strings.Builder
+		for _, p := range perm {
+			b.WriteString(row[p].String())
+			b.WriteByte('|')
+		}
+		rows[i] = b.String()
+	}
+	sort.Strings(rows)
+	lines = append(lines, hdr.String())
+	lines = append(lines, rows...)
+	return strings.Join(lines, "\n")
+}
+
+// Equal reports multiset equality of two results up to column order.
+func Equal(a, b *Rel) bool { return a.Canonical() == b.Canonical() }
+
+// Binding carries the outer tuple context for dependent evaluation.
+// A nil *Binding is the empty context.
+type Binding struct {
+	parent *Binding
+	cols   []ColID
+	row    Row
+}
+
+// Extend returns a child binding with the given columns bound.
+func (b *Binding) Extend(cols []ColID, row Row) *Binding {
+	return &Binding{parent: b, cols: cols, row: row}
+}
+
+// Lookup finds a bound column value.
+func (b *Binding) Lookup(c ColID) (Value, bool) {
+	for cur := b; cur != nil; cur = cur.parent {
+		for i, cc := range cur.cols {
+			if cc == c {
+				return cur.row[i], true
+			}
+		}
+	}
+	return Value{}, false
+}
+
+// Source provides the rows of a leaf.
+type Source interface {
+	// Columns returns the leaf's schema.
+	Columns() []ColID
+	// Rows materializes the rows under the given outer binding.
+	Rows(b *Binding) ([]Row, error)
+}
+
+// BaseTable is an ordinary stored relation.
+type BaseTable struct {
+	RelID   int
+	NumCols int
+	Data    []Row
+}
+
+// Columns implements Source.
+func (t *BaseTable) Columns() []ColID { return relCols(t.RelID, t.NumCols) }
+
+// Rows implements Source.
+func (t *BaseTable) Rows(*Binding) ([]Row, error) { return t.Data, nil }
+
+// DepTable is a table-valued expression with free variables (§5.6's
+// S(R)): its rows are a function of the bound outer columns.
+type DepTable struct {
+	RelID   int
+	NumCols int
+	// Needs lists the outer columns the function reads; evaluation fails
+	// if any is unbound, which catches invalid plans that evaluate a
+	// dependent expression before its provider.
+	Needs []ColID
+	Fn    func(args []Value) []Row
+}
+
+// Columns implements Source.
+func (t *DepTable) Columns() []ColID { return relCols(t.RelID, t.NumCols) }
+
+// Rows implements Source.
+func (t *DepTable) Rows(b *Binding) ([]Row, error) {
+	args := make([]Value, len(t.Needs))
+	for i, c := range t.Needs {
+		v, ok := b.Lookup(c)
+		if !ok {
+			return nil, fmt.Errorf("exec: dependent table R%d evaluated without binding for %v", t.RelID, c)
+		}
+		args[i] = v
+	}
+	return t.Fn(args), nil
+}
+
+func relCols(rel, n int) []ColID {
+	cols := make([]ColID, n)
+	for i := range cols {
+		cols[i] = ColID{Rel: rel, Col: i}
+	}
+	return cols
+}
+
+// Pred is a join predicate over a concatenated row.
+type Pred interface {
+	// Eval returns the truth of the predicate; NULL semantics collapse
+	// unknown to false (strong predicates, §5.2).
+	Eval(idx map[ColID]int, row Row) (bool, error)
+	fmt.Stringer
+}
+
+// SumEq is the predicate family used throughout the repository:
+// sum(Left columns) = sum(Right columns). With a single column per side
+// it is an ordinary equi-join predicate; with several it is the complex
+// predicate of §1/§6 (e.g. R1.a + R2.b + R3.c = R4.d + R5.e + R6.f) that
+// induces a true hyperedge.
+type SumEq struct {
+	Left, Right []ColID
+}
+
+// Eval implements Pred. Any NULL input makes the predicate false, so it
+// is strong w.r.t. every referenced table.
+func (p SumEq) Eval(idx map[ColID]int, row Row) (bool, error) {
+	sum := func(cols []ColID) (int64, bool, error) {
+		var s int64
+		for _, c := range cols {
+			pos, ok := idx[c]
+			if !ok {
+				return 0, false, fmt.Errorf("exec: predicate column %v not in scope", c)
+			}
+			v := row[pos]
+			if v.Null {
+				return 0, true, nil
+			}
+			s += v.Int
+		}
+		return s, false, nil
+	}
+	l, lnull, err := sum(p.Left)
+	if err != nil {
+		return false, err
+	}
+	r, rnull, err := sum(p.Right)
+	if err != nil {
+		return false, err
+	}
+	if lnull || rnull {
+		return false, nil
+	}
+	return l == r, nil
+}
+
+func (p SumEq) String() string {
+	f := func(cols []ColID) string {
+		parts := make([]string, len(cols))
+		for i, c := range cols {
+			parts[i] = c.String()
+		}
+		return strings.Join(parts, "+")
+	}
+	return f(p.Left) + " = " + f(p.Right)
+}
+
+// AggKind selects the nestjoin aggregate function.
+type AggKind int
+
+// Aggregate kinds.
+const (
+	Count AggKind = iota // number of matching right tuples
+	Sum                  // sum of one right column over the group
+)
+
+// Agg is a nestjoin aggregate specification: one a_i : e_i pair of §5.1
+// (the common case of a single aggregate function call).
+type Agg struct {
+	Out  ColID // computed output column
+	Kind AggKind
+	Arg  ColID // summed column (Sum only)
+}
+
+// apply folds the aggregate over the group g(r) of matching right rows.
+// An empty group yields COUNT = 0 and SUM = NULL, matching SQL.
+func (a *Agg) apply(idx map[ColID]int, group []Row) (Value, error) {
+	switch a.Kind {
+	case Count:
+		return V(int64(len(group))), nil
+	case Sum:
+		if len(group) == 0 {
+			return NullValue, nil
+		}
+		pos, ok := idx[a.Arg]
+		if !ok {
+			return Value{}, fmt.Errorf("exec: aggregate column %v not in scope", a.Arg)
+		}
+		var s int64
+		for _, r := range group {
+			if r[pos].Null {
+				continue
+			}
+			s += r[pos].Int
+		}
+		return V(s), nil
+	}
+	return Value{}, fmt.Errorf("exec: unknown aggregate kind %d", a.Kind)
+}
+
+// JoinSpec is the payload attached to optree predicates and hypergraph
+// edges: the executable predicates plus an optional nestjoin aggregate.
+type JoinSpec struct {
+	Preds []Pred
+	Agg   *Agg
+}
+
+// Plan is an executable operator tree. Leaves have a Source; inner nodes
+// have an operator, children, predicates, and (for nestjoins) an
+// aggregate.
+type Plan struct {
+	Op          algebra.Op
+	Left, Right *Plan
+	Leaf        Source
+	Preds       []Pred
+	Agg         *Agg
+}
+
+// NewLeaf wraps a source.
+func NewLeaf(s Source) *Plan { return &Plan{Leaf: s} }
+
+// NewJoin builds an operator node.
+func NewJoin(op algebra.Op, l, r *Plan, spec JoinSpec) *Plan {
+	return &Plan{Op: op, Left: l, Right: r, Preds: spec.Preds, Agg: spec.Agg}
+}
+
+// Run evaluates the plan with an empty outer binding.
+func Run(p *Plan) (*Rel, error) { return eval(p, nil) }
+
+func eval(p *Plan, b *Binding) (*Rel, error) {
+	if p.Leaf != nil {
+		rows, err := p.Leaf.Rows(b)
+		if err != nil {
+			return nil, err
+		}
+		return &Rel{Cols: p.Leaf.Columns(), Rows: rows}, nil
+	}
+	left, err := eval(p.Left, b)
+	if err != nil {
+		return nil, err
+	}
+	if p.Op.Dependent() {
+		return evalDependent(p, b, left)
+	}
+	right, err := eval(p.Right, b)
+	if err != nil {
+		return nil, err
+	}
+	return combine(p.Op.RegularVariant(), left, right, p.Preds, p.Agg)
+}
+
+// evalDependent re-evaluates the right subtree once per left tuple, with
+// the left tuple bound (R C S(R) semantics, §5.1).
+func evalDependent(p *Plan, b *Binding, left *Rel) (*Rel, error) {
+	op := p.Op.RegularVariant()
+	var out *Rel
+	for _, lrow := range left.Rows {
+		b2 := b.Extend(left.Cols, lrow)
+		right, err := eval(p.Right, b2)
+		if err != nil {
+			return nil, err
+		}
+		part, err := combine(op, &Rel{Cols: left.Cols, Rows: []Row{lrow}}, right, p.Preds, p.Agg)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = &Rel{Cols: part.Cols}
+		}
+		out.Rows = append(out.Rows, part.Rows...)
+	}
+	if out == nil {
+		// Empty left input: derive the schema without rows.
+		right, err := eval(p.Right, b.Extend(left.Cols, makeNullRow(len(left.Cols))))
+		if err != nil {
+			// The schema is still known even if the probe fails.
+			right = &Rel{Cols: p.Right.columns()}
+		}
+		part, err := combine(op, &Rel{Cols: left.Cols}, right, p.Preds, p.Agg)
+		if err != nil {
+			return nil, err
+		}
+		return part, nil
+	}
+	return out, nil
+}
+
+func makeNullRow(n int) Row {
+	r := make(Row, n)
+	for i := range r {
+		r[i] = NullValue
+	}
+	return r
+}
+
+// columns derives the output schema of a plan without evaluating it.
+func (p *Plan) columns() []ColID {
+	if p.Leaf != nil {
+		return p.Leaf.Columns()
+	}
+	l := p.Left.columns()
+	switch p.Op.RegularVariant() {
+	case algebra.SemiJoin, algebra.AntiJoin:
+		return l
+	case algebra.NestJoin:
+		return append(append([]ColID{}, l...), p.Agg.Out)
+	default:
+		return append(append([]ColID{}, l...), p.Right.columns()...)
+	}
+}
+
+// combine evaluates one regular binary operator by nested loops.
+func combine(op algebra.Op, left, right *Rel, preds []Pred, agg *Agg) (*Rel, error) {
+	concatCols := append(append([]ColID{}, left.Cols...), right.Cols...)
+	idx := (&Rel{Cols: concatCols}).index()
+
+	match := func(lrow, rrow Row) (bool, error) {
+		row := append(append(Row{}, lrow...), rrow...)
+		for _, p := range preds {
+			ok, err := p.Eval(idx, row)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	switch op {
+	case algebra.Join, algebra.LeftOuter, algebra.FullOuter:
+		out := &Rel{Cols: concatCols}
+		rightMatched := make([]bool, len(right.Rows))
+		for _, lrow := range left.Rows {
+			found := false
+			for ri, rrow := range right.Rows {
+				ok, err := match(lrow, rrow)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					found = true
+					rightMatched[ri] = true
+					out.Rows = append(out.Rows, concat(lrow, rrow))
+				}
+			}
+			if !found && (op == algebra.LeftOuter || op == algebra.FullOuter) {
+				out.Rows = append(out.Rows, concat(lrow, makeNullRow(len(right.Cols))))
+			}
+		}
+		if op == algebra.FullOuter {
+			for ri, rrow := range right.Rows {
+				if !rightMatched[ri] {
+					out.Rows = append(out.Rows, concat(makeNullRow(len(left.Cols)), rrow))
+				}
+			}
+		}
+		return out, nil
+
+	case algebra.SemiJoin, algebra.AntiJoin:
+		out := &Rel{Cols: left.Cols}
+		for _, lrow := range left.Rows {
+			found := false
+			for _, rrow := range right.Rows {
+				ok, err := match(lrow, rrow)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					found = true
+					break
+				}
+			}
+			if found == (op == algebra.SemiJoin) {
+				out.Rows = append(out.Rows, lrow)
+			}
+		}
+		return out, nil
+
+	case algebra.NestJoin:
+		if agg == nil {
+			return nil, fmt.Errorf("exec: nestjoin without aggregate specification")
+		}
+		out := &Rel{Cols: append(append([]ColID{}, left.Cols...), agg.Out)}
+		rightIdx := right.index()
+		for _, lrow := range left.Rows {
+			var group []Row
+			for _, rrow := range right.Rows {
+				ok, err := match(lrow, rrow)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					group = append(group, rrow)
+				}
+			}
+			v, err := agg.apply(rightIdx, group)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, append(append(Row{}, lrow...), v))
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("exec: unsupported operator %v", op)
+}
+
+func concat(a, b Row) Row { return append(append(Row{}, a...), b...) }

@@ -1,0 +1,328 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+)
+
+// rows builds single-column rows from ints.
+func rows1(vals ...int64) []Row {
+	out := make([]Row, len(vals))
+	for i, v := range vals {
+		out[i] = Row{V(v)}
+	}
+	return out
+}
+
+func table(rel int, vals ...int64) *BaseTable {
+	return &BaseTable{RelID: rel, NumCols: 1, Data: rows1(vals...)}
+}
+
+func eq(a, b ColID) Pred { return SumEq{Left: []ColID{a}, Right: []ColID{b}} }
+
+func col(rel int) ColID { return ColID{Rel: rel, Col: 0} }
+
+func mustRun(t *testing.T, p *Plan) *Rel {
+	t.Helper()
+	r, err := Run(p)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return r
+}
+
+func joinSpec(rels ...int) JoinSpec {
+	return JoinSpec{Preds: []Pred{eq(col(rels[0]), col(rels[1]))}}
+}
+
+func TestInnerJoin(t *testing.T) {
+	p := NewJoin(algebra.Join,
+		NewLeaf(table(0, 1, 2, 3)),
+		NewLeaf(table(1, 2, 2, 4)),
+		joinSpec(0, 1))
+	r := mustRun(t, p)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (value 2 matches twice)", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row[0].Int != 2 || row[1].Int != 2 {
+			t.Errorf("row = %v", row)
+		}
+	}
+}
+
+func TestLeftOuterJoin(t *testing.T) {
+	p := NewJoin(algebra.LeftOuter,
+		NewLeaf(table(0, 1, 2)),
+		NewLeaf(table(1, 2)),
+		joinSpec(0, 1))
+	r := mustRun(t, p)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(r.Rows))
+	}
+	var padded, matched int
+	for _, row := range r.Rows {
+		if row[1].Null {
+			padded++
+			if row[0].Int != 1 {
+				t.Errorf("padded row = %v", row)
+			}
+		} else {
+			matched++
+		}
+	}
+	if padded != 1 || matched != 1 {
+		t.Errorf("padded=%d matched=%d", padded, matched)
+	}
+}
+
+func TestFullOuterJoin(t *testing.T) {
+	p := NewJoin(algebra.FullOuter,
+		NewLeaf(table(0, 1, 2)),
+		NewLeaf(table(1, 2, 3)),
+		joinSpec(0, 1))
+	r := mustRun(t, p)
+	// 1 matched (2=2), left 1 padded, right 3 padded.
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3:\n%s", len(r.Rows), r.Canonical())
+	}
+	var leftPad, rightPad int
+	for _, row := range r.Rows {
+		if row[0].Null {
+			leftPad++
+		}
+		if row[1].Null {
+			rightPad++
+		}
+	}
+	if leftPad != 1 || rightPad != 1 {
+		t.Errorf("leftPad=%d rightPad=%d", leftPad, rightPad)
+	}
+}
+
+func TestSemiAndAntiJoin(t *testing.T) {
+	mk := func(op algebra.Op) *Rel {
+		return mustRun(t, NewJoin(op,
+			NewLeaf(table(0, 1, 2, 2, 3)),
+			NewLeaf(table(1, 2, 2)),
+			joinSpec(0, 1)))
+	}
+	semi := mk(algebra.SemiJoin)
+	// Semijoin keeps each matching left row once, no duplicates from
+	// multiple partners.
+	if len(semi.Rows) != 2 {
+		t.Fatalf("semi rows = %d, want 2", len(semi.Rows))
+	}
+	if len(semi.Cols) != 1 {
+		t.Error("semijoin must project to left columns")
+	}
+	anti := mk(algebra.AntiJoin)
+	if len(anti.Rows) != 2 {
+		t.Fatalf("anti rows = %d, want 2 (values 1 and 3)", len(anti.Rows))
+	}
+	for _, row := range anti.Rows {
+		if row[0].Int == 2 {
+			t.Error("antijoin kept a matching row")
+		}
+	}
+}
+
+func TestNestJoinCount(t *testing.T) {
+	agg := &Agg{Out: AggCol(0), Kind: Count}
+	p := NewJoin(algebra.NestJoin,
+		NewLeaf(table(0, 1, 2)),
+		NewLeaf(table(1, 2, 2, 5)),
+		JoinSpec{Preds: []Pred{eq(col(0), col(1))}, Agg: agg})
+	r := mustRun(t, p)
+	// Exactly one output row per left row (§5.1).
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(r.Rows))
+	}
+	counts := map[int64]int64{}
+	for _, row := range r.Rows {
+		counts[row[0].Int] = row[1].Int
+	}
+	if counts[1] != 0 || counts[2] != 2 {
+		t.Errorf("counts = %v, want 1->0, 2->2", counts)
+	}
+}
+
+func TestNestJoinSum(t *testing.T) {
+	right := &BaseTable{RelID: 1, NumCols: 2, Data: []Row{
+		{V(2), V(10)}, {V(2), V(20)}, {V(9), V(99)},
+	}}
+	agg := &Agg{Out: AggCol(0), Kind: Sum, Arg: ColID{Rel: 1, Col: 1}}
+	p := NewJoin(algebra.NestJoin,
+		NewLeaf(table(0, 1, 2)),
+		NewLeaf(right),
+		JoinSpec{Preds: []Pred{eq(col(0), col(1))}, Agg: agg})
+	r := mustRun(t, p)
+	sums := map[int64]Value{}
+	for _, row := range r.Rows {
+		sums[row[0].Int] = row[1]
+	}
+	if !sums[1].Null {
+		t.Errorf("empty group sum = %v, want NULL", sums[1])
+	}
+	if sums[2].Null || sums[2].Int != 30 {
+		t.Errorf("sum = %v, want 30", sums[2])
+	}
+}
+
+func TestNestJoinWithoutAggFails(t *testing.T) {
+	p := NewJoin(algebra.NestJoin, NewLeaf(table(0, 1)), NewLeaf(table(1, 1)),
+		JoinSpec{Preds: []Pred{eq(col(0), col(1))}})
+	if _, err := Run(p); err == nil {
+		t.Error("nestjoin without aggregate must fail")
+	}
+}
+
+// Strong predicates: NULL-padded tuples never join (§5.2). An inner join
+// stacked on a left outer join must drop the padded rows.
+func TestStrongPredicateDropsPadded(t *testing.T) {
+	lo := NewJoin(algebra.LeftOuter,
+		NewLeaf(table(0, 1, 2)),
+		NewLeaf(table(1, 2)),
+		joinSpec(0, 1))
+	top := NewJoin(algebra.Join, lo, NewLeaf(table(2, 1, 2)), joinSpec(1, 2))
+	r := mustRun(t, top)
+	// Only the (2,2) row survives to join with R2's 2.
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1:\n%s", len(r.Rows), r.Canonical())
+	}
+	if r.Rows[0][0].Int != 2 {
+		t.Errorf("row = %v", r.Rows[0])
+	}
+}
+
+func TestComplexSumPredicate(t *testing.T) {
+	// R0.c0 + R1.c0 = R2.c0: a true hyperedge predicate.
+	j01 := NewJoin(algebra.Join, NewLeaf(table(0, 1, 2)), NewLeaf(table(1, 3, 4)), JoinSpec{})
+	_ = j01
+	pred := SumEq{Left: []ColID{col(0), col(1)}, Right: []ColID{col(2)}}
+	top := NewJoin(algebra.Join,
+		NewJoin(algebra.Join, NewLeaf(table(0, 1, 2)), NewLeaf(table(1, 3, 4)), JoinSpec{}),
+		NewLeaf(table(2, 4, 5, 100)),
+		JoinSpec{Preds: []Pred{pred}})
+	r := mustRun(t, top)
+	// Pairs: (1,3)->4 ✓, (1,4)->5 ✓, (2,3)->5 ✓, (2,4)->6 ✗. So 3 rows.
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3:\n%s", len(r.Rows), r.Canonical())
+	}
+}
+
+func TestDependentJoin(t *testing.T) {
+	// S(r) = {r, r+1} for each outer tuple r of R0.
+	dep := &DepTable{
+		RelID:   1,
+		NumCols: 1,
+		Needs:   []ColID{col(0)},
+		Fn: func(args []Value) []Row {
+			if args[0].Null {
+				return nil
+			}
+			v := args[0].Int
+			return rows1(v, v+1)
+		},
+	}
+	p := NewJoin(algebra.DepJoin,
+		NewLeaf(table(0, 10, 20)),
+		NewLeaf(dep),
+		JoinSpec{}) // no predicate: d-join with p = true
+	r := mustRun(t, p)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4:\n%s", len(r.Rows), r.Canonical())
+	}
+}
+
+func TestDependentSemiAndAnti(t *testing.T) {
+	// S(r) non-empty iff r is even.
+	dep := &DepTable{
+		RelID:   1,
+		NumCols: 1,
+		Needs:   []ColID{col(0)},
+		Fn: func(args []Value) []Row {
+			if args[0].Null || args[0].Int%2 != 0 {
+				return nil
+			}
+			return rows1(args[0].Int)
+		},
+	}
+	semi := mustRun(t, NewJoin(algebra.DepSemiJoin,
+		NewLeaf(table(0, 1, 2, 3, 4)), NewLeaf(dep), JoinSpec{}))
+	if len(semi.Rows) != 2 {
+		t.Errorf("dep semijoin rows = %d, want 2", len(semi.Rows))
+	}
+	anti := mustRun(t, NewJoin(algebra.DepAntiJoin,
+		NewLeaf(table(0, 1, 2, 3, 4)), NewLeaf(dep), JoinSpec{}))
+	if len(anti.Rows) != 2 {
+		t.Errorf("dep antijoin rows = %d, want 2", len(anti.Rows))
+	}
+}
+
+func TestUnboundDependentTableFails(t *testing.T) {
+	dep := &DepTable{
+		RelID: 1, NumCols: 1, Needs: []ColID{col(0)},
+		Fn: func([]Value) []Row { return nil },
+	}
+	// Regular join: the dependent table is evaluated without a binding.
+	p := NewJoin(algebra.Join, NewLeaf(dep), NewLeaf(table(0, 1)), JoinSpec{})
+	if _, err := Run(p); err == nil {
+		t.Error("unbound dependent table must fail")
+	}
+}
+
+func TestCanonicalEquality(t *testing.T) {
+	a := &Rel{Cols: []ColID{col(0), col(1)}, Rows: []Row{{V(1), V(2)}, {V(3), V(4)}}}
+	// Same multiset, different column and row order.
+	b := &Rel{Cols: []ColID{col(1), col(0)}, Rows: []Row{{V(4), V(3)}, {V(2), V(1)}}}
+	if !Equal(a, b) {
+		t.Error("results must be equal up to column and row order")
+	}
+	c := &Rel{Cols: []ColID{col(0), col(1)}, Rows: []Row{{V(1), V(2)}}}
+	if Equal(a, c) {
+		t.Error("different multisets must differ")
+	}
+	// Duplicates matter.
+	d := &Rel{Cols: []ColID{col(0), col(1)}, Rows: []Row{{V(1), V(2)}, {V(1), V(2)}}}
+	e := &Rel{Cols: []ColID{col(0), col(1)}, Rows: []Row{{V(1), V(2)}}}
+	if Equal(d, e) {
+		t.Error("multiset cardinality must matter")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	empty := table(0)
+	r := mustRun(t, NewJoin(algebra.LeftOuter, NewLeaf(empty), NewLeaf(table(1, 1)), joinSpec(0, 1)))
+	if len(r.Rows) != 0 {
+		t.Error("left outer join of empty left must be empty (left linearity, Def. 5)")
+	}
+	r2 := mustRun(t, NewJoin(algebra.FullOuter, NewLeaf(empty), NewLeaf(table(1, 7)), joinSpec(0, 1)))
+	if len(r2.Rows) != 1 || !r2.Rows[0][0].Null {
+		t.Errorf("full outer join must preserve the right side: %v", r2.Rows)
+	}
+}
+
+func TestPredicateOutOfScope(t *testing.T) {
+	p := NewJoin(algebra.Join, NewLeaf(table(0, 1)), NewLeaf(table(1, 1)),
+		JoinSpec{Preds: []Pred{eq(col(0), col(9))}})
+	if _, err := Run(p); err == nil {
+		t.Error("out-of-scope predicate column must fail")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if NullValue.String() != "NULL" || V(42).String() != "42" {
+		t.Error("value rendering")
+	}
+	if AggCol(0).String() != "agg0" {
+		t.Errorf("AggCol = %q", AggCol(0).String())
+	}
+	if col(1).String() != "R1.c0" {
+		t.Errorf("col = %q", col(1).String())
+	}
+	if (SumEq{Left: []ColID{col(0)}, Right: []ColID{col(1)}}).String() != "R0.c0 = R1.c0" {
+		t.Error("SumEq rendering")
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestAllSeriesWellFormed(t *testing.T) {
+	for _, set := range [][]Series{All(), Quick()} {
+		ids := map[string]bool{}
+		for _, s := range set {
+			if s.ID == "" || s.Title == "" || s.XLabel == "" {
+				t.Errorf("series %q missing metadata", s.ID)
+			}
+			if ids[s.ID] {
+				t.Errorf("duplicate id %q", s.ID)
+			}
+			ids[s.ID] = true
+			if len(s.Xs) == 0 || len(s.Algs) == 0 {
+				t.Errorf("series %q has no sweep or algorithms", s.ID)
+			}
+		}
+	}
+}
+
+// Every experiment covers the paper's evaluation: two tables, Figs 5–7,
+// and the two Fig. 8 experiments.
+func TestFullSuiteCoverage(t *testing.T) {
+	want := []string{
+		"table-cycle4", "table-star4",
+		"fig5-cycle8", "fig5-cycle16",
+		"fig6-star8", "fig6-star16",
+		"fig7-star-regular", "fig8a-antijoin", "fig8b-outerjoin",
+	}
+	for _, id := range want {
+		if _, ok := ByID(All(), id); !ok {
+			t.Errorf("full suite missing %s", id)
+		}
+	}
+	if _, ok := ByID(All(), "nope"); ok {
+		t.Error("ByID must reject unknown ids")
+	}
+}
+
+// Smoke-run every cell of the quick suite at its smallest sweep value,
+// and every algorithm of the cheap series across the whole sweep:
+// runners must succeed and produce consistent plan costs across
+// algorithms of the same series.
+func TestQuickRunnersExecute(t *testing.T) {
+	for _, s := range Quick() {
+		xs := []int{s.Xs[0]}
+		cheap := len(s.Xs) <= 4
+		if cheap {
+			xs = s.Xs
+		}
+		for _, x := range xs {
+			var costs []float64
+			for _, alg := range s.Algs {
+				p, st, err := s.Make(x, alg)()
+				if err != nil {
+					t.Fatalf("%s x=%d %s: %v", s.ID, x, alg, err)
+				}
+				if st.CsgCmpPairs <= 0 {
+					t.Errorf("%s x=%d %s: no pairs", s.ID, x, alg)
+				}
+				costs = append(costs, p.Cost)
+			}
+			for i := 1; i < len(costs); i++ {
+				if costs[i] != costs[0] {
+					t.Errorf("%s x=%d: algorithm %s cost %g != %g",
+						s.ID, x, s.Algs[i], costs[i], costs[0])
+				}
+			}
+		}
+	}
+}
+
+// The Fig. 8a mechanism must show in the statistics: at high antijoin
+// counts the hypernode formulation enumerates far fewer pairs than the
+// generate-and-test alternative rejects.
+func TestFig8aMechanism(t *testing.T) {
+	s, ok := ByID(Quick(), "fig8a-antijoin-quick")
+	if !ok {
+		t.Fatal("missing fig8a")
+	}
+	k := s.Xs[len(s.Xs)-1] // all antijoins
+	_, hyp, err := s.Make(k, "dphyp-hypernodes")()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tes, err := s.Make(k, "dphyp-tes")()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyp.CsgCmpPairs != k {
+		t.Errorf("hypernodes pairs = %d, want %d (§5.7's O(n))", hyp.CsgCmpPairs, k)
+	}
+	if tes.FilterReject == 0 {
+		t.Error("generate-and-test must reject candidates")
+	}
+}
+
+// The Fig. 8b mechanism: the search space dips when outer joins freeze
+// orderings against inner joins, then grows as outer joins dominate.
+func TestFig8bMechanism(t *testing.T) {
+	s, ok := ByID(Quick(), "fig8b-outerjoin-quick")
+	if !ok {
+		t.Fatal("missing fig8b")
+	}
+	pairs := map[int]int{}
+	for _, k := range []int{0, 1, s.Xs[len(s.Xs)-1]} {
+		_, st, err := s.Make(k, "dphyp")()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs[k] = st.CsgCmpPairs
+	}
+	last := s.Xs[len(s.Xs)-1]
+	if !(pairs[1] < pairs[0]) {
+		t.Errorf("one outer join must shrink the space: %v", pairs)
+	}
+	if !(pairs[last] > pairs[1]) {
+		t.Errorf("all-outer-join cycle must re-grow the space: %v", pairs)
+	}
+}

@@ -1,0 +1,97 @@
+// Package goo implements Greedy Operator Ordering (Fegaras-style greedy
+// join ordering as described in Moerkotte's "Building Query Compilers"
+// [16]): starting from single relations, repeatedly join the pair of
+// connected components whose combination has the smallest estimated
+// cardinality.
+//
+// GOO is not part of the paper's evaluation; it is included as the
+// practical fallback a downstream user needs for queries beyond the
+// reach of exact dynamic programming (the DP table alone is exponential
+// in the number of relations). GOO runs in O(n³) pair inspections, works
+// on arbitrary hypergraphs including TES-derived ones, and produces
+// valid — though not necessarily optimal — bushy plans through the same
+// plan-construction core as the exact algorithms, so operator recovery
+// and dependent-join handling behave identically.
+package goo
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/bitset"
+	"repro/internal/cost"
+	"repro/internal/dp"
+	"repro/internal/hypergraph"
+	"repro/internal/plan"
+)
+
+// Options mirrors the options of the exact enumerators.
+type Options struct {
+	Model  cost.Model
+	Filter dp.Filter
+	OnEmit func(S1, S2 bitset.Set)
+}
+
+// Solve runs greedy operator ordering over g.
+func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
+	b := dp.NewBuilder(g, opts.Model)
+	b.Filter = opts.Filter
+	b.OnEmit = opts.OnEmit
+	n := g.NumRels()
+	if n == 0 {
+		return nil, b.Stats, errEmpty
+	}
+	b.Init()
+
+	comps := make([]bitset.Set, n)
+	for i := 0; i < n; i++ {
+		comps[i] = bitset.Single(i)
+	}
+
+	for len(comps) > 1 {
+		bestI, bestJ := -1, -1
+		bestCard := 0.0
+		for i := 0; i < len(comps); i++ {
+			for j := i + 1; j < len(comps); j++ {
+				if !g.ConnectsTo(comps[i], comps[j]) {
+					continue
+				}
+				// Rank by the inner-join cardinality approximation; the
+				// real operator is recovered when the pair is emitted.
+				ci, cj := b.Best(comps[i]), b.Best(comps[j])
+				card := cost.EstimateCard(algebra.Join, ci.Card, cj.Card,
+					g.SelectivityBetween(comps[i], comps[j]))
+				if bestI < 0 || card < bestCard {
+					bestI, bestJ, bestCard = i, j, card
+				}
+			}
+		}
+		if bestI < 0 {
+			return nil, b.Stats, errDisconnected
+		}
+		s1, s2 := comps[bestI], comps[bestJ]
+		if s1.Min() < s2.Min() {
+			b.EmitCsgCmp(s1, s2)
+		} else {
+			b.EmitCsgCmp(s2, s1)
+		}
+		merged := s1.Union(s2)
+		if b.Best(merged) == nil {
+			// The only candidate pair was rejected (dependency or
+			// filter); greedy has no alternative to fall back to.
+			return nil, b.Stats, errRejected
+		}
+		comps[bestI] = merged
+		comps = append(comps[:bestJ], comps[bestJ+1:]...)
+	}
+	p, err := b.Final()
+	return p, b.Stats, err
+}
+
+type solverError string
+
+func (e solverError) Error() string { return string(e) }
+
+const (
+	errEmpty        = solverError("goo: empty hypergraph")
+	errDisconnected = solverError("goo: hypergraph is disconnected")
+	errRejected     = solverError("goo: greedy choice rejected; no plan")
+)

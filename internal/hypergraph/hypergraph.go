@@ -1,0 +1,587 @@
+// Package hypergraph implements the query hypergraphs of "Dynamic
+// Programming Strikes Back" (Moerkotte & Neumann, SIGMOD 2008).
+//
+// A hypergraph H = (V,E) has relations as nodes and join predicates as
+// edges. A hyperedge is an unordered pair (u,v) of non-empty, disjoint
+// hypernodes (Definition 1); a generalized hyperedge (Definition 6) is a
+// triple (u,v,w) where the relations in w may appear on either side of
+// the join. Nodes are totally ordered by their index; the ordering drives
+// duplicate avoidance in the enumeration algorithms.
+//
+// The package provides the neighborhood computation N(S,X) of §2.3
+// (Equation 1), including the elimination of subsumed hypernodes
+// (E↓(S,X)), connectivity predicates for csg-cmp-pair tests, a
+// Definition-3 connectivity oracle for validation, and connectivity
+// repair by cross hyperedges (§2.1).
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/bitset"
+)
+
+// Relation is a node of the hypergraph: a base relation with an estimated
+// cardinality used by the cost model.
+//
+// Free is non-empty for dependent relations (§5.1/§5.6): table-valued
+// expressions such as S(R) whose evaluation references attributes of the
+// relations in Free. Base tables have Free = ∅.
+type Relation struct {
+	Name string
+	Card float64
+	Free bitset.Set
+}
+
+// Edge is a (possibly generalized) hyperedge. U and V are the two
+// hypernodes; W is the optional set of "free side" relations of
+// Definition 6 that may appear on either side of the join (empty for
+// ordinary hyperedges). U, V, W must be non-empty (W may be empty),
+// pairwise disjoint subsets of the node set.
+//
+// Each edge additionally carries the information the plan generator
+// needs: the selectivity of the represented predicate, the operator the
+// edge was derived from (§5.4 attaches the originating operator so that
+// EmitCsgCmp can rebuild non-commutative plans), and an optional label
+// and payload for predicate bookkeeping by higher layers.
+//
+// For edges derived from non-commutative operators, U is the hypernode
+// that must appear on the *left* of the operator and V the one on the
+// right (§5.7: r = TES(∘) ∩ T(right(∘)), l = TES(∘) ∖ r).
+type Edge struct {
+	U, V, W bitset.Set
+	Sel     float64
+	Op      algebra.Op
+	Label   string
+	Payload any
+}
+
+// Simple reports whether the edge is simple: |U| = |V| = 1 and W = ∅
+// (Definitions 1 and 6).
+func (e *Edge) Simple() bool {
+	return e.W.IsEmpty() && e.U.IsSingleton() && e.V.IsSingleton()
+}
+
+// Nodes returns all nodes the edge touches: U ∪ V ∪ W.
+func (e *Edge) Nodes() bitset.Set { return e.U.Union(e.V).Union(e.W) }
+
+// Graph is a query hypergraph under construction or in use. The zero
+// value is an empty graph; add relations and edges, then hand it to an
+// enumerator. Graphs are not safe for concurrent mutation.
+type Graph struct {
+	rels  []Relation
+	edges []Edge
+
+	// Derived indexes, rebuilt lazily after mutations.
+	dirty           bool
+	simpleNeighbors []bitset.Set // node -> union of simple-edge partners
+	complexEdges    []int        // indices of non-simple edges
+
+	// Definition-3 connectivity memo, invalidated on mutation.
+	connMemo map[bitset.Set]bool
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// AddRelation appends a relation and returns its node index. Cardinality
+// must be positive. Node indices determine the total order ≺ of §2.1.
+func (g *Graph) AddRelation(name string, card float64) int {
+	if len(g.rels) >= bitset.MaxElems {
+		panic(fmt.Sprintf("hypergraph: more than %d relations", bitset.MaxElems))
+	}
+	if card <= 0 {
+		panic(fmt.Sprintf("hypergraph: relation %q has non-positive cardinality %g", name, card))
+	}
+	g.rels = append(g.rels, Relation{Name: name, Card: card})
+	g.invalidate()
+	return len(g.rels) - 1
+}
+
+// AddRelations adds n relations named prefix0..prefix(n-1) with the given
+// uniform cardinality and returns the index of the first.
+func (g *Graph) AddRelations(n int, prefix string, card float64) int {
+	first := len(g.rels)
+	for i := 0; i < n; i++ {
+		g.AddRelation(fmt.Sprintf("%s%d", prefix, i), card)
+	}
+	return first
+}
+
+// AddEdge validates and appends an edge, returning its index.
+func (g *Graph) AddEdge(e Edge) int {
+	all := g.AllNodes()
+	if e.U.IsEmpty() || e.V.IsEmpty() {
+		panic("hypergraph: hyperedge hypernodes must be non-empty (Definition 1)")
+	}
+	if !e.U.SubsetOf(all) || !e.V.SubsetOf(all) || !e.W.SubsetOf(all) {
+		panic("hypergraph: edge references unknown relations")
+	}
+	if e.U.Overlaps(e.V) || e.U.Overlaps(e.W) || e.V.Overlaps(e.W) {
+		panic("hypergraph: u, v, w must be pairwise disjoint")
+	}
+	if e.Sel <= 0 || e.Sel > 1 {
+		panic(fmt.Sprintf("hypergraph: selectivity %g outside (0,1]", e.Sel))
+	}
+	if e.Op == algebra.InvalidOp {
+		e.Op = algebra.Join
+	}
+	g.edges = append(g.edges, e)
+	g.invalidate()
+	return len(g.edges) - 1
+}
+
+// AddSimpleEdge adds an ordinary binary inner-join edge between relations
+// a and b with the given selectivity and returns its index.
+func (g *Graph) AddSimpleEdge(a, b int, sel float64) int {
+	return g.AddEdge(Edge{U: bitset.Single(a), V: bitset.Single(b), Sel: sel})
+}
+
+// SetFree marks relation rel as a dependent expression whose free
+// variables reference the relations in free (§5.6). It panics if rel
+// would depend on itself.
+func (g *Graph) SetFree(rel int, free bitset.Set) {
+	if free.Has(rel) {
+		panic("hypergraph: relation cannot depend on itself")
+	}
+	if !free.SubsetOf(g.AllNodes()) {
+		panic("hypergraph: free set references unknown relations")
+	}
+	g.rels[rel].Free = free
+}
+
+// FreeTables returns FT(S): the tables referenced freely by the
+// expressions of the relations in S that are not themselves in S. A plan
+// for S can only be evaluated once all of FT(S) is bound by the left
+// argument of an enclosing dependent join (§5.6).
+func (g *Graph) FreeTables(S bitset.Set) bitset.Set {
+	var ft bitset.Set
+	S.ForEach(func(i int) {
+		ft = ft.Union(g.rels[i].Free)
+	})
+	return ft.Minus(S)
+}
+
+// NumRels returns |V|.
+func (g *Graph) NumRels() int { return len(g.rels) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Relation returns the i-th relation.
+func (g *Graph) Relation(i int) Relation { return g.rels[i] }
+
+// Edge returns a pointer to the i-th edge. The pointer stays valid until
+// the next AddEdge.
+func (g *Graph) Edge(i int) *Edge { return &g.edges[i] }
+
+// AllNodes returns the full node set V.
+func (g *Graph) AllNodes() bitset.Set { return bitset.Full(len(g.rels)) }
+
+func (g *Graph) invalidate() {
+	g.dirty = true
+	g.connMemo = nil
+}
+
+func (g *Graph) ensureIndex() {
+	if !g.dirty && g.simpleNeighbors != nil {
+		return
+	}
+	g.simpleNeighbors = make([]bitset.Set, len(g.rels))
+	g.complexEdges = g.complexEdges[:0]
+	for i := range g.edges {
+		e := &g.edges[i]
+		if e.Simple() {
+			a, b := e.U.Min(), e.V.Min()
+			g.simpleNeighbors[a] = g.simpleNeighbors[a].Add(b)
+			g.simpleNeighbors[b] = g.simpleNeighbors[b].Add(a)
+		} else {
+			g.complexEdges = append(g.complexEdges, i)
+		}
+	}
+	g.dirty = false
+}
+
+// CandidateHypernodes returns E↓(S,X): the ⊆-minimal hypernodes v such
+// that some edge (u,v) has u ⊆ S, v ∩ S = ∅, v ∩ X = ∅ (§2.3). For
+// generalized edges (u,v,w) with u ⊆ S the candidate is v ∪ (w∖S) per §6.
+// Exposed for tests and for the counting package; the hot path is
+// Neighborhood.
+func (g *Graph) CandidateHypernodes(S, X bitset.Set) []bitset.Set {
+	g.ensureIndex()
+	forbidden := S.Union(X)
+
+	var cands []bitset.Set
+	// Simple edges produce singleton candidates, which are minimal by
+	// construction.
+	var singles bitset.Set
+	S.ForEach(func(i int) {
+		singles = singles.Union(g.simpleNeighbors[i])
+	})
+	singles = singles.Minus(forbidden)
+	singles.ForEach(func(b int) {
+		cands = append(cands, bitset.Single(b))
+	})
+
+	for _, ei := range g.complexEdges {
+		e := &g.edges[ei]
+		for flip := 0; flip < 2; flip++ {
+			u, v := e.U, e.V
+			if flip == 1 {
+				u, v = v, u
+			}
+			if !u.SubsetOf(S) || v.Overlaps(S) {
+				continue
+			}
+			cand := v.Union(e.W.Minus(S))
+			if cand.Overlaps(forbidden) {
+				continue
+			}
+			cands = append(cands, cand)
+		}
+	}
+	return minimalHypernodes(cands)
+}
+
+// minimalHypernodes removes duplicates and any hypernode that is a strict
+// superset of another candidate ("Define E↓(S,X) to be the minimal set of
+// hypernodes such that for all v ∈ E↓'(S,X) there exists a hypernode v'
+// in E↓(S,X) such that v' ⊆ v", §2.3).
+func minimalHypernodes(cands []bitset.Set) []bitset.Set {
+	if len(cands) <= 1 {
+		return cands
+	}
+	// Sorting by cardinality lets each candidate be checked only against
+	// smaller ones.
+	sort.Slice(cands, func(i, j int) bool {
+		li, lj := cands[i].Len(), cands[j].Len()
+		if li != lj {
+			return li < lj
+		}
+		return cands[i] < cands[j]
+	})
+	out := cands[:0]
+	for _, c := range cands {
+		subsumed := false
+		for _, m := range out {
+			if m.SubsetOf(c) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Neighborhood computes N(S,X) of Equation 1: the union of min(v) over
+// all v in E↓(S,X). The returned set contains one representative node per
+// minimal candidate hypernode; the remaining nodes of a hypernode are
+// reached through recursive growth and validated against the DP table, as
+// described in §3 ("the algorithm therefore picks a canonical end node").
+func (g *Graph) Neighborhood(S, X bitset.Set) bitset.Set {
+	g.ensureIndex()
+	forbidden := S.Union(X)
+
+	var n bitset.Set
+	S.ForEach(func(i int) {
+		n = n.Union(g.simpleNeighbors[i])
+	})
+	n = n.Minus(forbidden)
+
+	if len(g.complexEdges) == 0 {
+		return n
+	}
+
+	// Complex candidates, filtered against the singleton candidates and
+	// each other for ⊆-minimality.
+	var cands []bitset.Set
+	for _, ei := range g.complexEdges {
+		e := &g.edges[ei]
+		for flip := 0; flip < 2; flip++ {
+			u, v := e.U, e.V
+			if flip == 1 {
+				u, v = v, u
+			}
+			if !u.SubsetOf(S) || v.Overlaps(S) {
+				continue
+			}
+			cand := v.Union(e.W.Minus(S))
+			if cand.Overlaps(forbidden) {
+				continue
+			}
+			if cand.IsSingleton() {
+				n = n.Union(cand)
+				continue
+			}
+			if cand.Overlaps(n) {
+				// Subsumed by a singleton candidate.
+				continue
+			}
+			cands = append(cands, cand)
+		}
+	}
+	if len(cands) > 0 {
+		for _, c := range minimalHypernodes(cands) {
+			if c.Overlaps(n) {
+				// A singleton added after the candidate was collected may
+				// subsume it.
+				continue
+			}
+			n = n.Union(c.MinSet())
+		}
+	}
+	return n
+}
+
+// ConnectsTo reports whether some edge connects disjoint hypernodes S1
+// and S2: ∃(u,v,w) ∈ E with u ⊆ S1, v ⊆ S2, w ⊆ S1∪S2 or the symmetric
+// orientation (Definitions 4 and 7).
+func (g *Graph) ConnectsTo(S1, S2 bitset.Set) bool {
+	both := S1.Union(S2)
+	for i := range g.edges {
+		e := &g.edges[i]
+		if !e.W.SubsetOf(both) {
+			continue
+		}
+		if (e.U.SubsetOf(S1) && e.V.SubsetOf(S2)) ||
+			(e.U.SubsetOf(S2) && e.V.SubsetOf(S1)) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasEdgeInto reports whether some edge leads from S1 into S2 in the
+// orientation-sensitive sense used by EmitCsg: ∃(u,v) ∈ E with u ⊆ S1 and
+// v ⊆ S2 (either stored orientation qualifies, since hyperedges are
+// unordered pairs).
+func (g *Graph) HasEdgeInto(S1, S2 bitset.Set) bool { return g.ConnectsTo(S1, S2) }
+
+// EachConnectingEdge calls f for every edge that connects S1 and S2,
+// passing the edge index and whether the edge's stored (U,V) orientation
+// is flipped relative to (S1,S2) — that is, flipped is true when U ⊆ S2.
+// Orientation matters for edges derived from non-commutative operators
+// (§5.4).
+func (g *Graph) EachConnectingEdge(S1, S2 bitset.Set, f func(idx int, flipped bool)) {
+	both := S1.Union(S2)
+	for i := range g.edges {
+		e := &g.edges[i]
+		if !e.W.SubsetOf(both) {
+			continue
+		}
+		switch {
+		case e.U.SubsetOf(S1) && e.V.SubsetOf(S2):
+			f(i, false)
+		case e.U.SubsetOf(S2) && e.V.SubsetOf(S1):
+			f(i, true)
+		}
+	}
+}
+
+// SelectivityBetween returns the product of the selectivities of all
+// edges connecting S1 and S2. Every edge is counted at exactly one join
+// of any operator tree (the join where its endpoints first appear on
+// opposite sides), which makes cardinality estimates independent of the
+// join order.
+func (g *Graph) SelectivityBetween(S1, S2 bitset.Set) float64 {
+	sel := 1.0
+	g.EachConnectingEdge(S1, S2, func(idx int, _ bool) {
+		sel *= g.edges[idx].Sel
+	})
+	return sel
+}
+
+// IsConnected implements the recursive connectivity test of Definition 3:
+// S is connected iff |S| = 1 or there is a partition S = V' ∪ V” bridged
+// by an edge with both halves connected. Results are memoized until the
+// graph is mutated. This is exponential in |S| and exists as a
+// correctness oracle for tests and search-space accounting; the
+// enumeration algorithms never call it (they use DP-table lookups
+// instead, §3.2).
+func (g *Graph) IsConnected(S bitset.Set) bool {
+	if S.IsEmpty() {
+		return false
+	}
+	if S.IsSingleton() {
+		return true
+	}
+	if g.connMemo == nil {
+		g.connMemo = make(map[bitset.Set]bool)
+	}
+	if v, ok := g.connMemo[S]; ok {
+		return v
+	}
+	// Fix min(S) ∈ V' to avoid checking each partition twice.
+	res := false
+	rest := S.MinusMin()
+	lo := S.MinSet()
+	// Enumerate subsets A of rest; V' = lo ∪ A, V'' = S ∖ V'.
+	// A may be empty (V' = {min}), but V'' must be non-empty, so A ⊂ rest.
+	for a := bitset.Empty; ; a = a.NextSubset(rest) {
+		v1 := lo.Union(a)
+		v2 := S.Minus(v1)
+		if !v2.IsEmpty() &&
+			g.ConnectsTo(v1, v2) && g.IsConnected(v1) && g.IsConnected(v2) {
+			res = true
+			break
+		}
+		if a == rest {
+			break
+		}
+	}
+	g.connMemo[S] = res
+	return res
+}
+
+// Components partitions the node set into reachability components, where
+// an edge links every node it touches (U ∪ V ∪ W). Two nodes in different
+// components are certainly not connected in the Definition-3 sense; this
+// is the partition the connectivity repair of §2.1 operates on.
+func (g *Graph) Components() []bitset.Set {
+	n := len(g.rels)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for i := range g.edges {
+		nodes := g.edges[i].Nodes()
+		first := nodes.Min()
+		nodes.ForEach(func(e int) { union(first, e) })
+	}
+	byRoot := map[int]bitset.Set{}
+	var roots []int
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if _, ok := byRoot[r]; !ok {
+			roots = append(roots, r)
+		}
+		byRoot[r] = byRoot[r].Add(i)
+	}
+	sort.Ints(roots)
+	out := make([]bitset.Set, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
+// MakeConnected applies the connectivity repair of §2.1: "for every pair
+// of connected components, we can add a hyperedge whose hypernodes
+// contain exactly the relations of the connected components", interpreted
+// as ⨯ operators with selectivity 1. It returns the number of edges
+// added.
+func (g *Graph) MakeConnected() int {
+	comps := g.Components()
+	added := 0
+	for i := 0; i < len(comps); i++ {
+		for j := i + 1; j < len(comps); j++ {
+			g.AddEdge(Edge{
+				U:     comps[i],
+				V:     comps[j],
+				Sel:   1,
+				Op:    algebra.Join,
+				Label: "cross",
+			})
+			added++
+		}
+	}
+	return added
+}
+
+// String renders a compact description of the graph.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hypergraph: %d relations, %d edges\n", len(g.rels), len(g.edges))
+	for i, r := range g.rels {
+		fmt.Fprintf(&b, "  R%d %s |%g|\n", i, r.Name, r.Card)
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		fmt.Fprintf(&b, "  e%d: %v -- %v", i, e.U, e.V)
+		if !e.W.IsEmpty() {
+			fmt.Fprintf(&b, " free %v", e.W)
+		}
+		fmt.Fprintf(&b, " sel=%g op=%s", e.Sel, e.Op)
+		if e.Label != "" {
+			fmt.Fprintf(&b, " (%s)", e.Label)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Dot renders the hypergraph in Graphviz format. Simple edges become
+// plain edges; hyperedges become a box node connected to both hypernodes'
+// members.
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	b.WriteString("graph query {\n  node [shape=circle];\n")
+	for i, r := range g.rels {
+		fmt.Fprintf(&b, "  R%d [label=\"%s\"];\n", i, r.Name)
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		if e.Simple() {
+			fmt.Fprintf(&b, "  R%d -- R%d;\n", e.U.Min(), e.V.Min())
+			continue
+		}
+		fmt.Fprintf(&b, "  he%d [shape=box,label=\"%s\"];\n", i, e.Op.Symbol())
+		e.U.ForEach(func(n int) { fmt.Fprintf(&b, "  R%d -- he%d [style=solid];\n", n, i) })
+		e.V.ForEach(func(n int) { fmt.Fprintf(&b, "  he%d -- R%d [style=solid];\n", i, n) })
+		e.W.ForEach(func(n int) { fmt.Fprintf(&b, "  he%d -- R%d [style=dashed];\n", i, n) })
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Clone returns a deep copy of the graph (edges share payload pointers).
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		rels:  append([]Relation(nil), g.rels...),
+		edges: append([]Edge(nil), g.edges...),
+	}
+	ng.invalidate()
+	return ng
+}
+
+// PaperExampleGraph builds the hypergraph of Figure 2: six relations,
+// simple edges R1–R2, R2–R3, R4–R5, R5–R6, and the hyperedge
+// ({R1,R2,R3},{R4,R5,R6}). Node indices are shifted down by one (the
+// paper's R1 is node 0). Used by tests and the complexpredicate example.
+func PaperExampleGraph() *Graph {
+	g := New()
+	for i := 1; i <= 6; i++ {
+		g.AddRelation(fmt.Sprintf("R%d", i), 100)
+	}
+	g.AddSimpleEdge(0, 1, 0.1) // R1-R2
+	g.AddSimpleEdge(1, 2, 0.1) // R2-R3
+	g.AddSimpleEdge(3, 4, 0.1) // R4-R5
+	g.AddSimpleEdge(4, 5, 0.1) // R5-R6
+	g.AddEdge(Edge{
+		U:     bitset.New(0, 1, 2),
+		V:     bitset.New(3, 4, 5),
+		Sel:   0.05,
+		Label: "R1.a+R2.b+R3.c = R4.d+R5.e+R6.f",
+	})
+	return g
+}

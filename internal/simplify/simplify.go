@@ -1,0 +1,125 @@
+// Package simplify implements the outer-join simplification the paper
+// assumes as a precondition (§5.2: "we assume that all proposed
+// simplifications [2, 11] have been applied"), following
+// Galindo-Legaria & Rosenthal (TODS 1997) and Bhargava et al.
+//
+// With all predicates strong (§5.2), an operator that rejects
+// NULL-padded tuples from one of its inputs turns a descendant outer
+// join on that input into a stricter operator:
+//
+//   - a strong predicate referencing the null-padded side of a left
+//     outer join below it converts that left outer join to an inner
+//     join (padded rows would fail the predicate and be discarded
+//     anyway);
+//   - similarly, a full outer join degrades to a left outer join when
+//     its right side is referenced from above, to a right-side-
+//     preserving join (rewritten here as a left outer join with the
+//     arguments untouched and the padding side reduced) when its left
+//     side is referenced, and to an inner join when both are.
+//
+// The conflict rules of §5.5 are only sound for simplified trees: an
+// inner join above a left outer join is declared freely reorderable
+// (OC(B,P) = false for right nesting), which is valid precisely because
+// in a simplified tree the inner join's predicate cannot reference the
+// outer join's padded side. Running Simplify first makes arbitrary
+// initial trees safe for TES-based plan generation; the equivalence
+// property tests exercise exactly this pipeline.
+package simplify
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/bitset"
+	"repro/internal/optree"
+)
+
+// Result reports what Simplify did.
+type Result struct {
+	// Rewrites counts operator conversions.
+	Rewrites int
+}
+
+// Simplify rewrites the operator tree in place, converting outer joins
+// that are made redundant by strong predicates above them. It returns
+// statistics about the rewrite. The tree must not yet be analyzed
+// (Simplify runs before optree.Analyze).
+//
+// The traversal is top-down: each operator contributes the tables its
+// strong predicate references; any outer join whose padded side
+// intersects the references from strictly above is degraded. References
+// from the operator's own predicate apply to its descendants but not to
+// itself (an outer join's own predicate does not simplify it).
+func Simplify(root *optree.Node) Result {
+	var res Result
+	// Iterate to a fixpoint: degrading a full outer join to a left outer
+	// join can expose further simplifications through re-collected
+	// reference sets. Each pass is O(nodes); trees are tiny.
+	for {
+		before := res.Rewrites
+		walk(root, bitset.Empty, &res)
+		if res.Rewrites == before {
+			return res
+		}
+	}
+}
+
+// walk pushes down the set of tables referenced by strong predicates
+// strictly above n.
+func walk(n *optree.Node, above bitset.Set, res *Result) {
+	if n == nil || n.IsLeaf() {
+		return
+	}
+	// Does a predicate from above reference this operator's padded
+	// side(s)?
+	switch n.Op {
+	case algebra.LeftOuter:
+		if above.Overlaps(tablesOf(n.Right)) {
+			n.Op = algebra.Join
+			res.Rewrites++
+		}
+	case algebra.FullOuter:
+		// M produces: matched rows, left rows with NULL-padded right
+		// columns, and right rows with NULL-padded left columns. A
+		// null-rejecting reference to the LEFT side drops the rows whose
+		// left columns are padded, leaving exactly a left outer join; a
+		// reference to the RIGHT side leaves a right outer join, which
+		// the §5.4 leaf-numbering convention cannot express without
+		// swapping children — so that case conservatively stays a full
+		// outer join (correct, merely less reorderable: OC treats M
+		// strictly). References to both sides leave an inner join.
+		leftRef := above.Overlaps(tablesOf(n.Left))
+		rightRef := above.Overlaps(tablesOf(n.Right))
+		switch {
+		case leftRef && rightRef:
+			n.Op = algebra.Join
+			res.Rewrites++
+		case leftRef:
+			n.Op = algebra.LeftOuter
+			res.Rewrites++
+		}
+	}
+	// Children additionally see this operator's own predicate references
+	// — but only if the operator is null-rejecting, i.e. a tuple failing
+	// the predicate is dropped from the output. That holds for the inner
+	// join and the semijoin. It does NOT hold for outer joins (failing
+	// tuples are padded, not dropped), for the antijoin (failing tuples
+	// are exactly the kept ones), or for the nestjoin (every left tuple
+	// survives with an empty group).
+	childAbove := above
+	if n.Op == algebra.Join || n.Op == algebra.SemiJoin {
+		childAbove = above.Union(n.Pred.Tables)
+	}
+	walk(n.Left, childAbove, res)
+	walk(n.Right, childAbove, res)
+}
+
+// tablesOf collects the leaf relations of a subtree. Simplify runs
+// before optree.Analyze, so the memoized Tables() is not yet available.
+func tablesOf(n *optree.Node) bitset.Set {
+	if n == nil {
+		return bitset.Empty
+	}
+	if n.IsLeaf() {
+		return bitset.Single(n.Rel)
+	}
+	return tablesOf(n.Left).Union(tablesOf(n.Right))
+}

@@ -1,0 +1,139 @@
+package simplify
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/bitset"
+	"repro/internal/optree"
+)
+
+func pred(tables ...int) optree.Predicate {
+	return optree.Predicate{Tables: bitset.New(tables...), Sel: 0.1}
+}
+
+func TestJoinAboveLeftOuterSimplifies(t *testing.T) {
+	// (R0 ⟕ R1) ⋈_{p(R1,R2)} R2: the join predicate references the
+	// padded side R1 → the outer join becomes an inner join.
+	lo := optree.NewOp(algebra.LeftOuter, optree.NewLeaf(0), optree.NewLeaf(1), pred(0, 1))
+	root := optree.NewOp(algebra.Join, lo, optree.NewLeaf(2), pred(1, 2))
+	res := Simplify(root)
+	if res.Rewrites != 1 {
+		t.Fatalf("rewrites = %d, want 1", res.Rewrites)
+	}
+	if lo.Op != algebra.Join {
+		t.Errorf("outer join not simplified: %v", lo.Op)
+	}
+}
+
+func TestJoinReferencingPreservedSideDoesNotSimplify(t *testing.T) {
+	// (R0 ⟕ R1) ⋈_{p(R0,R2)} R2: the join references the preserved side
+	// only → no simplification.
+	lo := optree.NewOp(algebra.LeftOuter, optree.NewLeaf(0), optree.NewLeaf(1), pred(0, 1))
+	root := optree.NewOp(algebra.Join, lo, optree.NewLeaf(2), pred(0, 2))
+	if res := Simplify(root); res.Rewrites != 0 {
+		t.Fatalf("rewrites = %d, want 0", res.Rewrites)
+	}
+	if lo.Op != algebra.LeftOuter {
+		t.Error("outer join wrongly simplified")
+	}
+}
+
+func TestOuterJoinAboveDoesNotSimplify(t *testing.T) {
+	// (R0 ⟕ R1) ⟕_{p(R1,R2)} R2: the upper operator pads instead of
+	// dropping, so the lower outer join must stay.
+	lo := optree.NewOp(algebra.LeftOuter, optree.NewLeaf(0), optree.NewLeaf(1), pred(0, 1))
+	root := optree.NewOp(algebra.LeftOuter, lo, optree.NewLeaf(2), pred(1, 2))
+	if res := Simplify(root); res.Rewrites != 0 {
+		t.Fatalf("rewrites = %d, want 0", res.Rewrites)
+	}
+	if lo.Op != algebra.LeftOuter {
+		t.Error("outer join wrongly simplified under a padding ancestor")
+	}
+}
+
+func TestAntiAndNestJoinAreNotNullRejecting(t *testing.T) {
+	for _, op := range []algebra.Op{algebra.AntiJoin, algebra.NestJoin} {
+		lo := optree.NewOp(algebra.LeftOuter, optree.NewLeaf(0), optree.NewLeaf(1), pred(0, 1))
+		root := optree.NewOp(op, lo, optree.NewLeaf(2), pred(1, 2))
+		if res := Simplify(root); res.Rewrites != 0 {
+			t.Errorf("%v: rewrites = %d, want 0 (failing tuples are kept)", op, res.Rewrites)
+		}
+	}
+}
+
+func TestSemiJoinIsNullRejecting(t *testing.T) {
+	lo := optree.NewOp(algebra.LeftOuter, optree.NewLeaf(0), optree.NewLeaf(1), pred(0, 1))
+	root := optree.NewOp(algebra.SemiJoin, lo, optree.NewLeaf(2), pred(1, 2))
+	if res := Simplify(root); res.Rewrites != 1 {
+		t.Fatalf("rewrites = %d, want 1", res.Rewrites)
+	}
+	if lo.Op != algebra.Join {
+		t.Error("semijoin reference must simplify the outer join")
+	}
+}
+
+func TestFullOuterDegradations(t *testing.T) {
+	// Left side referenced: the left-padded rows are refuted → M becomes
+	// a left outer join.
+	fo := optree.NewOp(algebra.FullOuter, optree.NewLeaf(0), optree.NewLeaf(1), pred(0, 1))
+	root := optree.NewOp(algebra.Join, fo, optree.NewLeaf(2), pred(0, 2))
+	Simplify(root)
+	if fo.Op != algebra.LeftOuter {
+		t.Errorf("M with left side referenced must become P, got %v", fo.Op)
+	}
+
+	// Both sides referenced: M → B.
+	fo2 := optree.NewOp(algebra.FullOuter, optree.NewLeaf(0), optree.NewLeaf(1), pred(0, 1))
+	root2 := optree.NewOp(algebra.Join, fo2, optree.NewLeaf(2), pred(0, 1, 2))
+	Simplify(root2)
+	if fo2.Op != algebra.Join {
+		t.Errorf("M with both sides referenced must become B, got %v", fo2.Op)
+	}
+
+	// Only the right side referenced: a right outer join would be needed,
+	// which §5.4 leaf numbering cannot express — kept as M (documented
+	// conservative choice; correctness unaffected).
+	fo3 := optree.NewOp(algebra.FullOuter, optree.NewLeaf(0), optree.NewLeaf(1), pred(0, 1))
+	root3 := optree.NewOp(algebra.Join, fo3, optree.NewLeaf(2), pred(1, 2))
+	Simplify(root3)
+	if fo3.Op != algebra.FullOuter {
+		t.Errorf("M with only right side referenced stays M, got %v", fo3.Op)
+	}
+}
+
+func TestFixpointCascade(t *testing.T) {
+	// ((R0 ⟕ R1) ⟕ R2) ⋈_{p(R2,R3)} R3: the join simplifies the upper
+	// outer join; the now-inner predicate p(R1,R2) then simplifies the
+	// lower one. Requires the fixpoint iteration.
+	lo1 := optree.NewOp(algebra.LeftOuter, optree.NewLeaf(0), optree.NewLeaf(1), pred(0, 1))
+	lo2 := optree.NewOp(algebra.LeftOuter, lo1, optree.NewLeaf(2), pred(1, 2))
+	root := optree.NewOp(algebra.Join, lo2, optree.NewLeaf(3), pred(2, 3))
+	res := Simplify(root)
+	if res.Rewrites != 2 {
+		t.Fatalf("rewrites = %d, want 2 (cascade)", res.Rewrites)
+	}
+	if lo2.Op != algebra.Join {
+		t.Error("upper outer join not simplified")
+	}
+	if lo1.Op != algebra.Join {
+		t.Error("cascaded simplification missed the lower outer join")
+	}
+}
+
+func TestDeepReferencePropagation(t *testing.T) {
+	// The null-rejecting reference may sit many levels above.
+	lo := optree.NewOp(algebra.LeftOuter, optree.NewLeaf(0), optree.NewLeaf(1), pred(0, 1))
+	mid := optree.NewOp(algebra.Join, lo, optree.NewLeaf(2), pred(0, 2))
+	root := optree.NewOp(algebra.Join, mid, optree.NewLeaf(3), pred(1, 3))
+	Simplify(root)
+	if lo.Op != algebra.Join {
+		t.Error("deep reference must simplify the outer join")
+	}
+}
+
+func TestLeafAndNilSafe(t *testing.T) {
+	if res := Simplify(optree.NewLeaf(0)); res.Rewrites != 0 {
+		t.Error("leaf must be a no-op")
+	}
+}

@@ -1,0 +1,195 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dp"
+	"repro/internal/dpccp"
+	"repro/internal/dpsize"
+	"repro/internal/dpsub"
+	"repro/internal/goo"
+	"repro/internal/hypergraph"
+	"repro/internal/optree"
+	"repro/internal/plan"
+	"repro/internal/topdown"
+)
+
+// Re-exported building blocks. The internal packages hold the
+// implementations; these aliases make the public API self-contained.
+type (
+	// PlanNode is a node of an optimized operator tree.
+	PlanNode = plan.Node
+	// Stats reports enumeration effort (csg-cmp-pairs, costed plans,
+	// rejected candidates, DP table size).
+	Stats = dp.Stats
+	// CostModel prices join nodes; see Cout, NestedLoop, Hash.
+	CostModel = cost.Model
+	// Op is a binary algebra operator.
+	Op = algebra.Op
+	// Graph is a query hypergraph.
+	Graph = hypergraph.Graph
+	// Trace records DPhyp traversal steps (Fig. 3 style).
+	Trace = core.Trace
+)
+
+// Operator constants for tree queries and plan inspection.
+const (
+	OpJoin      = algebra.Join
+	OpLeftOuter = algebra.LeftOuter
+	OpFullOuter = algebra.FullOuter
+	OpAntiJoin  = algebra.AntiJoin
+	OpSemiJoin  = algebra.SemiJoin
+	OpNestJoin  = algebra.NestJoin
+)
+
+// Cost models.
+var (
+	// Cout sums intermediate result cardinalities (default).
+	Cout CostModel = cost.Cout{}
+	// NestedLoop charges the cross product of the inputs per join.
+	NestedLoop CostModel = cost.NestedLoop{}
+	// Hash models a main-memory hash join.
+	Hash CostModel = cost.Hash{}
+)
+
+// Algorithm selects the enumeration strategy.
+type Algorithm int
+
+// The implemented join enumeration algorithms.
+const (
+	DPhyp Algorithm = iota
+	DPsize
+	DPsub
+	DPccp
+	TopDown
+	// Greedy is GOO (greedy operator ordering): a heuristic for queries
+	// beyond the reach of exact dynamic programming. Plans are valid but
+	// not necessarily optimal.
+	Greedy
+)
+
+var algorithmNames = map[Algorithm]string{
+	DPhyp: "dphyp", DPsize: "dpsize", DPsub: "dpsub", DPccp: "dpccp",
+	TopDown: "topdown", Greedy: "greedy",
+}
+
+func (a Algorithm) String() string {
+	if s, ok := algorithmNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm is the inverse of Algorithm.String.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for a, n := range algorithmNames {
+		if n == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("repro: unknown algorithm %q (have dphyp, dpsize, dpsub, dpccp, topdown, greedy)", s)
+}
+
+// Option configures Optimize.
+type Option func(*options)
+
+type options struct {
+	alg        Algorithm
+	model      CostModel
+	rule       optree.ConflictRule
+	genAndTest bool
+	noSimplify bool
+	trace      *Trace
+	onEmit     func(s1, s2 bitset.Set)
+}
+
+func defaultOptions() options {
+	return options{alg: DPhyp, model: cost.Default(), rule: optree.Conservative}
+}
+
+// WithAlgorithm selects the enumeration algorithm (default DPhyp).
+func WithAlgorithm(a Algorithm) Option { return func(o *options) { o.alg = a } }
+
+// WithCostModel selects the cost model (default Cout).
+func WithCostModel(m CostModel) Option { return func(o *options) { o.model = m } }
+
+// WithPublishedConflictRule uses the literal §5.5 LC/RC gates instead of
+// the conservative default; see internal/optree for the trade-off.
+func WithPublishedConflictRule() Option {
+	return func(o *options) { o.rule = optree.Published }
+}
+
+// WithGenerateAndTest switches tree queries to the §5.8 generate-and-test
+// paradigm: hyperedges from SESs plus a late TES filter in EmitCsgCmp.
+// Slower by design; exposed for the Fig. 8a reproduction.
+func WithGenerateAndTest() Option { return func(o *options) { o.genAndTest = true } }
+
+// WithoutSimplification skips the §5.2 outer-join simplification pass on
+// tree queries. The conflict rules assume simplified inputs, so only use
+// this when the tree is known to be simplified already.
+func WithoutSimplification() Option { return func(o *options) { o.noSimplify = true } }
+
+// WithTrace records the enumeration steps into t.
+func WithTrace(t *Trace) Option { return func(o *options) { o.trace = t } }
+
+// Result is the outcome of an optimization.
+type Result struct {
+	// Plan is the optimal operator tree.
+	Plan *PlanNode
+	// Stats reports the enumeration effort.
+	Stats Stats
+	// Graph is the hypergraph the enumeration ran on (for tree queries,
+	// the TES- or SES-derived graph).
+	Graph *Graph
+}
+
+// Cost returns the plan's total cost under the optimizing model.
+func (r *Result) Cost() float64 { return r.Plan.Cost }
+
+// Cardinality returns the estimated result size.
+func (r *Result) Cardinality() float64 { return r.Plan.Card }
+
+// solveGraph dispatches a hypergraph to the selected algorithm.
+func solveGraph(g *Graph, o options, filter dp.Filter) (*Result, error) {
+	var (
+		p   *PlanNode
+		st  Stats
+		err error
+	)
+	switch o.alg {
+	case DPhyp:
+		p, st, err = core.Solve(g, core.Options{Model: o.model, Filter: filter, Trace: o.trace, OnEmit: o.onEmit})
+	case DPsize:
+		p, st, err = dpsize.Solve(g, dpsize.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit})
+	case DPsub:
+		p, st, err = dpsub.Solve(g, dpsub.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit})
+	case DPccp:
+		p, st, err = dpccp.Solve(g, dpccp.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit})
+	case TopDown:
+		p, st, err = topdown.Solve(g, topdown.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit})
+	case Greedy:
+		p, st, err = goo.Solve(g, goo.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit})
+	default:
+		return nil, fmt.Errorf("repro: unknown algorithm %v", o.alg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Plan: p, Stats: st, Graph: g}, nil
+}
+
+// OptimizeGraph runs the selected algorithm directly on a hypergraph.
+// Most callers use Query.Optimize or TreeQuery.Optimize instead; this
+// entry point serves tools and benchmarks that build graphs through the
+// internal workload generators.
+func OptimizeGraph(g *Graph, opts ...Option) (*Result, error) {
+	o := defaultOptions()
+	for _, f := range opts {
+		f(&o)
+	}
+	return solveGraph(g, o, nil)
+}
