@@ -13,6 +13,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -33,13 +34,14 @@ func benchSeries(b *testing.B, id string, allPoints bool) {
 	if !allPoints && len(xs) > 3 {
 		xs = []int{s.Xs[0], s.Xs[len(s.Xs)/2], s.Xs[len(s.Xs)-1]}
 	}
+	ctx := context.Background()
 	for _, x := range xs {
 		for _, alg := range s.Algs {
 			run := s.Make(x, alg)
 			b.Run(fmt.Sprintf("%s=%d/%s", s.XLabel, x, alg), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, _, err := run(); err != nil {
+					if _, _, err := run(ctx); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -98,10 +100,14 @@ func BenchmarkAblationConflictRules(b *testing.B) {
 			b.Fatal(err)
 		}
 		g := tr.Hypergraph(optree.TESEdges)
+		// A dedicated cache-less Planner: the benchmark measures
+		// enumeration, not cache hits.
+		p := NewPlanner(WithPlanCacheSize(0))
+		ctx := context.Background()
 		b.Run(rule.String(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := OptimizeGraph(g); err != nil {
+				if _, err := p.PlanGraph(ctx, g); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -114,11 +120,13 @@ func BenchmarkAblationConflictRules(b *testing.B) {
 // generate-and-test hurts most).
 func BenchmarkAblationTopDown(b *testing.B) {
 	g := workload.Clique(10, workload.DefaultConfig())
+	ctx := context.Background()
 	for _, alg := range []Algorithm{DPhyp, TopDown} {
+		p := NewPlanner(WithAlgorithm(alg), WithPlanCacheSize(0))
 		b.Run(alg.String(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := OptimizeGraph(g, WithAlgorithm(alg)); err != nil {
+				if _, err := p.PlanGraph(ctx, g); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -130,14 +138,46 @@ func BenchmarkAblationTopDown(b *testing.B) {
 // on optimization time: the enumeration dominates, the model does not.
 func BenchmarkAblationCostModels(b *testing.B) {
 	g := workload.Cycle(12, workload.DefaultConfig())
+	ctx := context.Background()
 	for _, m := range []CostModel{Cout, NestedLoop, Hash} {
+		p := NewPlanner(WithCostModel(m), WithPlanCacheSize(0))
 		b.Run(m.Name(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := OptimizeGraph(g, WithCostModel(m)); err != nil {
+				if _, err := p.PlanGraph(ctx, g); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 	}
+}
+
+// BenchmarkPlannerSession measures the session machinery itself on a
+// mid-size clique: cold enumeration with pooled scratch reuse versus
+// plans served from the fingerprint cache — the repeated-traffic path a
+// server lives on.
+func BenchmarkPlannerSession(b *testing.B) {
+	g := workload.Clique(8, workload.DefaultConfig())
+	ctx := context.Background()
+	b.Run("enumerate-pooled", func(b *testing.B) {
+		p := NewPlanner(WithPlanCacheSize(0))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.PlanGraph(ctx, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cache-hit", func(b *testing.B) {
+		p := NewPlanner()
+		if _, err := p.PlanGraph(ctx, g); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.PlanGraph(ctx, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

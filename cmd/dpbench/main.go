@@ -9,14 +9,18 @@
 //	dpbench -list           # list experiment identifiers
 //	dpbench -reps 5         # median over more repetitions
 //	dpbench -csv            # machine-readable output
+//	dpbench -cell-timeout 30s  # cancel cells that exceed the deadline
 //
 // For every experiment the output is one row per sweep value with the
 // median optimization time per competing algorithm in milliseconds —
 // the same series the paper plots — plus the number of csg-cmp-pairs
-// enumerated (the search-space size of §2.2).
+// enumerated (the search-space size of §2.2). Cells cancelled by
+// -cell-timeout print "t/o" (tables) or a row with ms = -1 (CSV).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,11 +34,12 @@ import (
 
 func main() {
 	var (
-		full = flag.Bool("full", false, "run at the paper's sizes (DPsize/DPsub on 16-relation stars take minutes)")
-		run  = flag.String("run", "", "comma-separated experiment ids to run (default: all)")
-		list = flag.Bool("list", false, "list experiment ids and exit")
-		reps = flag.Int("reps", 3, "repetitions per measurement (median is reported)")
-		csv  = flag.Bool("csv", false, "emit CSV instead of tables")
+		full    = flag.Bool("full", false, "run at the paper's sizes (DPsize/DPsub on 16-relation stars take minutes)")
+		run     = flag.String("run", "", "comma-separated experiment ids to run (default: all)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		reps    = flag.Int("reps", 3, "repetitions per measurement (median is reported)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of tables")
+		timeout = flag.Duration("cell-timeout", 0, "per-cell deadline, 0 = none (cancellation is checked inside the enumeration loops)")
 	)
 	flag.Parse()
 
@@ -65,11 +70,11 @@ func main() {
 		fmt.Println("experiment,x,algorithm,ms,csg_cmp_pairs,costed_plans,cost")
 	}
 	for _, s := range selected {
-		runSeries(s, *reps, *csv)
+		runSeries(s, *reps, *csv, *timeout)
 	}
 }
 
-func runSeries(s experiments.Series, reps int, csv bool) {
+func runSeries(s experiments.Series, reps int, csv bool, timeout time.Duration) {
 	if !csv {
 		fmt.Printf("\n## %s  [%s]\n", s.Title, s.ID)
 		if s.Paper != "" {
@@ -92,11 +97,16 @@ func runSeries(s experiments.Series, reps int, csv bool) {
 		var pairs int
 		for _, alg := range s.Algs {
 			runner := s.Make(x, alg)
-			ms, st, cost := measure(runner, reps)
+			ms, st, cost, timedOut := measure(runner, reps, timeout)
 			pairs = st.CsgCmpPairs
-			if csv {
+			switch {
+			case csv && timedOut:
+				fmt.Printf("%s,%d,%s,-1,%d,%d,NaN\n", s.ID, x, alg, st.CsgCmpPairs, st.CostedPlans)
+			case csv:
 				fmt.Printf("%s,%d,%s,%.4f,%d,%d,%g\n", s.ID, x, alg, ms, st.CsgCmpPairs, st.CostedPlans, cost)
-			} else {
+			case timedOut:
+				fmt.Printf(" t/o |")
+			default:
 				fmt.Printf(" %s |", fmtMS(ms))
 			}
 		}
@@ -107,16 +117,27 @@ func runSeries(s experiments.Series, reps int, csv bool) {
 }
 
 // measure returns the median wall time in milliseconds over reps runs,
-// the enumeration statistics, and the plan cost.
-func measure(r experiments.Runner, reps int) (float64, dp.Stats, float64) {
+// the enumeration statistics, the plan cost, and whether the cell was
+// cancelled by the per-cell deadline.
+func measure(r experiments.Runner, reps int, timeout time.Duration) (float64, dp.Stats, float64, bool) {
 	times := make([]float64, 0, reps)
 	var stats dp.Stats
 	var cost float64
 	for i := 0; i < reps; i++ {
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+		}
 		start := time.Now()
-		p, st, err := r()
+		p, st, err := r(ctx)
 		elapsed := time.Since(start)
+		cancel()
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				// Partial statistics show how far the cell got.
+				return 0, st, 0, true
+			}
 			fmt.Fprintf(os.Stderr, "dpbench: optimization failed: %v\n", err)
 			os.Exit(1)
 		}
@@ -129,7 +150,7 @@ func measure(r experiments.Runner, reps int) (float64, dp.Stats, float64) {
 		}
 	}
 	sort.Float64s(times)
-	return times[len(times)/2], stats, cost
+	return times[len(times)/2], stats, cost, false
 }
 
 func fmtMS(ms float64) string {

@@ -8,13 +8,20 @@
 //	cat query.json | joinorder -
 //	joinorder -trace -stats query.json
 //	joinorder -dot query.json        # emit the query hypergraph as Graphviz
+//	joinorder -timeout 2s -max-pairs 100000 query.json
 //
 // The query is either a hypergraph ("relations" + "edges") or an initial
 // operator tree ("relations" + "tree") for queries with outer joins,
 // antijoins, semijoins, or nestjoins.
+//
+// With -timeout the optimization is cancelled mid-enumeration when the
+// deadline passes; with -max-pairs / -max-plans the exact enumeration
+// is budgeted and degrades to a Greedy (GOO) plan when the budget
+// trips (reported on stderr and in -stats).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +40,9 @@ func main() {
 		showStats = flag.Bool("stats", false, "print enumeration statistics")
 		compact   = flag.Bool("compact", false, "print the plan on one line")
 		dot       = flag.Bool("dot", false, "emit the query hypergraph as Graphviz and exit")
+		timeout   = flag.Duration("timeout", 0, "optimization deadline, 0 = none")
+		maxPairs  = flag.Int("max-pairs", 0, "budget: max csg-cmp-pairs before Greedy fallback, 0 = unlimited")
+		maxPlans  = flag.Int("max-plans", 0, "budget: max costed plans before Greedy fallback, 0 = unlimited")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -75,10 +85,26 @@ func main() {
 	if *showTrace {
 		opts = append(opts, repro.WithTrace(&tr))
 	}
+	if *maxPairs > 0 || *maxPlans > 0 {
+		opts = append(opts, repro.WithBudget(repro.Budget{
+			MaxCsgCmpPairs: *maxPairs,
+			MaxCostedPlans: *maxPlans,
+		}))
+	}
 
-	res, err := repro.OptimizeJSON(q, opts...)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	planner := repro.NewPlanner(opts...)
+	res, err := planner.PlanJSON(ctx, q)
 	if err != nil {
 		fail(err)
+	}
+	if res.Stats.FallbackGreedy {
+		fmt.Fprintln(os.Stderr, "joinorder: enumeration budget exhausted; returning greedy (GOO) plan")
 	}
 
 	if *dot {
@@ -93,8 +119,9 @@ func main() {
 	fmt.Printf("cost=%g cardinality=%g shape=%s\n", res.Cost(), res.Cardinality(), res.Plan.TreeShape())
 	if *showStats {
 		s := res.Stats
-		fmt.Printf("csg-cmp-pairs=%d costed-plans=%d filter-rejected=%d invalid-rejected=%d table-entries=%d\n",
-			s.CsgCmpPairs, s.CostedPlans, s.FilterReject, s.InvalidReject, s.TableEntries)
+		fmt.Printf("csg-cmp-pairs=%d costed-plans=%d filter-rejected=%d invalid-rejected=%d table-entries=%d algorithm=%s budget-exhausted=%t fallback-greedy=%t\n",
+			s.CsgCmpPairs, s.CostedPlans, s.FilterReject, s.InvalidReject, s.TableEntries,
+			res.Algorithm, s.BudgetExhausted, s.FallbackGreedy)
 	}
 	if *showTrace {
 		fmt.Print(tr.String())

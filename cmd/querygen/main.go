@@ -15,11 +15,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro"
 	"repro/internal/hypergraph"
@@ -34,6 +36,7 @@ func main() {
 		splits = flag.Int("splits", 0, "hyperedge splits for *-hyper families")
 		k      = flag.Int("k", 0, "non-inner operators for tree families")
 		seed   = flag.Int64("seed", 2008, "seed for cardinalities/selectivities")
+		check  = flag.Bool("check", false, "verify the emitted query is plannable (budgeted, 5s deadline) before printing")
 	)
 	flag.Parse()
 
@@ -67,6 +70,19 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "querygen: unknown family %q\n", *family)
 		os.Exit(2)
+	}
+
+	if *check {
+		// A budgeted Planner proves the document round-trips and yields a
+		// plan (greedy at worst) without letting a pathological instance
+		// hang the generator.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		planner := repro.NewPlanner(repro.WithBudget(repro.Budget{MaxCsgCmpPairs: 1_000_000}))
+		if _, err := planner.PlanJSON(ctx, doc); err != nil {
+			fmt.Fprintln(os.Stderr, "querygen: emitted query does not plan:", err)
+			os.Exit(1)
+		}
 	}
 
 	enc := json.NewEncoder(os.Stdout)

@@ -7,8 +7,11 @@
 //
 // # Quick start
 //
-// Inner-join queries are described as hypergraphs: relations with
-// cardinalities, and (hyper)edges with selectivities.
+// The central type is Planner: a long-lived, concurrency-safe planning
+// session constructed once with a cost model, conflict rule, and policy,
+// and then shared by any number of goroutines.
+//
+//	planner := repro.NewPlanner()
 //
 //	q := repro.NewQuery()
 //	o := q.Relation("orders", 1_500_000)
@@ -16,7 +19,7 @@
 //	n := q.Relation("nation", 25)
 //	q.Join(o, c, 1.0/150_000)
 //	q.Join(c, n, 1.0/25)
-//	res, err := q.Optimize()
+//	res, err := planner.Plan(ctx, q)
 //	// res.Plan is the optimal bushy, cross-product-free join tree.
 //
 // Complex predicates spanning more than two relations become hyperedges
@@ -33,11 +36,69 @@
 //	d1 := t.Table("dim1", 1000)
 //	d2 := t.Table("dim2", 500)
 //	expr := f.Join(d1, 0.001).AntiJoin(d2, 0.002)
-//	res, err := t.Optimize(expr)
+//	res, err := planner.PlanTree(ctx, t, expr)
+//
+// Raw hypergraphs (PlanGraph), JSON documents (PlanJSON), and query
+// batches (PlanBatch) have their own entry points on Planner.
+//
+// # Cancellation and budgets
+//
+// Every Plan* method takes a context.Context that is polled inside the
+// enumeration loops of all algorithms, so a deadline or cancellation
+// interrupts even the Θ(3^n) inner loops of DPsub mid-flight and the
+// call returns ctx.Err().
+//
+// WithBudget caps enumeration effort by csg-cmp-pairs (the §2.2
+// yardstick) and/or costed plans. When the budget trips, the planner
+// adaptively degrades: it discards the partial exact enumeration and
+// plans with Greedy (GOO) instead, which needs only O(n³) pair
+// inspections and always produces a valid — though not necessarily
+// optimal — plan. The downgrade is recorded in Stats.BudgetExhausted
+// and Stats.FallbackGreedy, and Result.Algorithm reports Greedy. With
+// WithoutGreedyFallback the trip is instead a hard error wrapping
+// ErrBudgetExhausted. Huge or adversarial queries therefore degrade
+// gracefully instead of hanging a server.
+//
+// # Plan cache and scratch reuse
+//
+// A Planner owns a bounded LRU plan cache keyed by a canonical graph
+// fingerprint (relation cardinalities and free sets; every edge's
+// hypernodes, selectivity, and operator, in stored order) combined with
+// the planning configuration (algorithm, cost model, conflict rule,
+// edge mode). Repeated traffic over the same query shapes skips
+// enumeration entirely: hits return a deep copy of the cached plan with
+// the original run's Stats and Stats.CacheHit set.
+//
+// Invalidation is structural: there is nothing to invalidate
+// explicitly, because any change to the graph or the configuration
+// changes the key and simply misses, while stale entries age out of the
+// LRU. Two caveats follow from the key definition: relation names,
+// edge labels, and payloads are not part of the fingerprint (they do
+// not influence plan shape), and runs with observation hooks
+// (WithTrace, generate-and-test filters) bypass the cache entirely.
+// WithPlanCacheSize sizes the cache; 0 disables it.
+//
+// Internally, DP tables are recycled through a per-planner pool, so
+// steady traffic reaches a steady state with few allocations.
+//
+// # Compatibility wrappers
+//
+// The historical one-shot entry points remain and are thin wrappers
+// over a lazily-initialized process-wide session (see DefaultPlanner):
+//
+//   - Query.Optimize(opts...) ≡ DefaultPlanner().Plan(context.Background(), q, opts...)
+//   - TreeQuery.Optimize(root, opts...) ≡ DefaultPlanner().PlanTree(...)
+//   - OptimizeGraph(g, opts...) ≡ DefaultPlanner().PlanGraph(...)
+//   - OptimizeJSON(doc, opts...) ≡ DefaultPlanner().PlanJSON(...)
+//
+// They keep compiling and return the same plans as before; they now
+// additionally benefit from the default planner's cache and pooling. A
+// Query's §2.1 connectivity repair runs exactly once, on its first
+// planning call, so repeated Optimize calls are idempotent.
 //
 // # Algorithms
 //
-// Five enumeration strategies share one plan-construction core:
+// Six enumeration strategies share one plan-construction core:
 //
 //   - DPhyp (the paper's contribution, default): enumerates exactly the
 //     csg-cmp-pairs of the hypergraph.
@@ -46,9 +107,11 @@
 //   - DPsub: subset-driven DP with Vance–Maier subset enumeration.
 //   - DPccp (VLDB 2006): the simple-graph special case of DPhyp.
 //   - TopDown: naive memoization, the §1 competitor.
+//   - Greedy: GOO, the heuristic used beyond exact reach and as the
+//     budget fallback.
 //
-// All produce cost-optimal plans over the same search space; they differ
-// only in how much work they waste on failing candidate tests — the
-// subject of the paper's evaluation, reproduced by cmd/dpbench and
-// bench_test.go.
+// The exact algorithms produce cost-optimal plans over the same search
+// space; they differ only in how much work they waste on failing
+// candidate tests — the subject of the paper's evaluation, reproduced
+// by cmd/dpbench and bench_test.go.
 package repro

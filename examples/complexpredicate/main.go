@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,7 @@ func main() {
 	q.ComplexJoin([]repro.RelID{r[0], r[1], r[2]}, []repro.RelID{r[3], r[4], r[5]}, 0.05)
 
 	var trace repro.Trace
-	res, err := q.Optimize(repro.WithTrace(&trace))
+	res, err := repro.NewPlanner().Plan(context.Background(), q, repro.WithTrace(&trace))
 	if err != nil {
 		log.Fatal(err)
 	}

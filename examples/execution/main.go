@@ -9,12 +9,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/algebra"
 	"repro/internal/bitset"
 	"repro/internal/core"
+	"repro/internal/dp"
 	"repro/internal/exec"
 	"repro/internal/optree"
 )
@@ -73,7 +75,7 @@ func main() {
 	tr, err := optree.Analyze(root, rels, optree.Conservative)
 	must(err)
 	g := tr.Hypergraph(optree.TESEdges)
-	p, stats, err := core.Solve(g, core.Options{})
+	p, stats, err := core.Solve(g, core.Options{Limits: dp.Limits{Ctx: context.Background()}})
 	must(err)
 	fmt.Println("\nDPhyp-optimized plan over the TES-derived hypergraph:")
 	fmt.Print(p)

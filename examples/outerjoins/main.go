@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -17,6 +18,10 @@ import (
 
 func main() {
 	const n = 12
+	// Cache-less planners: each row measures real enumeration time.
+	hyp := repro.NewPlanner(repro.WithAlgorithm(repro.DPhyp), repro.WithPlanCacheSize(0))
+	size := repro.NewPlanner(repro.WithAlgorithm(repro.DPsize), repro.WithPlanCacheSize(0))
+	ctx := context.Background()
 	fmt.Printf("cycle query, %d relations; first k operators are left outer joins\n\n", n)
 	fmt.Println("k   #ccp   dphyp[ms]  dpsize[ms]  cost")
 	for k := 0; k <= n-1; k += 1 {
@@ -28,14 +33,14 @@ func main() {
 		g := tr.Hypergraph(optree.TESEdges)
 
 		start := time.Now()
-		res, err := repro.OptimizeGraph(g, repro.WithAlgorithm(repro.DPhyp))
+		res, err := hyp.PlanGraph(ctx, g)
 		if err != nil {
 			log.Fatal(err)
 		}
 		hypMS := float64(time.Since(start).Microseconds()) / 1000
 
 		start = time.Now()
-		_, err = repro.OptimizeGraph(g, repro.WithAlgorithm(repro.DPsize))
+		_, err = size.PlanGraph(ctx, g)
 		if err != nil {
 			log.Fatal(err)
 		}

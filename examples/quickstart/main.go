@@ -1,8 +1,10 @@
-// Quickstart: optimize a TPC-H-flavored inner-join query with DPhyp and
-// compare the enumeration effort of all five algorithms.
+// Quickstart: optimize a TPC-H-flavored inner-join query with DPhyp
+// through a reusable Planner session and compare the enumeration effort
+// of all five exact algorithms.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +30,13 @@ func buildQuery() *repro.Query {
 }
 
 func main() {
-	res, err := buildQuery().Optimize()
+	// One Planner serves the whole process: it owns the cost model, the
+	// plan cache, and the pooled DP scratch state, and may be shared by
+	// any number of goroutines.
+	planner := repro.NewPlanner()
+	ctx := context.Background()
+
+	res, err := planner.Plan(ctx, buildQuery())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +47,7 @@ func main() {
 
 	fmt.Println("algorithm      csg-cmp-pairs  costed plans  cost")
 	for _, alg := range []repro.Algorithm{repro.DPhyp, repro.DPccp, repro.DPsize, repro.DPsub, repro.TopDown} {
-		r, err := buildQuery().Optimize(repro.WithAlgorithm(alg))
+		r, err := planner.Plan(ctx, buildQuery(), repro.WithAlgorithm(alg))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -47,4 +55,10 @@ func main() {
 	}
 	fmt.Println("\nAll algorithms search the same space and find the same optimum;")
 	fmt.Println("they differ in wasted work, which grows with query size (see cmd/dpbench).")
+
+	// Replanning the same query shape hits the fingerprint cache.
+	if r, err := planner.Plan(ctx, buildQuery()); err == nil {
+		fmt.Printf("\nreplanned the same shape: cache hit = %t (metrics: %+v)\n",
+			r.Stats.CacheHit, planner.Metrics())
+	}
 }

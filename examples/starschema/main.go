@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,10 +42,13 @@ func build() (*repro.TreeQuery, *repro.Expr) {
 }
 
 func main() {
+	planner := repro.NewPlanner()
+	ctx := context.Background()
+
 	t, expr := build()
 	fmt.Println("initial operator tree:", t.InitialTree(expr))
 
-	res, err := t.Optimize(expr)
+	res, err := planner.PlanTree(ctx, t, expr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +59,7 @@ func main() {
 	// The same query through the §5.8 generate-and-test paradigm: same
 	// plan quality, more wasted enumeration.
 	t2, expr2 := build()
-	gat, err := t2.Optimize(expr2, repro.WithGenerateAndTest())
+	gat, err := planner.PlanTree(ctx, t2, expr2, repro.WithGenerateAndTest())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -53,6 +53,14 @@ type Options struct {
 	// Trace, when non-nil, records the traversal steps analogous to
 	// Fig. 3.
 	Trace *Trace
+
+	// Limits bounds the run: cancellation is polled inside the
+	// enumeration recursion, and budget trips abort with
+	// dp.ErrBudgetExhausted. The zero value imposes no bounds.
+	Limits dp.Limits
+
+	// Pool, when non-nil, supplies recycled DP scratch state.
+	Pool *dp.Pool
 }
 
 // Solver runs DPhyp over one hypergraph.
@@ -64,18 +72,23 @@ type Solver struct {
 
 // New prepares a solver. The graph must stay unmodified during Run.
 func New(g *hypergraph.Graph, opts Options) *Solver {
-	b := dp.NewBuilder(g, opts.Model)
+	b := opts.Pool.Get(g, opts.Model)
 	b.Filter = opts.Filter
 	b.OnEmit = opts.OnEmit
+	b.SetLimits(opts.Limits)
 	return &Solver{g: g, b: b, opts: opts}
 }
 
 // Solve is the convenience entry point: it runs DPhyp on g and returns
-// the optimal bushy plan without cross products.
+// the optimal bushy plan without cross products. When opts.Pool is set,
+// the solver's scratch state is returned to the pool before Solve
+// returns (the plan itself is not pooled and stays valid).
 func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 	s := New(g, opts)
 	p, err := s.Run()
-	return p, s.Stats(), err
+	st := s.Stats()
+	opts.Pool.Put(s.b)
+	return p, st, err
 }
 
 // Stats returns the enumeration statistics of the last Run.
@@ -95,7 +108,7 @@ func (s *Solver) Run() (*plan.Node, error) {
 
 	// "for each v ∈ V descending according to ≺: EmitCsg({v});
 	// EnumerateCsgRec({v}, B_v)"
-	for v := n - 1; v >= 0; v-- {
+	for v := n - 1; v >= 0 && s.b.Aborted() == nil; v-- {
 		S := bitset.Single(v)
 		s.opts.Trace.add(StepStartNode, S, bitset.Empty)
 		s.emitCsg(S)
@@ -108,6 +121,9 @@ func (s *Solver) Run() (*plan.Node, error) {
 // of forbidden nodes; every node the function will consider itself is
 // forbidden in recursive calls to avoid duplicate enumeration.
 func (s *Solver) enumerateCsgRec(S1, X bitset.Set) {
+	if !s.b.Step() {
+		return
+	}
 	N := s.g.Neighborhood(S1, X)
 	if N.IsEmpty() {
 		return
@@ -116,6 +132,9 @@ func (s *Solver) enumerateCsgRec(S1, X bitset.Set) {
 	// Vance–Maier order enumerates every proper subset of a subset
 	// before it, so the DP order is respected within the loop, too.
 	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
+		if !s.b.Step() {
+			return
+		}
 		next := S1.Union(n)
 		if s.b.Best(next) != nil {
 			s.opts.Trace.add(StepCsg, next, bitset.Empty)
@@ -140,13 +159,16 @@ func (s *Solver) enumerateCsgRec(S1, X bitset.Set) {
 // emitCsg generates the seeds of all complements of the connected
 // subgraph S1 (§3.3).
 func (s *Solver) emitCsg(S1 bitset.Set) {
+	if !s.b.Step() {
+		return
+	}
 	X := S1.Union(bitset.BelowEq(S1.Min()))
 	N := s.g.Neighborhood(S1, X)
 	if N.IsEmpty() {
 		return
 	}
 	// "for each v ∈ N descending according to ≺"
-	for v := N.Max(); v >= 0; v = prevElem(N, v) {
+	for v := N.Max(); v >= 0 && s.b.Aborted() == nil; v = prevElem(N, v) {
 		S2 := bitset.Single(v)
 		// "if ∃(u,v) ∈ E : u ⊆ S1 ∧ v ⊆ S2": the neighborhood may
 		// contain representatives of larger hypernodes that do not yet
@@ -173,11 +195,17 @@ func prevElem(N bitset.Set, v int) int {
 
 // enumerateCmpRec grows the complement S2 of S1 (§3.4).
 func (s *Solver) enumerateCmpRec(S1, S2, X bitset.Set) {
+	if !s.b.Step() {
+		return
+	}
 	N := s.g.Neighborhood(S2, X)
 	if N.IsEmpty() {
 		return
 	}
 	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
+		if !s.b.Step() {
+			return
+		}
 		next := S2.Union(n)
 		// "if dpTable[S2 ∪ N] ≠ ∅ ∧ ∃(u,v) ∈ E : u ⊆ S1 ∧ v ⊆ S2 ∪ N"
 		if s.b.Best(next) != nil && s.g.ConnectsTo(S1, next) {

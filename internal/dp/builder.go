@@ -12,6 +12,8 @@
 package dp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/algebra"
@@ -20,6 +22,30 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/plan"
 )
+
+// ErrBudgetExhausted reports that an enumeration stopped because it
+// reached its Limits before connecting the full graph. Callers that can
+// tolerate suboptimal plans should fall back to a heuristic (GOO) when
+// they see this error; the Planner layer does so automatically.
+var ErrBudgetExhausted = errors.New("dp: enumeration budget exhausted")
+
+// Limits bounds one enumeration run. The zero value imposes no bounds.
+//
+// Ctx is polled periodically (every pollInterval units of enumeration
+// work) so that cancellation interrupts even the O(3^n) inner loops of
+// DPsub within microseconds. The two Max fields cap the paper's two
+// effort yardsticks: csg-cmp-pairs emitted and candidate plans priced.
+type Limits struct {
+	Ctx            context.Context
+	MaxCsgCmpPairs int // 0 = unlimited
+	MaxCostedPlans int // 0 = unlimited
+}
+
+// pollInterval is the number of Step calls between context polls.
+// Polling a context costs an atomic load plus a channel check; amortizing
+// it keeps the per-iteration overhead of the enumeration loops below a
+// nanosecond while still reacting to cancellation promptly.
+const pollInterval = 1024
 
 // EdgeRef identifies a hyperedge connecting a concrete csg-cmp-pair.
 // Flipped is true when the edge's stored (U,V) orientation is reversed
@@ -47,6 +73,11 @@ type Stats struct {
 	InvalidReject int // plans rejected by dependency constraints
 	AmbiguousOps  int // pairs connected by more than one non-inner edge
 	TableEntries  int // number of connected subgraphs with a plan
+
+	// Session-level accounting, filled by the Planner layer.
+	BudgetExhausted bool // exact enumeration stopped at its Limits
+	FallbackGreedy  bool // a GOO plan was substituted after the budget trip
+	CacheHit        bool // served from the planner's fingerprint cache
 }
 
 // Builder is the shared DP state.
@@ -62,6 +93,10 @@ type Builder struct {
 	Stats Stats
 
 	connBuf []EdgeRef
+
+	limits   Limits
+	steps    int
+	abortErr error
 }
 
 // NewBuilder returns a Builder over g using the given cost model
@@ -75,6 +110,36 @@ func NewBuilder(g *hypergraph.Graph, m cost.Model) *Builder {
 		Model: m,
 		Table: make(map[bitset.Set]*plan.Node, 1<<uint(min(g.NumRels(), 20))),
 	}
+}
+
+// SetLimits installs cancellation and budget bounds for the next run.
+func (b *Builder) SetLimits(l Limits) { b.limits = l }
+
+// Aborted returns the cancellation or budget error once a limit has
+// tripped, and nil while the run may proceed. Solvers use it to unwind
+// recursive enumeration cheaply.
+func (b *Builder) Aborted() error { return b.abortErr }
+
+// Step records one unit of enumeration work (a loop iteration or
+// recursive call) and reports whether the run may continue. The context
+// is polled every pollInterval steps; budget limits are enforced in
+// EmitCsgCmp and tryBuild where the counted events happen.
+func (b *Builder) Step() bool {
+	if b.abortErr != nil {
+		return false
+	}
+	if b.limits.Ctx == nil {
+		return true
+	}
+	b.steps++
+	if b.steps%pollInterval != 0 {
+		return true
+	}
+	if err := b.limits.Ctx.Err(); err != nil {
+		b.abortErr = err
+		return false
+	}
+	return true
 }
 
 func min(a, b int) int {
@@ -99,6 +164,10 @@ func (b *Builder) Best(S bitset.Set) *plan.Node { return b.Table[S] }
 // enumeration could not connect the graph (the hypergraph was not
 // Definition-3 connected, or every candidate plan was filtered out).
 func (b *Builder) Final() (*plan.Node, error) {
+	if b.abortErr != nil {
+		b.Stats.TableEntries = len(b.Table)
+		return nil, b.abortErr
+	}
 	p := b.Table[b.G.AllNodes()]
 	if p == nil {
 		return nil, fmt.Errorf("dp: no plan for %v: hypergraph not connected or all plans rejected", b.G.AllNodes())
@@ -112,6 +181,14 @@ func (b *Builder) Final() (*plan.Node, error) {
 // resolves the operator, and prices one orientation for non-commutative
 // operators or both for commutative ones.
 func (b *Builder) EmitCsgCmp(S1, S2 bitset.Set) {
+	if b.abortErr != nil {
+		return
+	}
+	if max := b.limits.MaxCsgCmpPairs; max > 0 && b.Stats.CsgCmpPairs >= max {
+		b.abortErr = fmt.Errorf("%w: %d csg-cmp-pairs emitted (limit %d)",
+			ErrBudgetExhausted, b.Stats.CsgCmpPairs, max)
+		return
+	}
 	b.Stats.CsgCmpPairs++
 	if b.OnEmit != nil {
 		b.OnEmit(S1, S2)
@@ -213,6 +290,11 @@ func (b *Builder) tryBuild(left, right bitset.Set, op algebra.Op, conn []EdgeRef
 			sel *= e.Sel
 			applied = append(applied, i)
 		}
+	}
+	if max := b.limits.MaxCostedPlans; max > 0 && b.Stats.CostedPlans >= max {
+		b.abortErr = fmt.Errorf("%w: %d plans costed (limit %d)",
+			ErrBudgetExhausted, b.Stats.CostedPlans, max)
+		return
 	}
 	card := cost.EstimateCard(op, p1.Card, p2.Card, sel)
 	c := b.Model.JoinCost(op, p1.Cost, p2.Cost, p1.Card, p2.Card, card)

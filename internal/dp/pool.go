@@ -1,0 +1,57 @@
+package dp
+
+import (
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/hypergraph"
+)
+
+// Pool recycles Builders — most importantly their DP table maps, whose
+// bucket arrays are the dominant allocation of an enumeration run —
+// across planning calls. A long-lived Planner owns one Pool so that
+// steady traffic over similar query sizes reaches a steady state with no
+// table allocations at all; clearing a Go map keeps its buckets.
+//
+// A nil *Pool is valid and simply allocates fresh Builders, so solvers
+// can thread an optional pool without nil checks at every call site.
+type Pool struct {
+	pool sync.Pool
+}
+
+// Get returns a Builder over g using model m (cost.Default() if nil),
+// reusing pooled scratch state when available.
+func (p *Pool) Get(g *hypergraph.Graph, m cost.Model) *Builder {
+	if p != nil {
+		if b, ok := p.pool.Get().(*Builder); ok {
+			if m == nil {
+				m = cost.Default()
+			}
+			b.G = g
+			b.Model = m
+			return b
+		}
+	}
+	return NewBuilder(g, m)
+}
+
+// Put clears b's per-run state and returns it to the pool. The plan
+// nodes a finished run produced are allocated individually and only
+// referenced by the table, so the caller's result tree survives. b must
+// not be used after Put.
+func (p *Pool) Put(b *Builder) {
+	if p == nil || b == nil {
+		return
+	}
+	clear(b.Table)
+	b.G = nil
+	b.Model = nil
+	b.Filter = nil
+	b.OnEmit = nil
+	b.Stats = Stats{}
+	b.connBuf = b.connBuf[:0]
+	b.limits = Limits{}
+	b.steps = 0
+	b.abortErr = nil
+	p.pool.Put(b)
+}

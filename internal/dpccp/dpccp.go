@@ -25,6 +25,8 @@ type Options struct {
 	Model  cost.Model
 	Filter dp.Filter
 	OnEmit func(S1, S2 bitset.Set)
+	Limits dp.Limits
+	Pool   *dp.Pool
 }
 
 type solver struct {
@@ -39,9 +41,11 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 			panic("dpccp: hyperedge in input graph; DPccp handles simple graphs only")
 		}
 	}
-	b := dp.NewBuilder(g, opts.Model)
+	b := opts.Pool.Get(g, opts.Model)
+	defer opts.Pool.Put(b)
 	b.Filter = opts.Filter
 	b.OnEmit = opts.OnEmit
+	b.SetLimits(opts.Limits)
 	n := g.NumRels()
 	if n == 0 {
 		return nil, b.Stats, errEmpty
@@ -49,7 +53,7 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 	b.Init()
 	s := &solver{g: g, b: b}
 
-	for v := n - 1; v >= 0; v-- {
+	for v := n - 1; v >= 0 && b.Aborted() == nil; v-- {
 		S := bitset.Single(v)
 		s.emitCmp(S)
 		s.enumerateCsgRec(S, bitset.BelowEq(v))
@@ -62,11 +66,17 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 // structure. On simple graphs S1 ∪ N' is connected for every non-empty
 // N' ⊆ N(S1), so no membership test is required.
 func (s *solver) enumerateCsgRec(S1, X bitset.Set) {
+	if !s.b.Step() {
+		return
+	}
 	N := s.g.Neighborhood(S1, X)
 	if N.IsEmpty() {
 		return
 	}
 	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
+		if !s.b.Step() {
+			return
+		}
 		s.emitCmp(S1.Union(n))
 		if n == N {
 			break
@@ -85,12 +95,15 @@ func (s *solver) enumerateCsgRec(S1, X bitset.Set) {
 // ordered before min(S1) are excluded to avoid duplicate pairs; each
 // complement is grown from its ≺-minimal neighbor.
 func (s *solver) emitCmp(S1 bitset.Set) {
+	if !s.b.Step() {
+		return
+	}
 	X := S1.Union(bitset.BelowEq(S1.Min()))
 	N := s.g.Neighborhood(S1, X)
 	if N.IsEmpty() {
 		return
 	}
-	for v := N.Max(); v >= 0; v = prevElem(N, v) {
+	for v := N.Max(); v >= 0 && s.b.Aborted() == nil; v = prevElem(N, v) {
 		S2 := bitset.Single(v)
 		s.b.EmitCsgCmp(S1, S2)
 		s.growCmp(S1, S2, X.Union(N.Intersect(bitset.BelowEq(v))))
@@ -100,11 +113,17 @@ func (s *solver) emitCmp(S1 bitset.Set) {
 // growCmp extends the complement S2; every grown set remains connected
 // and adjacent to S1, so every subset is emitted unconditionally.
 func (s *solver) growCmp(S1, S2, X bitset.Set) {
+	if !s.b.Step() {
+		return
+	}
 	N := s.g.Neighborhood(S2, X)
 	if N.IsEmpty() {
 		return
 	}
 	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
+		if !s.b.Step() {
+			return
+		}
 		s.b.EmitCsgCmp(S1, S2.Union(n))
 		if n == N {
 			break

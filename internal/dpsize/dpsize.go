@@ -25,19 +25,23 @@ import (
 )
 
 // Options configures a DPsize run. It mirrors core.Options so that the
-// baselines run under identical cost models and filters.
+// baselines run under identical cost models, filters, and limits.
 type Options struct {
 	Model  cost.Model
 	Filter dp.Filter
 	OnEmit func(S1, S2 bitset.Set)
+	Limits dp.Limits
+	Pool   *dp.Pool
 }
 
 // Solve runs DPsize over g and returns the optimal bushy cross-product-
 // free plan, enumeration statistics, and an error if no plan exists.
 func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
-	b := dp.NewBuilder(g, opts.Model)
+	b := opts.Pool.Get(g, opts.Model)
+	defer opts.Pool.Put(b)
 	b.Filter = opts.Filter
 	b.OnEmit = opts.OnEmit
+	b.SetLimits(opts.Limits)
 	n := g.NumRels()
 	if n == 0 {
 		return nil, b.Stats, errEmpty
@@ -52,11 +56,17 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 		bySize[1] = append(bySize[1], bitset.Single(i))
 	}
 
+enumerate:
 	for s := 2; s <= n; s++ { // "for ∀ 1 < s ≤ n ascending: size of plan"
 		for s1 := 1; s1 < s; s1++ { // "size of left subplan"
 			s2 := s - s1
 			for _, S1 := range bySize[s1] {
 				for _, S2 := range bySize[s2] {
+					// The failing (*) tests dominate the run time, so the
+					// cancellation poll sits in the innermost loop.
+					if !b.Step() {
+						break enumerate
+					}
 					if !S1.Disjoint(S2) { // (*) "if S1 ∩ S2 ≠ ∅ continue"
 						continue
 					}

@@ -25,13 +25,17 @@ type Options struct {
 	Model  cost.Model
 	Filter dp.Filter
 	OnEmit func(S1, S2 bitset.Set)
+	Limits dp.Limits
+	Pool   *dp.Pool
 }
 
 // Solve runs DPsub over g.
 func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
-	b := dp.NewBuilder(g, opts.Model)
+	b := opts.Pool.Get(g, opts.Model)
+	defer opts.Pool.Put(b)
 	b.Filter = opts.Filter
 	b.OnEmit = opts.OnEmit
+	b.SetLimits(opts.Limits)
 	n := g.NumRels()
 	if n == 0 {
 		return nil, b.Stats, errEmpty
@@ -41,11 +45,17 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 	all := g.AllNodes()
 	// Ascending integer order enumerates every proper subset of S before
 	// S itself, so the DP order is respected.
+enumerate:
 	for S := bitset.Empty.NextSubset(all); ; S = S.NextSubset(all) {
 		if S.Len() >= 2 {
 			// "DPsub generates all subsets S1 ⊂ S and joins the best
 			// plans for S1 and S2 = S ∖ S1."
 			for S1 := bitset.Empty.NextSubset(S); S1 != S; S1 = S1.NextSubset(S) {
+				// DPsub spends Θ(3^n) iterations mostly on failing subset
+				// tests; poll cancellation in the innermost loop.
+				if !b.Step() {
+					break enumerate
+				}
 				S2 := S.Minus(S1)
 				if b.Best(S1) == nil || b.Best(S2) == nil {
 					continue // one side is not a connected subgraph

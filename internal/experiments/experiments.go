@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -21,8 +22,10 @@ import (
 
 // Runner performs one optimization of a prepared workload. Workload
 // construction happens before the Runner is created, so timing a Runner
-// measures pure optimization time, as the paper does.
-type Runner func() (*plan.Node, dp.Stats, error)
+// measures pure optimization time, as the paper does. The context is
+// threaded into the enumeration loops, so slow cells (16-relation
+// DPsize/DPsub stars run for minutes) can be cut off with a deadline.
+type Runner func(ctx context.Context) (*plan.Node, dp.Stats, error)
 
 // Series is one experiment: a family of workloads swept over X, run by
 // several competing configurations.
@@ -46,16 +49,16 @@ type Series struct {
 func graphRunner(g *hypergraph.Graph, alg string) Runner {
 	switch alg {
 	case "dphyp":
-		return func() (*plan.Node, dp.Stats, error) {
-			return core.Solve(g, core.Options{})
+		return func(ctx context.Context) (*plan.Node, dp.Stats, error) {
+			return core.Solve(g, core.Options{Limits: dp.Limits{Ctx: ctx}})
 		}
 	case "dpsize":
-		return func() (*plan.Node, dp.Stats, error) {
-			return dpsize.Solve(g, dpsize.Options{})
+		return func(ctx context.Context) (*plan.Node, dp.Stats, error) {
+			return dpsize.Solve(g, dpsize.Options{Limits: dp.Limits{Ctx: ctx}})
 		}
 	case "dpsub":
-		return func() (*plan.Node, dp.Stats, error) {
-			return dpsub.Solve(g, dpsub.Options{})
+		return func(ctx context.Context) (*plan.Node, dp.Stats, error) {
+			return dpsub.Solve(g, dpsub.Options{Limits: dp.Limits{Ctx: ctx}})
 		}
 	}
 	panic("experiments: unknown algorithm " + alg)
@@ -132,14 +135,14 @@ func antijoinSeries(n int) Series {
 			switch alg {
 			case "dphyp-hypernodes":
 				g := tr.Hypergraph(optree.TESEdges)
-				return func() (*plan.Node, dp.Stats, error) {
-					return core.Solve(g, core.Options{})
+				return func(ctx context.Context) (*plan.Node, dp.Stats, error) {
+					return core.Solve(g, core.Options{Limits: dp.Limits{Ctx: ctx}})
 				}
 			case "dphyp-tes":
 				g := tr.Hypergraph(optree.SESEdges)
 				f := tr.Filter(g)
-				return func() (*plan.Node, dp.Stats, error) {
-					return core.Solve(g, core.Options{Filter: f})
+				return func(ctx context.Context) (*plan.Node, dp.Stats, error) {
+					return core.Solve(g, core.Options{Filter: f, Limits: dp.Limits{Ctx: ctx}})
 				}
 			}
 			panic("experiments: unknown algorithm " + alg)

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"testing"
 )
 
@@ -55,7 +57,7 @@ func TestQuickRunnersExecute(t *testing.T) {
 		for _, x := range xs {
 			var costs []float64
 			for _, alg := range s.Algs {
-				p, st, err := s.Make(x, alg)()
+				p, st, err := s.Make(x, alg)(context.Background())
 				if err != nil {
 					t.Fatalf("%s x=%d %s: %v", s.ID, x, alg, err)
 				}
@@ -83,11 +85,11 @@ func TestFig8aMechanism(t *testing.T) {
 		t.Fatal("missing fig8a")
 	}
 	k := s.Xs[len(s.Xs)-1] // all antijoins
-	_, hyp, err := s.Make(k, "dphyp-hypernodes")()
+	_, hyp, err := s.Make(k, "dphyp-hypernodes")(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, tes, err := s.Make(k, "dphyp-tes")()
+	_, tes, err := s.Make(k, "dphyp-tes")(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +110,7 @@ func TestFig8bMechanism(t *testing.T) {
 	}
 	pairs := map[int]int{}
 	for _, k := range []int{0, 1, s.Xs[len(s.Xs)-1]} {
-		_, st, err := s.Make(k, "dphyp")()
+		_, st, err := s.Make(k, "dphyp")(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

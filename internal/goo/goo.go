@@ -28,13 +28,17 @@ type Options struct {
 	Model  cost.Model
 	Filter dp.Filter
 	OnEmit func(S1, S2 bitset.Set)
+	Limits dp.Limits
+	Pool   *dp.Pool
 }
 
 // Solve runs greedy operator ordering over g.
 func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
-	b := dp.NewBuilder(g, opts.Model)
+	b := opts.Pool.Get(g, opts.Model)
+	defer opts.Pool.Put(b)
 	b.Filter = opts.Filter
 	b.OnEmit = opts.OnEmit
+	b.SetLimits(opts.Limits)
 	n := g.NumRels()
 	if n == 0 {
 		return nil, b.Stats, errEmpty
@@ -51,6 +55,9 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 		bestCard := 0.0
 		for i := 0; i < len(comps); i++ {
 			for j := i + 1; j < len(comps); j++ {
+				if !b.Step() {
+					return nil, b.Stats, b.Aborted()
+				}
 				if !g.ConnectsTo(comps[i], comps[j]) {
 					continue
 				}
@@ -75,6 +82,9 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 		}
 		merged := s1.Union(s2)
 		if b.Best(merged) == nil {
+			if err := b.Aborted(); err != nil {
+				return nil, b.Stats, err
+			}
 			// The only candidate pair was rejected (dependency or
 			// filter); greedy has no alternative to fall back to.
 			return nil, b.Stats, errRejected

@@ -18,7 +18,9 @@ package hypergraph
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/bitset"
@@ -70,10 +72,18 @@ func (e *Edge) Nodes() bitset.Set { return e.U.Union(e.V).Union(e.W) }
 
 // Graph is a query hypergraph under construction or in use. The zero
 // value is an empty graph; add relations and edges, then hand it to an
-// enumerator. Graphs are not safe for concurrent mutation.
+// enumerator. Graphs are not safe for concurrent mutation; after a call
+// to Freeze (which the Planner performs before enumeration) concurrent
+// readers are safe as long as no further mutations happen.
 type Graph struct {
 	rels  []Relation
 	edges []Edge
+
+	// mu guards the lazily built state (derived indexes, connectivity
+	// memo) so that Freeze and the Definition-3 oracle can be used from
+	// concurrent readers. The relations and edges themselves are only
+	// written by the single-threaded construction phase.
+	mu sync.Mutex
 
 	// Derived indexes, rebuilt lazily after mutations.
 	dirty           bool
@@ -184,6 +194,18 @@ func (g *Graph) AllNodes() bitset.Set { return bitset.Full(len(g.rels)) }
 func (g *Graph) invalidate() {
 	g.dirty = true
 	g.connMemo = nil
+}
+
+// Freeze eagerly builds the derived indexes under the graph's lock.
+// Call it once before handing the graph to concurrent enumerations: the
+// index build is the only write the read path would otherwise perform
+// lazily, so a frozen, no-longer-mutated graph is safe for any number of
+// concurrent readers. (Goroutines observing the clean index state via
+// Freeze's mutex inherit the necessary happens-before edge.)
+func (g *Graph) Freeze() {
+	g.mu.Lock()
+	g.ensureIndex()
+	g.mu.Unlock()
 }
 
 func (g *Graph) ensureIndex() {
@@ -411,10 +433,13 @@ func (g *Graph) IsConnected(S bitset.Set) bool {
 	if S.IsSingleton() {
 		return true
 	}
+	g.mu.Lock()
 	if g.connMemo == nil {
 		g.connMemo = make(map[bitset.Set]bool)
 	}
-	if v, ok := g.connMemo[S]; ok {
+	v, ok := g.connMemo[S]
+	g.mu.Unlock()
+	if ok {
 		return v
 	}
 	// Fix min(S) ∈ V' to avoid checking each partition twice.
@@ -435,7 +460,9 @@ func (g *Graph) IsConnected(S bitset.Set) bool {
 			break
 		}
 	}
+	g.mu.Lock()
 	g.connMemo[S] = res
+	g.mu.Unlock()
 	return res
 }
 
@@ -552,6 +579,42 @@ func (g *Graph) Dot() string {
 	}
 	b.WriteString("}\n")
 	return b.String()
+}
+
+// Fingerprint returns a canonical, collision-free key describing
+// everything about the graph that influences plan choice: the relation
+// cardinalities and free sets, and for every edge its hypernodes,
+// selectivity, and operator, in stored order. Labels, payloads, and
+// relation names are display/execution metadata and are excluded, so two
+// structurally identical queries share a fingerprint and can share a
+// cached plan. Edge order is part of the key because plans reference
+// edges by index.
+func (g *Graph) Fingerprint() string {
+	var b []byte
+	b = strconv.AppendInt(b, int64(len(g.rels)), 10)
+	for i := range g.rels {
+		r := &g.rels[i]
+		b = append(b, '|')
+		b = strconv.AppendFloat(b, r.Card, 'b', -1, 64)
+		if !r.Free.IsEmpty() {
+			b = append(b, '~')
+			b = strconv.AppendUint(b, uint64(r.Free), 16)
+		}
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		b = append(b, ';')
+		b = strconv.AppendUint(b, uint64(e.U), 16)
+		b = append(b, ',')
+		b = strconv.AppendUint(b, uint64(e.V), 16)
+		b = append(b, ',')
+		b = strconv.AppendUint(b, uint64(e.W), 16)
+		b = append(b, ':')
+		b = strconv.AppendFloat(b, e.Sel, 'b', -1, 64)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(e.Op), 10)
+	}
+	return string(b)
 }
 
 // Clone returns a deep copy of the graph (edges share payload pointers).

@@ -204,6 +204,22 @@ func (n *Node) Equal(m *Node) bool {
 		n.Left.Equal(m.Left) && n.Right.Equal(m.Right)
 }
 
+// Clone returns a deep copy of the tree, including the applied-edge
+// slices. The planner's plan cache hands out clones so that one caller
+// mutating a returned plan cannot corrupt another caller's result.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := *n
+	c.Left = n.Left.Clone()
+	c.Right = n.Right.Clone()
+	if n.Edges != nil {
+		c.Edges = append([]int(nil), n.Edges...)
+	}
+	return &c
+}
+
 // Walk calls f for every node in pre-order.
 func (n *Node) Walk(f func(*Node)) {
 	f(n)

@@ -25,13 +25,17 @@ type Options struct {
 	Model  cost.Model
 	Filter dp.Filter
 	OnEmit func(S1, S2 bitset.Set)
+	Limits dp.Limits
+	Pool   *dp.Pool
 }
 
 // Solve runs top-down memoization over g.
 func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
-	b := dp.NewBuilder(g, opts.Model)
+	b := opts.Pool.Get(g, opts.Model)
+	defer opts.Pool.Put(b)
 	b.Filter = opts.Filter
 	b.OnEmit = opts.OnEmit
+	b.SetLimits(opts.Limits)
 	n := g.NumRels()
 	if n == 0 {
 		return nil, b.Stats, errEmpty
@@ -57,6 +61,11 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 		lo := S.MinSet()
 		rest := S.MinusMin()
 		for a := bitset.Empty; ; a = a.NextSubset(rest) {
+			// The partition generate-and-test loop is where this
+			// enumerator spends its time; poll cancellation here.
+			if !b.Step() {
+				return nil
+			}
 			S1 := lo.Union(a)
 			S2 := S.Minus(S1)
 			if S2.IsEmpty() {

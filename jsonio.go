@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -65,15 +66,25 @@ func ParseQuery(data []byte) (*QueryJSON, error) {
 	return &q, nil
 }
 
-// OptimizeJSON analyzes and optimizes a decoded query.
+// OptimizeJSON analyzes and optimizes a decoded query via the default
+// Planner (see DefaultPlanner).
 func OptimizeJSON(q *QueryJSON, opts ...Option) (*Result, error) {
-	if q.Tree != nil {
-		return optimizeJSONTree(q, opts...)
-	}
-	return optimizeJSONGraph(q, opts...)
+	return DefaultPlanner().PlanJSON(context.Background(), q, opts...)
 }
 
-func optimizeJSONGraph(q *QueryJSON, opts ...Option) (*Result, error) {
+// PlanJSON analyzes and optimizes a decoded QueryJSON document under
+// the planner's policy: a hypergraph document is (re)paired for
+// connectivity and enumerated, a tree document goes through conflict
+// analysis first. Cancellation, budgets, the plan cache, and the Greedy
+// fallback all apply as in Plan.
+func (p *Planner) PlanJSON(ctx context.Context, q *QueryJSON, opts ...Option) (*Result, error) {
+	if q.Tree != nil {
+		return p.planJSONTree(ctx, q, opts)
+	}
+	return p.planJSONGraph(ctx, q, opts)
+}
+
+func (p *Planner) planJSONGraph(ctx context.Context, q *QueryJSON, opts []Option) (*Result, error) {
 	g := hypergraph.New()
 	var err error
 	catch(&err, func() {
@@ -99,36 +110,36 @@ func optimizeJSONGraph(q *QueryJSON, opts ...Option) (*Result, error) {
 		}
 	})
 	if err != nil {
-		return nil, err
+		return nil, p.fail(err)
 	}
 	if len(g.Components()) > 1 {
 		g.MakeConnected()
 	}
-	return OptimizeGraph(g, opts...)
+	o := p.merged(opts)
+	o.ctx = ctx
+	return p.planGraph(ctx, g, o, nil)
 }
 
-func optimizeJSONTree(q *QueryJSON, opts ...Option) (*Result, error) {
-	o := defaultOptions()
-	for _, f := range opts {
-		f(&o)
-	}
+func (p *Planner) planJSONTree(ctx context.Context, q *QueryJSON, opts []Option) (*Result, error) {
+	o := p.merged(opts)
+	o.ctx = ctx
 	rels := make([]optree.RelInfo, len(q.Relations))
 	for i, r := range q.Relations {
 		rels[i] = optree.RelInfo{Name: r.Name, Card: r.Card, Free: bitset.New(r.Free...)}
 	}
 	root, err := buildTreeJSON(q.Tree)
 	if err != nil {
-		return nil, err
+		return nil, p.fail(err)
 	}
 	tr, err := optree.Analyze(root, rels, o.rule)
 	if err != nil {
-		return nil, err
+		return nil, p.fail(err)
 	}
 	if o.genAndTest {
 		g := tr.Hypergraph(optree.SESEdges)
-		return solveGraph(g, o, tr.Filter(g))
+		return p.planGraph(ctx, g, o, tr.Filter(g))
 	}
-	return solveGraph(tr.Hypergraph(optree.TESEdges), o, nil)
+	return p.planGraph(ctx, tr.Hypergraph(optree.TESEdges), o, nil)
 }
 
 func buildTreeJSON(n *TreeJSON) (*optree.Node, error) {

@@ -1,0 +1,273 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dp"
+)
+
+// DefaultPlanCacheSize is the capacity of a Planner's plan cache unless
+// overridden with WithPlanCacheSize.
+const DefaultPlanCacheSize = 256
+
+// Planner is a long-lived planning session: it is constructed once with
+// a cost model, conflict rule, and policy (algorithm, enumeration
+// Budget, fallback behavior), and is then safe for concurrent use from
+// any number of goroutines. Compared to the one-shot Optimize entry
+// points, a Planner adds three things a server needs:
+//
+//   - Cancellation: every Plan* method takes a context.Context that is
+//     polled inside the enumeration loops of all algorithms, so hostile
+//     or huge queries can be cut off mid-flight.
+//   - Budgets: WithBudget caps csg-cmp-pairs and costed plans; when the
+//     cap trips, the planner degrades to a Greedy (GOO) plan instead of
+//     hanging, recording the downgrade in Stats.FallbackGreedy.
+//   - Reuse: DP tables are recycled through an internal pool, and
+//     finished plans are cached in a bounded LRU keyed by a canonical
+//     graph fingerprint, so repeated traffic over the same query shapes
+//     skips enumeration entirely (Stats.CacheHit).
+//
+// Per-call Options may be passed to the Plan* methods; they are merged
+// over the planner's construction-time options. The cache remains
+// correct under per-call overrides because its keys include every
+// plan-relevant configuration dimension.
+type Planner struct {
+	base  options
+	pool  *dp.Pool
+	cache *planCache
+
+	plans     atomic.Uint64
+	cacheHits atomic.Uint64
+	fallbacks atomic.Uint64
+	failures  atomic.Uint64
+}
+
+// NewPlanner returns a Planner with the given configuration. With no
+// options it plans with DPhyp under the Cout cost model, an unlimited
+// budget, Greedy fallback enabled, and a DefaultPlanCacheSize plan
+// cache.
+func NewPlanner(opts ...Option) *Planner {
+	o := defaultOptions()
+	for _, f := range opts {
+		f(&o)
+	}
+	p := &Planner{base: o, pool: &dp.Pool{}}
+	p.base.pool = p.pool
+	if o.cacheSize > 0 {
+		p.cache = newPlanCache(o.cacheSize)
+	}
+	return p
+}
+
+// PlannerMetrics is a snapshot of a Planner's cumulative counters.
+type PlannerMetrics struct {
+	Plans     uint64 // successful planning calls, cache hits included
+	CacheHits uint64 // calls served from the plan cache
+	Fallbacks uint64 // Greedy downgrades after budget trips
+	Failures  uint64 // calls that returned an error
+}
+
+// Metrics returns a snapshot of the planner's counters.
+func (p *Planner) Metrics() PlannerMetrics {
+	return PlannerMetrics{
+		Plans:     p.plans.Load(),
+		CacheHits: p.cacheHits.Load(),
+		Fallbacks: p.fallbacks.Load(),
+		Failures:  p.failures.Load(),
+	}
+}
+
+// merged returns the planner's options overlaid with per-call options.
+func (p *Planner) merged(opts []Option) options {
+	o := p.base
+	for _, f := range opts {
+		f(&o)
+	}
+	o.pool = p.pool
+	return o
+}
+
+// Plan optimizes an inner-join query. The query is validated and — on
+// its first planning — repaired to a connected hypergraph (§2.1); the
+// repair is remembered, so planning the same *Query repeatedly (as the
+// cache encourages) does not re-add cross edges.
+func (p *Planner) Plan(ctx context.Context, q *Query, opts ...Option) (*Result, error) {
+	if q.err != nil {
+		return nil, p.fail(q.err)
+	}
+	if q.g.NumRels() == 0 {
+		return nil, p.fail(fmt.Errorf("repro: query has no relations"))
+	}
+	q.ensureConnected()
+	o := p.merged(opts)
+	o.ctx = ctx
+	return p.planGraph(ctx, q.g, o, nil)
+}
+
+// PlanGraph runs the configured algorithm directly on a hypergraph. The
+// graph must not be mutated for the duration of the call; disconnected
+// graphs are not repaired (match the historical OptimizeGraph
+// semantics), so they fail unless the caller ran MakeConnected.
+func (p *Planner) PlanGraph(ctx context.Context, g *Graph, opts ...Option) (*Result, error) {
+	o := p.merged(opts)
+	o.ctx = ctx
+	return p.planGraph(ctx, g, o, nil)
+}
+
+// PlanTree analyzes an operator tree (§5), derives the conflict-
+// covering hypergraph, and optimizes it. Analysis of a shared TreeQuery
+// is serialized internally, so concurrent PlanTree calls on the same
+// query are safe.
+func (p *Planner) PlanTree(ctx context.Context, t *TreeQuery, root *Expr, opts ...Option) (*Result, error) {
+	o := p.merged(opts)
+	o.ctx = ctx
+	g, filter, err := t.derive(root, o)
+	if err != nil {
+		return nil, p.fail(err)
+	}
+	return p.planGraph(ctx, g, o, filter)
+}
+
+// PlanBatch optimizes a batch of queries concurrently (bounded by
+// GOMAXPROCS workers). On success results[i] is the plan for qs[i]. On
+// the first error the remaining work is cancelled and the error is
+// returned; results already finished are returned alongside it.
+func (p *Planner) PlanBatch(ctx context.Context, qs []*Query, opts ...Option) ([]*Result, error) {
+	results := make([]*Result, len(qs))
+	if len(qs) == 0 {
+		return results, nil
+	}
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		firstErr atomic.Pointer[error]
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) || bctx.Err() != nil {
+					return
+				}
+				res, err := p.Plan(bctx, qs[i], opts...)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					cancel()
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if errp := firstErr.Load(); errp != nil {
+		return results, *errp
+	}
+	return results, nil
+}
+
+// planGraph is the shared planning core: cache lookup, enumeration
+// under limits, adaptive Greedy fallback, cache fill.
+func (p *Planner) planGraph(ctx context.Context, g *Graph, o options, filter dp.Filter) (*Result, error) {
+	// A caller that already gave up gets its context error immediately —
+	// even a cache hit would be answering nobody.
+	if err := ctx.Err(); err != nil {
+		return nil, p.fail(err)
+	}
+
+	// Build the graph's derived indexes up front, under the graph's
+	// lock: afterwards the enumeration only reads the graph, which makes
+	// concurrent planning over a shared graph safe.
+	g.Freeze()
+
+	// Observation hooks make a run non-reproducible from the cache (the
+	// hook would not fire on a hit), and generate-and-test filters carry
+	// per-analysis conflict state the fingerprint cannot see; bypass the
+	// cache for both.
+	cacheable := p.cache != nil && filter == nil && o.trace == nil && o.onEmit == nil
+	var key string
+	if cacheable {
+		key = configKey(o) + "\x00" + g.Fingerprint()
+		if res, ok := p.cache.get(key); ok {
+			res.Graph = g
+			p.plans.Add(1)
+			p.cacheHits.Add(1)
+			return res, nil
+		}
+	}
+
+	pl, st, err := runSolver(g, o, filter)
+	if err != nil {
+		if o.noFallback || o.alg == Greedy || !errors.Is(err, dp.ErrBudgetExhausted) {
+			return nil, p.fail(err)
+		}
+		// Budget trip: degrade to GOO. The greedy pass keeps the
+		// context (cancellation still applies) but runs without a pair
+		// budget — it needs only O(n³) pair inspections.
+		og := o
+		og.alg = Greedy
+		og.budget = Budget{}
+		og.trace = nil
+		gp, gst, gerr := runSolver(g, og, filter)
+		if gerr != nil {
+			return nil, p.fail(fmt.Errorf("repro: greedy fallback after budget trip: %w", gerr))
+		}
+		// Account for the work the aborted exact pass performed.
+		gst.CsgCmpPairs += st.CsgCmpPairs
+		gst.CostedPlans += st.CostedPlans
+		gst.BudgetExhausted = true
+		gst.FallbackGreedy = true
+		p.fallbacks.Add(1)
+		pl, st, o.alg = gp, gst, Greedy
+	}
+	if cacheable {
+		p.cache.add(key, pl, st, o.alg)
+	}
+	p.plans.Add(1)
+	return &Result{Plan: pl, Stats: st, Graph: g, Algorithm: o.alg}, nil
+}
+
+func (p *Planner) fail(err error) error {
+	p.failures.Add(1)
+	return err
+}
+
+// configKey encodes every configuration dimension that influences plan
+// choice, so per-call option overrides cannot alias cache entries. The
+// budget and fallback policy are part of the key because a budget trip
+// caches a Greedy plan — which must not be served to a call that could
+// afford the exact enumeration (or that asked for a hard error).
+func configKey(o options) string {
+	return fmt.Sprintf("%d/%s/%v/%t/%d:%d/%t",
+		o.alg, o.model.Name(), o.rule, o.genAndTest,
+		o.budget.MaxCsgCmpPairs, o.budget.MaxCostedPlans, o.noFallback)
+}
+
+var (
+	defaultPlannerOnce sync.Once
+	defaultPlannerInst *Planner
+)
+
+// DefaultPlanner returns the lazily-initialized process-wide Planner
+// backing the one-shot Query.Optimize, TreeQuery.Optimize,
+// OptimizeGraph, and OptimizeJSON compatibility wrappers. It uses the
+// default configuration (DPhyp, Cout, unlimited budget, shared plan
+// cache); per-call options passed to the wrappers are merged on top.
+func DefaultPlanner() *Planner {
+	defaultPlannerOnce.Do(func() { defaultPlannerInst = NewPlanner() })
+	return defaultPlannerInst
+}

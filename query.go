@@ -1,7 +1,9 @@
 package repro
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/bitset"
 	"repro/internal/hypergraph"
@@ -18,6 +20,13 @@ type RelID int
 type Query struct {
 	g   *hypergraph.Graph
 	err error
+
+	// repair runs the §2.1 connectivity repair exactly once, on the
+	// first planning call. The hypergraph is effectively frozen from
+	// that point on: re-planning the same query (which a caching Planner
+	// does constantly) must not re-add cross edges, and relations added
+	// after the first plan are not re-repaired.
+	repair sync.Once
 }
 
 // NewQuery returns an empty query.
@@ -102,20 +111,28 @@ func (q *Query) Graph() *Graph { return q.g }
 // Err returns the first construction error, if any.
 func (q *Query) Err() error { return q.err }
 
+// ensureConnected applies the §2.1 connectivity repair exactly once;
+// concurrent planning calls on the same query serialize on the sync.Once
+// so the graph is mutated by at most one goroutine, before any of them
+// starts enumerating.
+func (q *Query) ensureConnected() {
+	q.repair.Do(func() {
+		if len(q.g.Components()) > 1 {
+			q.g.MakeConnected()
+		}
+	})
+}
+
 // Optimize finds the optimal bushy cross-product-free plan. If the query
 // graph is disconnected it is first repaired with selectivity-1 cross
-// hyperedges between components (§2.1).
+// hyperedges between components (§2.1); the repair happens once, so
+// calling Optimize repeatedly is idempotent.
+//
+// Optimize is a convenience wrapper over the default Planner (see
+// DefaultPlanner); servers wanting cancellation, budgets, or an isolated
+// cache should construct their own Planner and call Plan.
 func (q *Query) Optimize(opts ...Option) (*Result, error) {
-	if q.err != nil {
-		return nil, q.err
-	}
-	if q.g.NumRels() == 0 {
-		return nil, fmt.Errorf("repro: query has no relations")
-	}
-	if len(q.g.Components()) > 1 {
-		q.g.MakeConnected()
-	}
-	return OptimizeGraph(q.g, opts...)
+	return DefaultPlanner().Plan(context.Background(), q, opts...)
 }
 
 func (q *Query) toSet(ids []RelID) (bitset.Set, error) {

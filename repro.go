@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/algebra"
@@ -17,6 +18,12 @@ import (
 	"repro/internal/plan"
 	"repro/internal/topdown"
 )
+
+// ErrBudgetExhausted is the sentinel wrapped by planning errors when an
+// exact enumeration stopped at its Budget and no Greedy fallback was
+// available (the fallback was disabled, the algorithm already was
+// Greedy, or the greedy pass itself failed). Test with errors.Is.
+var ErrBudgetExhausted = dp.ErrBudgetExhausted
 
 // Re-exported building blocks. The internal packages hold the
 // implementations; these aliases make the public API self-contained.
@@ -94,7 +101,21 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 	return 0, fmt.Errorf("repro: unknown algorithm %q (have dphyp, dpsize, dpsub, dpccp, topdown, greedy)", s)
 }
 
-// Option configures Optimize.
+// Budget bounds the effort of one exact enumeration. The zero value
+// imposes no bounds. When a limit trips, a Planner with the default
+// policy falls back to Greedy (GOO) and records the downgrade in Stats;
+// without the fallback the planning call fails with an error wrapping
+// ErrBudgetExhausted.
+type Budget struct {
+	// MaxCsgCmpPairs caps the number of csg-cmp-pairs emitted — the
+	// paper's §2.2 yardstick for enumeration effort. 0 = unlimited.
+	MaxCsgCmpPairs int
+	// MaxCostedPlans caps the number of candidate plans priced.
+	// 0 = unlimited.
+	MaxCostedPlans int
+}
+
+// Option configures a Planner or a single planning call.
 type Option func(*options)
 
 type options struct {
@@ -105,10 +126,22 @@ type options struct {
 	noSimplify bool
 	trace      *Trace
 	onEmit     func(s1, s2 bitset.Set)
+
+	// Session knobs (see Planner).
+	ctx        context.Context
+	budget     Budget
+	cacheSize  int
+	noFallback bool
+	pool       *dp.Pool
 }
 
 func defaultOptions() options {
-	return options{alg: DPhyp, model: cost.Default(), rule: optree.Conservative}
+	return options{
+		alg:       DPhyp,
+		model:     cost.Default(),
+		rule:      optree.Conservative,
+		cacheSize: DefaultPlanCacheSize,
+	}
 }
 
 // WithAlgorithm selects the enumeration algorithm (default DPhyp).
@@ -136,6 +169,20 @@ func WithoutSimplification() Option { return func(o *options) { o.noSimplify = t
 // WithTrace records the enumeration steps into t.
 func WithTrace(t *Trace) Option { return func(o *options) { o.trace = t } }
 
+// WithBudget bounds exact enumeration effort (see Budget). On a Planner
+// it applies to every plan; on a single call it overrides the planner's
+// default for that call.
+func WithBudget(b Budget) Option { return func(o *options) { o.budget = b } }
+
+// WithPlanCacheSize sets the capacity (in entries) of a Planner's
+// fingerprint-keyed plan cache; n <= 0 disables caching. The default is
+// DefaultPlanCacheSize. Only meaningful when passed to NewPlanner.
+func WithPlanCacheSize(n int) Option { return func(o *options) { o.cacheSize = n } }
+
+// WithoutGreedyFallback makes budget exhaustion a hard error (wrapping
+// ErrBudgetExhausted) instead of degrading to a Greedy plan.
+func WithoutGreedyFallback() Option { return func(o *options) { o.noFallback = true } }
+
 // Result is the outcome of an optimization.
 type Result struct {
 	// Plan is the optimal operator tree.
@@ -145,6 +192,10 @@ type Result struct {
 	// Graph is the hypergraph the enumeration ran on (for tree queries,
 	// the TES- or SES-derived graph).
 	Graph *Graph
+	// Algorithm is the algorithm that produced Plan. It differs from the
+	// requested one when the Planner downgraded to Greedy after a budget
+	// trip (Stats.FallbackGreedy is then set).
+	Algorithm Algorithm
 }
 
 // Cost returns the plan's total cost under the optimizing model.
@@ -153,43 +204,39 @@ func (r *Result) Cost() float64 { return r.Plan.Cost }
 // Cardinality returns the estimated result size.
 func (r *Result) Cardinality() float64 { return r.Plan.Card }
 
-// solveGraph dispatches a hypergraph to the selected algorithm.
-func solveGraph(g *Graph, o options, filter dp.Filter) (*Result, error) {
-	var (
-		p   *PlanNode
-		st  Stats
-		err error
-	)
+// runSolver dispatches a hypergraph to the selected algorithm. It
+// returns the enumeration statistics even on error so that the Planner
+// can account for the work an aborted exact pass performed before its
+// Greedy fallback.
+func runSolver(g *Graph, o options, filter dp.Filter) (*PlanNode, Stats, error) {
+	limits := dp.Limits{
+		Ctx:            o.ctx,
+		MaxCsgCmpPairs: o.budget.MaxCsgCmpPairs,
+		MaxCostedPlans: o.budget.MaxCostedPlans,
+	}
 	switch o.alg {
 	case DPhyp:
-		p, st, err = core.Solve(g, core.Options{Model: o.model, Filter: filter, Trace: o.trace, OnEmit: o.onEmit})
+		return core.Solve(g, core.Options{Model: o.model, Filter: filter, Trace: o.trace, OnEmit: o.onEmit, Limits: limits, Pool: o.pool})
 	case DPsize:
-		p, st, err = dpsize.Solve(g, dpsize.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit})
+		return dpsize.Solve(g, dpsize.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool})
 	case DPsub:
-		p, st, err = dpsub.Solve(g, dpsub.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit})
+		return dpsub.Solve(g, dpsub.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool})
 	case DPccp:
-		p, st, err = dpccp.Solve(g, dpccp.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit})
+		return dpccp.Solve(g, dpccp.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool})
 	case TopDown:
-		p, st, err = topdown.Solve(g, topdown.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit})
+		return topdown.Solve(g, topdown.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool})
 	case Greedy:
-		p, st, err = goo.Solve(g, goo.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit})
+		return goo.Solve(g, goo.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool})
 	default:
-		return nil, fmt.Errorf("repro: unknown algorithm %v", o.alg)
+		return nil, Stats{}, fmt.Errorf("repro: unknown algorithm %v", o.alg)
 	}
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Plan: p, Stats: st, Graph: g}, nil
 }
 
-// OptimizeGraph runs the selected algorithm directly on a hypergraph.
-// Most callers use Query.Optimize or TreeQuery.Optimize instead; this
-// entry point serves tools and benchmarks that build graphs through the
-// internal workload generators.
+// OptimizeGraph runs the selected algorithm directly on a hypergraph
+// through the default Planner (see DefaultPlanner). Most callers use
+// Query.Optimize or TreeQuery.Optimize instead; this entry point serves
+// tools and benchmarks that build graphs through the internal workload
+// generators.
 func OptimizeGraph(g *Graph, opts ...Option) (*Result, error) {
-	o := defaultOptions()
-	for _, f := range opts {
-		f(&o)
-	}
-	return solveGraph(g, o, nil)
+	return DefaultPlanner().PlanGraph(context.Background(), g, opts...)
 }

@@ -1,10 +1,13 @@
 package repro
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/bitset"
+	"repro/internal/dp"
 	"repro/internal/optree"
 	"repro/internal/simplify"
 )
@@ -16,6 +19,15 @@ import (
 type TreeQuery struct {
 	rels []optree.RelInfo
 	err  error
+
+	// mu serializes conflict analysis and hypergraph derivation: the
+	// §5.2 simplification pass rewrites the operator tree in place and
+	// optree.Analyze stores eligibility sets on the shared nodes, so
+	// concurrent PlanTree calls on one TreeQuery must not analyze or
+	// read those nodes simultaneously. Enumeration runs on the derived
+	// per-call hypergraph (and a filter that copies its TES data),
+	// outside the lock.
+	mu sync.Mutex
 }
 
 // NewTreeQuery returns an empty tree query.
@@ -153,17 +165,30 @@ func (t *TreeQuery) Analyze(root *Expr, opts ...Option) (*Graph, error) {
 	for _, f := range opts {
 		f(&o)
 	}
-	tr, _, err := t.analyze(root, o)
-	if err != nil {
-		return nil, err
-	}
-	mode := optree.TESEdges
-	if o.genAndTest {
-		mode = optree.SESEdges
-	}
-	return tr.Hypergraph(mode), nil
+	g, _, err := t.derive(root, o)
+	return g, err
 }
 
+// derive runs conflict analysis and builds the query hypergraph — plus,
+// in generate-and-test mode, the late TES filter — under the query's
+// lock. The returned graph and filter hold no references to the mutable
+// tree state, so enumeration can proceed concurrently with other
+// derivations.
+func (t *TreeQuery) derive(root *Expr, o options) (*Graph, dp.Filter, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr, _, err := t.analyze(root, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	if o.genAndTest {
+		g := tr.Hypergraph(optree.SESEdges)
+		return g, tr.Filter(g), nil
+	}
+	return tr.Hypergraph(optree.TESEdges), nil, nil
+}
+
+// analyze must be called with t.mu held.
 func (t *TreeQuery) analyze(root *Expr, o options) (*optree.Tree, *optree.Node, error) {
 	if t.err != nil {
 		return nil, nil, t.err
@@ -187,20 +212,11 @@ func (t *TreeQuery) analyze(root *Expr, o options) (*optree.Tree, *optree.Node, 
 // hypergraph (§5.7), and runs the selected algorithm. With
 // WithGenerateAndTest the SES graph plus a late TES filter is used
 // instead (§5.8's slower alternative).
+//
+// Optimize is a convenience wrapper over the default Planner (see
+// DefaultPlanner); use Planner.PlanTree for cancellation and budgets.
 func (t *TreeQuery) Optimize(root *Expr, opts ...Option) (*Result, error) {
-	o := defaultOptions()
-	for _, f := range opts {
-		f(&o)
-	}
-	tr, _, err := t.analyze(root, o)
-	if err != nil {
-		return nil, err
-	}
-	if o.genAndTest {
-		g := tr.Hypergraph(optree.SESEdges)
-		return solveGraph(g, o, tr.Filter(g))
-	}
-	return solveGraph(tr.Hypergraph(optree.TESEdges), o, nil)
+	return DefaultPlanner().PlanTree(context.Background(), t, root, opts...)
 }
 
 // InitialTree renders the initial operator tree (for documentation and
