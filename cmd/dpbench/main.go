@@ -16,6 +16,17 @@
 // the same series the paper plots — plus the number of csg-cmp-pairs
 // enumerated (the search-space size of §2.2). Cells cancelled by
 // -cell-timeout print "t/o" (tables) or a row with ms = -1 (CSV).
+//
+// A second mode sweeps the §4 shape families (chain, cycle, star,
+// clique) through the public Planner with a chosen solver and cost
+// model instead of the fixed experiment series:
+//
+//	dpbench -solver auto               # topology-routed solver selection
+//	dpbench -solver auto -cost physical
+//	dpbench -solver dphyp -cost cmm -sweep-max-n 14
+//
+// With -solver auto each row additionally reports which algorithm the
+// planner's topology router picked for the cell.
 package main
 
 import (
@@ -28,8 +39,10 @@ import (
 	"strings"
 	"time"
 
+	"repro"
 	"repro/internal/dp"
 	"repro/internal/experiments"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -40,8 +53,16 @@ func main() {
 		reps    = flag.Int("reps", 3, "repetitions per measurement (median is reported)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of tables")
 		timeout = flag.Duration("cell-timeout", 0, "per-cell deadline, 0 = none (cancellation is checked inside the enumeration loops)")
+		solver  = flag.String("solver", "", "run the §4 shape sweep with this solver (auto | dphyp | dpsize | dpsub | dpccp | topdown | greedy) instead of the experiment suite")
+		costMod = flag.String("cost", "cout", "cost model for the -solver sweep: cout | cmm | nlj | hash | physical")
+		sweepN  = flag.Int("sweep-max-n", 12, "largest relation count per family in the -solver sweep")
 	)
 	flag.Parse()
+
+	if *solver != "" {
+		runShapeSweep(*solver, *costMod, *sweepN, *reps, *csv, *timeout)
+		return
+	}
 
 	set := experiments.Quick()
 	if *full {
@@ -151,6 +172,107 @@ func measure(r experiments.Runner, reps int, timeout time.Duration) (float64, dp
 	}
 	sort.Float64s(times)
 	return times[len(times)/2], stats, cost, false
+}
+
+// runShapeSweep drives the §4 chain/cycle/star/clique families through
+// the public Planner — the adaptive-planning counterpart of the fixed
+// experiment series. Cliques are capped at 12 relations for exact
+// solvers (their Θ(3ⁿ) cells leave the benchmark regime); the auto
+// router degrades larger cliques to greedy by itself, so -solver auto
+// sweeps the full range.
+func runShapeSweep(solverName, costName string, maxN, reps int, csv bool, timeout time.Duration) {
+	if reps < 1 {
+		reps = 1
+	}
+	alg, err := repro.ParseAlgorithm(solverName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpbench:", err)
+		os.Exit(2)
+	}
+	model, err := repro.ParseCostModel(costName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpbench:", err)
+		os.Exit(2)
+	}
+	// Caching is disabled: every cell must measure a real enumeration.
+	planner := repro.NewPlanner(
+		repro.WithAlgorithm(alg),
+		repro.WithCostModel(model),
+		repro.WithPlanCacheSize(0),
+	)
+	cfg := workload.DefaultConfig()
+
+	cliqueMax := maxN
+	if alg != repro.SolverAuto && alg != repro.Greedy && cliqueMax > 12 {
+		cliqueMax = 12
+	}
+	families := []struct {
+		name string
+		make func(n int) *repro.Graph
+		maxN int
+	}{
+		{"chain", func(n int) *repro.Graph { return workload.Chain(n, cfg) }, maxN},
+		{"cycle", func(n int) *repro.Graph { return workload.Cycle(n, cfg) }, maxN},
+		{"star", func(n int) *repro.Graph { return workload.Star(n, cfg) }, maxN},
+		{"clique", func(n int) *repro.Graph { return workload.Clique(n, cfg) }, cliqueMax},
+	}
+
+	if csv {
+		fmt.Println("family,n,solver,cost_model,algorithm,ms,csg_cmp_pairs,cost")
+	} else {
+		fmt.Printf("\n## §4 shape sweep  [solver=%s cost=%s]\n\n", solverName, costName)
+		fmt.Println("| family | n | algorithm | ms | #ccp | cost |")
+		fmt.Println("|---|---|---|---|---|---|")
+	}
+	for _, fam := range families {
+		for n := 4; n <= fam.maxN; n++ {
+			g := fam.make(n)
+			var (
+				times []float64
+				res   *repro.Result
+			)
+			timedOut := false
+			for r := 0; r < reps; r++ {
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if timeout > 0 {
+					ctx, cancel = context.WithTimeout(ctx, timeout)
+				}
+				start := time.Now()
+				out, err := planner.PlanGraph(ctx, g)
+				elapsed := time.Since(start)
+				cancel()
+				if err != nil {
+					if errors.Is(err, context.DeadlineExceeded) {
+						timedOut = true
+						break
+					}
+					fmt.Fprintf(os.Stderr, "dpbench: %s n=%d: %v\n", fam.name, n, err)
+					os.Exit(1)
+				}
+				res = out
+				times = append(times, float64(elapsed.Nanoseconds())/1e6)
+			}
+			if timedOut {
+				if csv {
+					fmt.Printf("%s,%d,%s,%s,,-1,0,NaN\n", fam.name, n, solverName, costName)
+				} else {
+					fmt.Printf("| %s | %d | t/o | t/o | | |\n", fam.name, n)
+				}
+				continue
+			}
+			sort.Float64s(times)
+			ms := times[len(times)/2]
+			algName := res.Algorithm.String()
+			if csv {
+				fmt.Printf("%s,%d,%s,%s,%s,%.4f,%d,%g\n",
+					fam.name, n, solverName, costName, algName, ms, res.Stats.CsgCmpPairs, res.Cost())
+			} else {
+				fmt.Printf("| %s | %d | %s | %s | %d | %.4g |\n",
+					fam.name, n, algName, fmtMS(ms), res.Stats.CsgCmpPairs, res.Cost())
+			}
+		}
+	}
 }
 
 func fmtMS(ms float64) string {

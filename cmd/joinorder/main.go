@@ -5,6 +5,8 @@
 //
 //	joinorder query.json
 //	joinorder -algorithm dpsize query.json
+//	joinorder -algorithm auto query.json      # topology-routed solver
+//	joinorder -model physical query.json      # physical operator selection
 //	cat query.json | joinorder -
 //	joinorder -trace -stats query.json
 //	joinorder -dot query.json        # emit the query hypergraph as Graphviz
@@ -32,8 +34,8 @@ import (
 
 func main() {
 	var (
-		algName   = flag.String("algorithm", "dphyp", "dphyp | dpsize | dpsub | dpccp | topdown | greedy")
-		modelName = flag.String("model", "cout", "cost model: cout | nlj | hash")
+		algName   = flag.String("algorithm", "dphyp", "dphyp | dpsize | dpsub | dpccp | topdown | greedy | auto")
+		modelName = flag.String("model", "cout", "cost model: cout | cmm | nlj | hash | physical")
 		genTest   = flag.Bool("generate-and-test", false, "use the §5.8 TES generate-and-test mode for tree queries")
 		published = flag.Bool("published-rule", false, "use the literal §5.5 conflict rule instead of the conservative default")
 		showTrace = flag.Bool("trace", false, "print the DPhyp enumeration trace (Fig. 3 style)")
@@ -64,17 +66,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	opts := []repro.Option{repro.WithAlgorithm(alg)}
-	switch *modelName {
-	case "cout":
-		opts = append(opts, repro.WithCostModel(repro.Cout))
-	case "nlj":
-		opts = append(opts, repro.WithCostModel(repro.NestedLoop))
-	case "hash":
-		opts = append(opts, repro.WithCostModel(repro.Hash))
-	default:
-		fail(fmt.Errorf("unknown cost model %q", *modelName))
+	model, err := repro.ParseCostModel(*modelName)
+	if err != nil {
+		fail(err)
 	}
+	opts := []repro.Option{repro.WithAlgorithm(alg), repro.WithCostModel(model)}
 	if *genTest {
 		opts = append(opts, repro.WithGenerateAndTest())
 	}
@@ -122,6 +118,9 @@ func main() {
 		fmt.Printf("csg-cmp-pairs=%d costed-plans=%d filter-rejected=%d invalid-rejected=%d table-entries=%d algorithm=%s budget-exhausted=%t fallback-greedy=%t\n",
 			s.CsgCmpPairs, s.CostedPlans, s.FilterReject, s.InvalidReject, s.TableEntries,
 			res.Algorithm, s.BudgetExhausted, s.FallbackGreedy)
+		if s.AutoRouted {
+			fmt.Printf("auto-routed: shape=%s routed-algorithm=%s\n", s.Shape, s.RoutedAlgorithm)
+		}
 	}
 	if *showTrace {
 		fmt.Print(tr.String())

@@ -113,5 +113,57 @@
 // The exact algorithms produce cost-optimal plans over the same search
 // space; they differ only in how much work they waste on failing
 // candidate tests — the subject of the paper's evaluation, reproduced
-// by cmd/dpbench and bench_test.go.
+// by cmd/dpbench and bench_test.go. A cross-solver differential suite
+// (internal/oracle) locks this equivalence down: every solver under
+// every cost model is fuzzed against a brute-force bushy-plan oracle.
+//
+// # Adaptive solver selection
+//
+// The paper's central empirical finding is that the best enumerator
+// depends on the query's shape. WithAlgorithm(SolverAuto) acts on it:
+// before enumeration the planner classifies the hypergraph's topology
+// (internal/shape — chain, cycle, star, clique, grid, or mixed, in
+// O(edges) and invariant under relation relabeling) and routes per the
+// §4 crossover data:
+//
+//   - hyperedges present → DPhyp (Figs. 5/6: lowest on every hyperedge
+//     workload)
+//   - star → DPhyp (Fig. 7: DPhyp ≪ DPsub < DPsize)
+//   - chain → DPsize, cycle → DPccp (all exact solvers are close on
+//     sparse simple shapes; these have the smallest constants)
+//   - clique → TopDown (every subset is connected, so the failing
+//     connectivity tests that dominate elsewhere vanish)
+//   - grid/mixed → DPhyp (the overall winner)
+//   - beyond per-shape size cutoffs → Greedy up front (cliques emit
+//     Θ(3ⁿ) csg-cmp-pairs, stars Θ(n·2ⁿ); exact enumeration leaves the
+//     interactive regime in the mid-teens)
+//
+// The decision is observable: Stats.Shape and Stats.RoutedAlgorithm
+// record what the router saw and picked, and Result.Algorithm reports
+// what actually ran (Greedy after a budget trip, with the routed
+// algorithm still in Stats.RoutedAlgorithm). Routing never changes the
+// returned plan's cost among the exact solvers — they explore the same
+// bushy cross-product-free space — so SolverAuto trades only time,
+// never quality, until a size cutoff or budget degrades to Greedy.
+//
+// # Cost models
+//
+// Plans are priced through the pluggable CostModel interface
+// (internal/cost.Model): JoinCost receives the operator, the input
+// costs and cardinalities, and the estimated output cardinality, and
+// returns the total cost of the combined plan. Any implementation that
+// is monotone in the input costs (Bellman admissibility) can be passed
+// via WithCostModel. Provided models:
+//
+//   - Cout (default): sum of intermediate-result cardinalities, the
+//     standard model of the join-ordering literature.
+//   - Cmm: per-operator main-memory weights (builds dearer than probes,
+//     semijoins cheap, outer joins pay for padding).
+//   - NestedLoop, Hash: classical single-implementation models.
+//   - Physical: prices hash join, sort-merge join, and index
+//     nested-loop per node and keeps the cheapest; the winning
+//     implementation is recorded in PlanNode.Phys, so the optimized
+//     tree doubles as a physical plan. Custom models can do the same by
+//     implementing cost.PhysicalModel (ChooseJoin must return the cost
+//     JoinCost reports).
 package repro

@@ -188,6 +188,53 @@ func (o Op) PadsRight() bool {
 // PadsLeft reports whether the operator can NULL-pad left-side columns.
 func (o Op) PadsLeft() bool { return o == FullOuter }
 
+// PhysOp identifies the physical implementation a physical cost model
+// chose for a join node. The logical-only cost models (C_out, C_mm, …)
+// leave plan nodes at PhysNone; a cost.PhysicalModel picks one of the
+// concrete algorithms per node and the plan generator records it.
+type PhysOp uint8
+
+// The physical join implementations.
+const (
+	// PhysNone means no physical choice was made (logical costing).
+	PhysNone PhysOp = iota
+	// PhysHashJoin builds a hash table on the right input and probes
+	// with the left.
+	PhysHashJoin
+	// PhysSortMerge sorts both inputs on the join key and merges.
+	PhysSortMerge
+	// PhysIndexNLJ looks up each left row in an index (or re-evaluates
+	// the right side, for dependent joins) — nested-loop style.
+	PhysIndexNLJ
+
+	numPhysOps
+)
+
+var physOpNames = [...]string{
+	PhysNone:      "none",
+	PhysHashJoin:  "hash",
+	PhysSortMerge: "sort-merge",
+	PhysIndexNLJ:  "index-nlj",
+}
+
+// String returns the stable lower-case name of the physical operator.
+func (p PhysOp) String() string {
+	if int(p) < len(physOpNames) {
+		return physOpNames[p]
+	}
+	return fmt.Sprintf("physop(%d)", uint8(p))
+}
+
+// ParsePhysOp is the inverse of PhysOp.String.
+func ParsePhysOp(name string) (PhysOp, error) {
+	for p := PhysNone; p < numPhysOps; p++ {
+		if physOpNames[p] == name {
+			return p, nil
+		}
+	}
+	return PhysNone, fmt.Errorf("algebra: unknown physical operator %q", name)
+}
+
 // OC is the operator conflict predicate of §5.5 / appendix A.3:
 //
 //	OC(∘1,∘2) = (∘1 = B ∧ ∘2 = M)

@@ -15,6 +15,13 @@
 // operators get the natural adaptations (a left outer join preserves all
 // left rows; a semijoin never exceeds the left input; a nestjoin emits
 // exactly one row per left row; and so on).
+//
+// The models are pluggable: anything implementing Model (or
+// PhysicalModel, to additionally choose hash/sort-merge/index-NLJ
+// implementations per node) can be handed to the enumeration algorithms
+// through the planner's WithCostModel option. Implementations provided
+// here: Cout (default), NestedLoop, Hash, Cmm (per-operator main-memory
+// weights), and Physical (operator selection).
 package cost
 
 import (
@@ -101,6 +108,126 @@ func (Hash) JoinCost(_ algebra.Op, leftCost, rightCost, leftCard, rightCard, out
 
 // Name implements Model.
 func (Hash) Name() string { return "Chash" }
+
+// Cmm is an adaptation of the C_mm main-memory cost model (Moerkotte,
+// "Building Query Compilers"): joins are priced as hash-based
+// implementations with per-operator weights instead of C_out's uniform
+// "one unit per output row". Builds are dearer than probes, semi- and
+// antijoins probe with early-out and materialize no combined rows,
+// outer joins pay for NULL padding, and nestjoins re-evaluate their
+// right side per left row.
+type Cmm struct{}
+
+// Per-row weights of the C_mm adaptation.
+const (
+	cmmProbe = 1.0 // hashing + probing one left row
+	cmmBuild = 2.0 // building one hash table entry
+	cmmOut   = 0.5 // materializing one output row
+)
+
+// JoinCost implements Model.
+func (Cmm) JoinCost(op algebra.Op, leftCost, rightCost, leftCard, rightCard, outCard float64) float64 {
+	local := cmmProbe*leftCard + cmmBuild*rightCard
+	switch op.RegularVariant() {
+	case algebra.SemiJoin, algebra.AntiJoin:
+		// Early-out probes; output rows are references to left rows.
+		local += 0.25 * cmmOut * outCard
+	case algebra.LeftOuter:
+		local += cmmOut * (outCard + 0.1*leftCard) // NULL padding of misses
+	case algebra.FullOuter:
+		// Padding on both sides requires tracking unmatched build rows.
+		local += cmmOut*outCard + 0.1*cmmOut*(leftCard+rightCard)
+	case algebra.NestJoin:
+		// Nested evaluation: one right-side pass per left row.
+		local = leftCard*(1+log2(rightCard)) + cmmOut*outCard
+	default:
+		local += cmmOut * outCard
+	}
+	if op.Dependent() {
+		// Dependent right sides are re-evaluated per binding; charge a
+		// surcharge on the local work (child costs stay untouched, so
+		// Bellman monotonicity is preserved).
+		local *= 1.25
+	}
+	return leftCost + rightCost + local
+}
+
+// Name implements Model.
+func (Cmm) Name() string { return "Cmm" }
+
+// PhysicalModel is a Model that additionally chooses a physical
+// implementation per join node. The plan generator (dp.Builder) detects
+// the interface and annotates every plan node it builds with the chosen
+// operator, so the final tree doubles as a physical plan.
+//
+// Contract: JoinCost(args…) must equal the cost returned by
+// ChooseJoin(args…) — the model prices a plan exactly as it would
+// execute it.
+type PhysicalModel interface {
+	Model
+	// ChooseJoin returns the cheapest physical implementation for the
+	// node and the TOTAL plan cost under that choice (including
+	// leftCost and rightCost).
+	ChooseJoin(op algebra.Op, leftCost, rightCost, leftCard, rightCard, outCard float64) (algebra.PhysOp, float64)
+}
+
+// Physical is a PhysicalModel pricing three implementations per join —
+// hash join, sort-merge join, and index nested-loop — and picking the
+// cheapest. Operators whose right side must be re-evaluated per left
+// row (dependent joins, nestjoins) are pinned to index-NLJ, the only
+// strategy with that shape.
+//
+// The per-implementation formulas are classical main-memory estimates:
+//
+//	hash:       1.2·|L| + 1.8·|R|           (probe left, build right)
+//	sort-merge: 0.5·(|L|·log|L| + |R|·log|R|)
+//	index-NLJ:  |L|·(1 + log|R|)            (one index descent per left row)
+//
+// all plus the output cardinality. Sort-merge wins on small balanced
+// inputs, index-NLJ on small-left/large-right skew, hash elsewhere.
+type Physical struct{}
+
+// Physical implements PhysicalModel.
+var _ PhysicalModel = Physical{}
+
+// JoinCost implements Model; it returns ChooseJoin's cost.
+func (p Physical) JoinCost(op algebra.Op, leftCost, rightCost, leftCard, rightCard, outCard float64) float64 {
+	_, c := p.ChooseJoin(op, leftCost, rightCost, leftCard, rightCard, outCard)
+	return c
+}
+
+// ChooseJoin implements PhysicalModel.
+func (Physical) ChooseJoin(op algebra.Op, leftCost, rightCost, leftCard, rightCard, outCard float64) (algebra.PhysOp, float64) {
+	base := leftCost + rightCost + outCard
+	inlj := leftCard * (1 + log2(rightCard))
+	if op.Dependent() || op.RegularVariant() == algebra.NestJoin {
+		return algebra.PhysIndexNLJ, base + inlj
+	}
+	hash := 1.2*leftCard + 1.8*rightCard
+	merge := 0.5 * (leftCard*log2(leftCard) + rightCard*log2(rightCard))
+
+	best, c := algebra.PhysHashJoin, hash
+	if merge < c {
+		best, c = algebra.PhysSortMerge, merge
+	}
+	if inlj < c {
+		best, c = algebra.PhysIndexNLJ, inlj
+	}
+	return best, base + c
+}
+
+// Name implements Model.
+func (Physical) Name() string { return "Cphys" }
+
+// log2 is a cardinality-safe binary logarithm: estimates below two rows
+// clamp to 1 so that degenerate inputs never produce zero or negative
+// per-row work.
+func log2(card float64) float64 {
+	if card < 2 {
+		return 1
+	}
+	return math.Log2(card)
+}
 
 // Default is the model used when none is specified.
 func Default() Model { return Cout{} }

@@ -1,0 +1,98 @@
+package cost
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+)
+
+// TestModelMonotonicity: every model must be monotone in the input
+// costs (Bellman admissibility) — raising a child's cost must never
+// lower the combined cost.
+func TestModelMonotonicity(t *testing.T) {
+	models := []Model{Cout{}, NestedLoop{}, Hash{}, Cmm{}, Physical{}}
+	ops := []algebra.Op{
+		algebra.Join, algebra.SemiJoin, algebra.AntiJoin,
+		algebra.LeftOuter, algebra.FullOuter, algebra.NestJoin,
+		algebra.DepJoin, algebra.DepSemiJoin,
+	}
+	for _, m := range models {
+		for _, op := range ops {
+			lo := m.JoinCost(op, 100, 200, 1000, 500, 2000)
+			hiL := m.JoinCost(op, 150, 200, 1000, 500, 2000)
+			hiR := m.JoinCost(op, 100, 260, 1000, 500, 2000)
+			if hiL < lo || hiR < lo {
+				t.Errorf("%s/%s: not monotone in input costs (%g, %g vs %g)",
+					m.Name(), op, hiL, hiR, lo)
+			}
+		}
+	}
+}
+
+// TestPhysicalChoosesEachOperator: each physical implementation wins in
+// the regime it is designed for.
+func TestPhysicalChoosesEachOperator(t *testing.T) {
+	p := Physical{}
+	cases := []struct {
+		name              string
+		op                algebra.Op
+		lCard, rCard, out float64
+		want              algebra.PhysOp
+	}{
+		// Balanced large inputs: hash.
+		{"hash", algebra.Join, 1e6, 1e6, 1e6, algebra.PhysHashJoin},
+		// Small balanced inputs: sort-merge (0.5·n·log n beats 1.2/1.8 linear).
+		{"sort-merge", algebra.Join, 4, 4, 4, algebra.PhysSortMerge},
+		// Tiny left, huge right: index nested loop.
+		{"index-nlj", algebra.Join, 10, 1e7, 100, algebra.PhysIndexNLJ},
+		// Dependent joins are pinned to index-NLJ regardless of cards.
+		{"dependent", algebra.DepJoin, 1e6, 1e6, 1e6, algebra.PhysIndexNLJ},
+		{"nestjoin", algebra.NestJoin, 1e6, 1e6, 1e6, algebra.PhysIndexNLJ},
+	}
+	for _, c := range cases {
+		phys, cost := p.ChooseJoin(c.op, 0, 0, c.lCard, c.rCard, c.out)
+		if phys != c.want {
+			t.Errorf("%s: chose %v, want %v", c.name, phys, c.want)
+		}
+		// Contract: JoinCost must equal ChooseJoin's cost.
+		if jc := p.JoinCost(c.op, 0, 0, c.lCard, c.rCard, c.out); jc != cost {
+			t.Errorf("%s: JoinCost %g != ChooseJoin cost %g", c.name, jc, cost)
+		}
+		if cost <= 0 {
+			t.Errorf("%s: non-positive cost %g", c.name, cost)
+		}
+	}
+}
+
+// TestCmmOperatorSensitivity: C_mm distinguishes operators where C_out
+// does not — a semijoin (probe-only) must be cheaper than the
+// corresponding inner join at equal cardinalities.
+func TestCmmOperatorSensitivity(t *testing.T) {
+	m := Cmm{}
+	join := m.JoinCost(algebra.Join, 0, 0, 1000, 500, 800)
+	semi := m.JoinCost(algebra.SemiJoin, 0, 0, 1000, 500, 800)
+	full := m.JoinCost(algebra.FullOuter, 0, 0, 1000, 500, 800)
+	if semi >= join {
+		t.Errorf("Cmm: semijoin (%g) should be cheaper than join (%g)", semi, join)
+	}
+	if full <= join {
+		t.Errorf("Cmm: full outer (%g) should be dearer than join (%g)", full, join)
+	}
+	dep := m.JoinCost(algebra.DepJoin, 0, 0, 1000, 500, 800)
+	if dep <= join {
+		t.Errorf("Cmm: dependent join (%g) should be dearer than join (%g)", dep, join)
+	}
+}
+
+// TestModelNamesDistinct: cache keys embed Model.Name, so the names
+// must be pairwise distinct.
+func TestModelNamesDistinct(t *testing.T) {
+	models := []Model{Cout{}, NestedLoop{}, Hash{}, Cmm{}, Physical{}}
+	seen := map[string]bool{}
+	for _, m := range models {
+		if seen[m.Name()] {
+			t.Errorf("duplicate model name %q", m.Name())
+		}
+		seen[m.Name()] = true
+	}
+}

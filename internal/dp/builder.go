@@ -78,6 +78,15 @@ type Stats struct {
 	BudgetExhausted bool // exact enumeration stopped at its Limits
 	FallbackGreedy  bool // a GOO plan was substituted after the budget trip
 	CacheHit        bool // served from the planner's fingerprint cache
+
+	// Adaptive-routing accounting, filled by the Planner when the
+	// SolverAuto mode picked the algorithm. RoutedAlgorithm names the
+	// solver the topology router selected — it stays put even when a
+	// budget trip later downgraded the run to greedy (FallbackGreedy
+	// then reports the downgrade alongside it).
+	AutoRouted      bool   // the algorithm was chosen by SolverAuto
+	Shape           string // topology class the router saw (e.g. "star")
+	RoutedAlgorithm string // solver the router picked (e.g. "dphyp")
 }
 
 // Builder is the shared DP state.
@@ -297,11 +306,21 @@ func (b *Builder) tryBuild(left, right bitset.Set, op algebra.Op, conn []EdgeRef
 		return
 	}
 	card := cost.EstimateCard(op, p1.Card, p2.Card, sel)
-	c := b.Model.JoinCost(op, p1.Cost, p2.Cost, p1.Card, p2.Card, card)
+	var (
+		c    float64
+		phys algebra.PhysOp
+	)
+	if pm, ok := b.Model.(cost.PhysicalModel); ok {
+		phys, c = pm.ChooseJoin(op, p1.Cost, p2.Cost, p1.Card, p2.Card, card)
+	} else {
+		c = b.Model.JoinCost(op, p1.Cost, p2.Cost, p1.Card, p2.Card, card)
+	}
 	b.Stats.CostedPlans++
 
 	if cur := b.Table[S]; cur == nil || c < cur.Cost {
-		b.Table[S] = plan.Join(op, p1, p2, applied, card, c)
+		node := plan.Join(op, p1, p2, applied, card, c)
+		node.Phys = phys
+		b.Table[S] = node
 	}
 }
 

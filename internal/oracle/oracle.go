@@ -1,0 +1,139 @@
+// Package oracle provides a brute-force join-ordering oracle for
+// differential testing of the enumeration algorithms.
+//
+// Optimal exhaustively enumerates every bushy cross-product-free
+// operator tree — all partitions of all Definition-3-connected
+// subgraphs, both orientations of every join — and returns the cheapest
+// plan under a given cost model. It shares nothing with the
+// dp.Builder/EmitCsgCmp plan-construction machinery the production
+// solvers go through except the cardinality and cost primitives
+// themselves, so agreement between a solver and the oracle certifies
+// the solver's enumeration (it reached every csg-cmp-pair that
+// matters), not merely its arithmetic.
+//
+// The enumeration is Θ(3ⁿ) in the number of relations and is intended
+// for n ≤ MaxRels; the differential and fuzz suites in this package run
+// it against every solver × every cost model over seeded random graphs
+// of all shape classes.
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/bitset"
+	"repro/internal/cost"
+	"repro/internal/hypergraph"
+	"repro/internal/plan"
+)
+
+// MaxRels bounds the brute-force enumeration: beyond 12 relations the
+// 3ⁿ subset-partition walk leaves the unit-test regime.
+const MaxRels = 12
+
+// Optimal returns the cheapest bushy cross-product-free plan for g
+// under model m (cost.Default() if nil) by exhaustive enumeration.
+// Only pure inner-join graphs without dependent relations are
+// supported — exactly the class the randomized differential workloads
+// generate; richer operator trees are exercised by the optree suites.
+func Optimal(g *hypergraph.Graph, m cost.Model) (*plan.Node, error) {
+	n := g.NumRels()
+	if n == 0 {
+		return nil, fmt.Errorf("oracle: empty graph")
+	}
+	if n > MaxRels {
+		return nil, fmt.Errorf("oracle: %d relations exceed the brute-force limit of %d", n, MaxRels)
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		if g.Edge(i).Op != algebra.Join {
+			return nil, fmt.Errorf("oracle: edge %d has non-inner operator %s", i, g.Edge(i).Op)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !g.Relation(i).Free.IsEmpty() {
+			return nil, fmt.Errorf("oracle: relation %d is dependent", i)
+		}
+	}
+	if m == nil {
+		m = cost.Default()
+	}
+	e := &enum{g: g, m: m, memo: make(map[bitset.Set]*plan.Node)}
+	p := e.best(g.AllNodes())
+	if p == nil {
+		return nil, fmt.Errorf("oracle: hypergraph not connected, no plan for %v", g.AllNodes())
+	}
+	return p, nil
+}
+
+type enum struct {
+	g    *hypergraph.Graph
+	m    cost.Model
+	memo map[bitset.Set]*plan.Node // nil value = subgraph not connected
+}
+
+// best returns the cheapest plan covering exactly S, or nil when S is
+// not connected in the Definition-3 sense. Every partition S = S1 ∪ S2
+// with a connecting edge and two connected halves is tried, fixing
+// min(S) ∈ S1 so each unordered partition is visited once.
+func (e *enum) best(S bitset.Set) *plan.Node {
+	if p, ok := e.memo[S]; ok {
+		return p
+	}
+	if S.IsSingleton() {
+		r := S.Min()
+		p := plan.Leaf(r, e.g.Relation(r).Card)
+		e.memo[S] = p
+		return p
+	}
+	var best *plan.Node
+	rest := S.MinusMin()
+	lo := S.MinSet()
+	for a := bitset.Empty; ; a = a.NextSubset(rest) {
+		if a == rest {
+			break // S2 would be empty
+		}
+		S1 := lo.Union(a)
+		S2 := S.Minus(S1)
+		if e.g.ConnectsTo(S1, S2) {
+			p1, p2 := e.best(S1), e.best(S2)
+			if p1 != nil && p2 != nil {
+				if cand := e.join(S1, S2, p1, p2); best == nil || cand.Cost < best.Cost {
+					best = cand
+				}
+			}
+		}
+	}
+	e.memo[S] = best
+	return best
+}
+
+// join prices the inner join of the two subplans in both orientations
+// and returns the cheaper tree. The predicate-application rule mirrors
+// the one the plan generator uses: every edge fully covered by S1 ∪ S2
+// but by neither side alone is applied here, exactly once across the
+// whole tree.
+func (e *enum) join(S1, S2 bitset.Set, p1, p2 *plan.Node) *plan.Node {
+	S := S1.Union(S2)
+	sel := 1.0
+	var applied []int
+	for i := 0; i < e.g.NumEdges(); i++ {
+		ed := e.g.Edge(i)
+		nodes := ed.Nodes()
+		if nodes.SubsetOf(S) && !nodes.SubsetOf(S1) && !nodes.SubsetOf(S2) {
+			sel *= ed.Sel
+			applied = append(applied, i)
+		}
+	}
+	card := cost.EstimateCard(algebra.Join, p1.Card, p2.Card, sel)
+
+	left, right := p1, p2
+	c := e.m.JoinCost(algebra.Join, p1.Cost, p2.Cost, p1.Card, p2.Card, card)
+	if c21 := e.m.JoinCost(algebra.Join, p2.Cost, p1.Cost, p2.Card, p1.Card, card); c21 < c {
+		left, right, c = p2, p1, c21
+	}
+	node := plan.Join(algebra.Join, left, right, applied, card, c)
+	if pm, ok := e.m.(cost.PhysicalModel); ok {
+		node.Phys, _ = pm.ChooseJoin(algebra.Join, left.Cost, right.Cost, left.Card, right.Card, card)
+	}
+	return node
+}

@@ -29,6 +29,11 @@ type Node struct {
 	Card float64 // estimated output cardinality
 	Cost float64 // accumulated cost under the optimizing cost model
 
+	// Phys is the physical implementation chosen for this node when the
+	// optimizing model is a cost.PhysicalModel; PhysNone under
+	// logical-only models and for leaves.
+	Phys algebra.PhysOp
+
 	Edges []int // hypergraph edge indices applied at this node
 }
 
@@ -180,6 +185,9 @@ func (n *Node) render(b *strings.Builder, depth int) {
 		return
 	}
 	fmt.Fprintf(b, "%s%s %v  card=%.6g cost=%.6g", indent, n.Op, n.Rels, n.Card, n.Cost)
+	if n.Phys != algebra.PhysNone {
+		fmt.Fprintf(b, " phys=%s", n.Phys)
+	}
 	if len(n.Edges) > 0 {
 		fmt.Fprintf(b, " edges=%v", n.Edges)
 	}

@@ -1,0 +1,254 @@
+// Package shape classifies the topology of a query hypergraph.
+//
+// The paper's evaluation (§4) shows that the relative performance of the
+// enumeration algorithms is a function of query shape: on chains and
+// cycles the three dynamic programming variants are within small factors
+// of each other, while on stars and cliques DPsize and DPsub fall behind
+// DPhyp by orders of magnitude (Figs. 5–7). An adaptive planner
+// therefore needs a cheap, label-invariant classifier that recognizes
+// the canonical shapes before enumeration starts; the Planner's
+// SolverAuto mode routes on the result.
+//
+// Classify runs in O(|V| + |E|): it computes the degree sequence of the
+// simple-edge skeleton (hyperedges are counted separately — they do not
+// change the skeleton class, mirroring the paper's "cycle/star with
+// hyperedges" families), checks connectivity with a union-find pass, and
+// matches the degree profile against the canonical shapes. Degree
+// profiles are permutation-invariant, so the classification cannot
+// depend on relation labels or insertion order.
+package shape
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/hypergraph"
+)
+
+// Class is a topology class of the simple-edge skeleton.
+type Class int
+
+// The recognized classes, in classification precedence order (a triangle
+// is reported as Clique, not Cycle; a 2×2 grid as Cycle, not Grid; a
+// 2-relation query as Chain, not Star).
+const (
+	// Mixed is everything that matches no canonical shape, including
+	// graphs whose simple-edge skeleton is disconnected (e.g. queries
+	// held together only by hyperedges).
+	Mixed Class = iota
+	// Chain is a path R0 – R1 – … – R(n-1); a single relation counts.
+	Chain
+	// Cycle is a closed chain (every relation has exactly two simple
+	// neighbors).
+	Cycle
+	// Star has one hub connected to n-1 satellites (Fig. 7).
+	Star
+	// Clique has all n(n-1)/2 simple edges.
+	Clique
+	// Grid is an a×b lattice (a,b ≥ 2), matched by its degree profile.
+	Grid
+)
+
+var classNames = map[Class]string{
+	Mixed: "mixed", Chain: "chain", Cycle: "cycle",
+	Star: "star", Clique: "clique", Grid: "grid",
+}
+
+func (c Class) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Profile describes a hypergraph's topology: the skeleton class plus the
+// quantitative features (relation count, edge counts, densities) the
+// routing policy combines with the paper's §4 crossover data.
+type Profile struct {
+	// Class is the topology class of the simple-edge skeleton.
+	Class Class
+	// Rels is the number of relations, |V|.
+	Rels int
+	// SimpleEdges counts distinct unordered simple-edge pairs
+	// (duplicate predicates between the same two relations collapse).
+	SimpleEdges int
+	// HyperEdges counts non-simple edges (complex and generalized
+	// hyperedges, §2.1/§6), duplicates included.
+	HyperEdges int
+	// Density is SimpleEdges / (n choose 2): 0 for edgeless graphs,
+	// 1 for cliques.
+	Density float64
+	// HyperDensity is HyperEdges / (SimpleEdges + HyperEdges), the
+	// fraction of join predicates that are hyperedges.
+	HyperDensity float64
+	// MaxDegree is the largest simple-edge degree of any relation.
+	MaxDegree int
+	// Connected reports whether the full hypergraph (hyperedges
+	// included) is one reachability component.
+	Connected bool
+}
+
+// Classify computes the Profile of g in O(|V| + |E|) time (plus the
+// inverse-Ackermann union-find factor). It never mutates the graph and
+// is safe for concurrent use on a frozen graph.
+//
+// The Grid class is matched by its degree profile (edge count and degree
+// histogram of some a×b factorization), which is a necessary but not
+// sufficient condition for being a lattice; the router only uses the
+// class to pick among exact solvers, so a false Grid positive costs at
+// most a suboptimal-speed — never a suboptimal-plan — choice.
+func Classify(g *hypergraph.Graph) Profile {
+	n := g.NumRels()
+	p := Profile{Rels: n}
+	if n == 0 {
+		return p
+	}
+
+	deg := make([]int, n)
+	seenPair := make(map[bitset.Set]struct{}, g.NumEdges())
+	all := newUnionFind(n)  // connectivity of the full hypergraph
+	skel := newUnionFind(n) // connectivity of the simple skeleton
+
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		if e.Simple() {
+			a, b := e.U.Min(), e.V.Min()
+			pair := e.U.Union(e.V)
+			if _, dup := seenPair[pair]; !dup {
+				seenPair[pair] = struct{}{}
+				deg[a]++
+				deg[b]++
+				p.SimpleEdges++
+			}
+			skel.union(a, b)
+			all.union(a, b)
+		} else {
+			p.HyperEdges++
+			nodes := e.Nodes()
+			first := nodes.Min()
+			nodes.ForEach(func(v int) { all.union(first, v) })
+		}
+	}
+
+	hist := map[int]int{}
+	for _, d := range deg {
+		hist[d]++
+		if d > p.MaxDegree {
+			p.MaxDegree = d
+		}
+	}
+	p.Connected = all.components() == 1
+	if n >= 2 {
+		p.Density = float64(p.SimpleEdges) / float64(n*(n-1)/2)
+	}
+	if total := p.SimpleEdges + p.HyperEdges; total > 0 {
+		p.HyperDensity = float64(p.HyperEdges) / float64(total)
+	}
+
+	m := p.SimpleEdges
+	skelConnected := skel.components() == 1
+	switch {
+	case n == 1:
+		p.Class = Chain
+	case !skelConnected:
+		p.Class = Mixed
+	case m == n-1 && p.MaxDegree <= 2:
+		// A connected graph with n-1 edges is a tree; max degree 2
+		// makes it a path.
+		p.Class = Chain
+	case n >= 3 && m == n*(n-1)/2:
+		// All distinct pairs present. Checked before Cycle so that the
+		// triangle — which is both — reports as Clique.
+		p.Class = Clique
+	case m == n && p.MaxDegree == 2:
+		// Connected and 2-regular (sum of degrees is 2n, so max 2
+		// forces all 2): a single cycle.
+		p.Class = Cycle
+	case m == n-1 && p.MaxDegree == n-1:
+		// A tree with a universal hub.
+		p.Class = Star
+	case gridDegreeProfile(n, m, hist):
+		p.Class = Grid
+	default:
+		p.Class = Mixed
+	}
+	return p
+}
+
+// gridDegreeProfile reports whether (n, m, degree histogram) matches an
+// a×b lattice for some factorization n = a·b with 2 ≤ a ≤ b: m must be
+// a(b-1) + b(a-1), the four corners have degree 2, border nodes degree
+// 3, and interior nodes degree 4.
+func gridDegreeProfile(n, m int, hist map[int]int) bool {
+	for a := 2; a*a <= n; a++ {
+		if n%a != 0 {
+			continue
+		}
+		b := n / a
+		if m != a*(b-1)+b*(a-1) {
+			continue
+		}
+		want := map[int]int{2: 4}
+		if a == 2 {
+			// No interior: only corners (degree 2) and border (degree 3).
+			if b > 2 {
+				want[3] = 2 * (b - 2)
+			}
+		} else {
+			want[3] = 2*(a-2) + 2*(b-2)
+			want[4] = (a - 2) * (b - 2)
+		}
+		if histEqual(hist, want) {
+			return true
+		}
+	}
+	return false
+}
+
+func histEqual(got, want map[int]int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for k, v := range want {
+		if got[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// unionFind is a small path-halving union-find over [0, n).
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+func (u *unionFind) components() int {
+	c := 0
+	for i := range u.parent {
+		if u.find(i) == i {
+			c++
+		}
+	}
+	return c
+}

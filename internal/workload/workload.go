@@ -110,6 +110,34 @@ func Clique(n int, cfg Config) *hypergraph.Graph {
 	return g
 }
 
+// Grid returns an a×b lattice query graph (a, b ≥ 2): relation (i,j) is
+// node i*b+j, joined to its right and lower neighbors. Grids are the
+// standard "moderately dense" shape between chains and cliques in the
+// join-ordering literature.
+func Grid(a, b int, cfg Config) *hypergraph.Graph {
+	if a < 2 || b < 2 {
+		panic("workload: grid needs both dimensions ≥ 2")
+	}
+	rng := cfg.rng()
+	g := hypergraph.New()
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			g.AddRelation(fmt.Sprintf("R%d_%d", i, j), cfg.card(rng))
+		}
+	}
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			if j+1 < b {
+				g.AddSimpleEdge(i*b+j, i*b+j+1, cfg.sel(rng))
+			}
+			if i+1 < a {
+				g.AddSimpleEdge(i*b+j, (i+1)*b+j, cfg.sel(rng))
+			}
+		}
+	}
+	return g
+}
+
 // hyperSplit is one (u,v) hyperedge in the split schedule.
 type hyperSplit struct {
 	u, v  bitset.Set

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dp"
+	"repro/internal/shape"
 )
 
 // DefaultPlanCacheSize is the capacity of a Planner's plan cache unless
@@ -133,26 +134,66 @@ func (p *Planner) PlanTree(ctx context.Context, t *TreeQuery, root *Expr, opts .
 	return p.planGraph(ctx, g, o, filter)
 }
 
+// BatchError reports the per-query failures of a PlanBatch call that
+// could not plan every query. Errs is parallel to the input batch: a
+// nil entry means the query at that index planned successfully (its
+// Result is in the returned slice), a non-nil entry carries that
+// query's own error. errors.Is/As see through to the individual errors
+// (e.g. errors.Is(err, ErrBudgetExhausted)).
+type BatchError struct {
+	Errs []error
+}
+
+// Error implements error.
+func (e *BatchError) Error() string {
+	failed, first := 0, -1
+	for i, err := range e.Errs {
+		if err != nil {
+			failed++
+			if first < 0 {
+				first = i
+			}
+		}
+	}
+	if failed == 0 {
+		return "repro: batch error with no failures"
+	}
+	return fmt.Sprintf("repro: %d of %d batch queries failed (first: query %d: %v)",
+		failed, len(e.Errs), first, e.Errs[first])
+}
+
+// Unwrap exposes the non-nil per-query errors to errors.Is/errors.As.
+func (e *BatchError) Unwrap() []error {
+	out := make([]error, 0, len(e.Errs))
+	for _, err := range e.Errs {
+		if err != nil {
+			out = append(out, err)
+		}
+	}
+	return out
+}
+
 // PlanBatch optimizes a batch of queries concurrently (bounded by
-// GOMAXPROCS workers). On success results[i] is the plan for qs[i]. On
-// the first error the remaining work is cancelled and the error is
-// returned; results already finished are returned alongside it.
+// GOMAXPROCS workers). results[i] is the plan for qs[i], or nil if that
+// query failed. A failing query does not abort the batch: the remaining
+// queries still plan, and the per-query errors are collected into a
+// *BatchError (so one poisoned query among thousands costs exactly one
+// result, not the whole batch). Cancellation of ctx is the exception —
+// it stops the batch, and queries cut off by it report ctx's error.
 func (p *Planner) PlanBatch(ctx context.Context, qs []*Query, opts ...Option) ([]*Result, error) {
 	results := make([]*Result, len(qs))
 	if len(qs) == 0 {
 		return results, nil
 	}
-	bctx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	errs := make([]error, len(qs))
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(qs) {
 		workers = len(qs)
 	}
 	var (
-		wg       sync.WaitGroup
-		next     atomic.Int64
-		firstErr atomic.Pointer[error]
+		wg   sync.WaitGroup
+		next atomic.Int64
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -160,22 +201,22 @@ func (p *Planner) PlanBatch(ctx context.Context, qs []*Query, opts ...Option) ([
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(qs) || bctx.Err() != nil {
+				if i >= len(qs) {
 					return
 				}
-				res, err := p.Plan(bctx, qs[i], opts...)
-				if err != nil {
-					firstErr.CompareAndSwap(nil, &err)
-					cancel()
-					return
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
 				}
-				results[i] = res
+				results[i], errs[i] = p.Plan(ctx, qs[i], opts...)
 			}
 		}()
 	}
 	wg.Wait()
-	if errp := firstErr.Load(); errp != nil {
-		return results, *errp
+	for _, err := range errs {
+		if err != nil {
+			return results, &BatchError{Errs: errs}
+		}
 	}
 	return results, nil
 }
@@ -194,6 +235,25 @@ func (p *Planner) planGraph(ctx context.Context, g *Graph, o options, filter dp.
 	// concurrent planning over a shared graph safe.
 	g.Freeze()
 
+	// Resolve SolverAuto to a concrete algorithm before the cache
+	// lookup: routing is a pure function of the (frozen) graph, so a
+	// routed entry is interchangeable with one planned by naming the
+	// same algorithm directly. annotate stamps the routing decision
+	// onto the Stats of whichever path produced the result.
+	// Classification costs one O(V+E) pass — the same order as the
+	// Fingerprint scan every cached call already pays.
+	annotate := func(*dp.Stats) {}
+	if o.alg == SolverAuto {
+		prof := shape.Classify(g)
+		routed := routeAuto(prof)
+		o.alg = routed
+		annotate = func(st *dp.Stats) {
+			st.AutoRouted = true
+			st.Shape = prof.Class.String()
+			st.RoutedAlgorithm = routed.String()
+		}
+	}
+
 	// Observation hooks make a run non-reproducible from the cache (the
 	// hook would not fire on a hit), and generate-and-test filters carry
 	// per-analysis conflict state the fingerprint cannot see; bypass the
@@ -204,6 +264,7 @@ func (p *Planner) planGraph(ctx context.Context, g *Graph, o options, filter dp.
 		key = configKey(o) + "\x00" + g.Fingerprint()
 		if res, ok := p.cache.get(key); ok {
 			res.Graph = g
+			annotate(&res.Stats)
 			p.plans.Add(1)
 			p.cacheHits.Add(1)
 			return res, nil
@@ -234,9 +295,13 @@ func (p *Planner) planGraph(ctx context.Context, g *Graph, o options, filter dp.
 		p.fallbacks.Add(1)
 		pl, st, o.alg = gp, gst, Greedy
 	}
+	// The cache entry keeps the routing-agnostic stats (the key is the
+	// routed algorithm's, so direct calls may hit it too); only the
+	// outgoing Result is stamped with the routing decision.
 	if cacheable {
 		p.cache.add(key, pl, st, o.alg)
 	}
+	annotate(&st)
 	p.plans.Add(1)
 	return &Result{Plan: pl, Stats: st, Graph: g, Algorithm: o.alg}, nil
 }

@@ -364,7 +364,8 @@ func TestPlanBatch(t *testing.T) {
 		}
 	}
 
-	// A failing query surfaces its error; the batch stops early.
+	// A failing query surfaces its error without suppressing the rest
+	// of the batch (see TestPlanBatchPoisonedQuery for the full check).
 	bad := NewQuery() // no relations
 	if _, err := p.PlanBatch(ctx, []*Query{cliqueQuery(3), bad}); err == nil {
 		t.Error("batch with an invalid query must fail")
@@ -372,6 +373,62 @@ func TestPlanBatch(t *testing.T) {
 
 	if res, err := p.PlanBatch(ctx, nil); err != nil || len(res) != 0 {
 		t.Errorf("empty batch: %v, %v", res, err)
+	}
+}
+
+// TestPlanBatchPoisonedQuery: one poisoned query among many must fail
+// alone — every healthy query still returns its plan, and the
+// *BatchError pinpoints exactly the poisoned index.
+func TestPlanBatchPoisonedQuery(t *testing.T) {
+	p := NewPlanner()
+	ctx := context.Background()
+
+	const poisoned = 7
+	qs := make([]*Query, 20)
+	for i := range qs {
+		if i == poisoned {
+			qs[i] = NewQuery() // no relations: fails validation
+			continue
+		}
+		qs[i] = cliqueQuery(3 + i%4)
+	}
+
+	results, err := p.PlanBatch(ctx, qs)
+	if err == nil {
+		t.Fatal("batch with a poisoned query must return an error")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error is %T, want *BatchError", err)
+	}
+	if len(be.Errs) != len(qs) {
+		t.Fatalf("BatchError has %d entries for %d queries", len(be.Errs), len(qs))
+	}
+	for i, res := range results {
+		if i == poisoned {
+			if res != nil || be.Errs[i] == nil {
+				t.Errorf("poisoned query %d: result %v, err %v", i, res, be.Errs[i])
+			}
+			continue
+		}
+		if res == nil || be.Errs[i] != nil {
+			t.Errorf("healthy query %d was dragged down: result %v, err %v", i, res, be.Errs[i])
+			continue
+		}
+		want, werr := p.Plan(ctx, qs[i])
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		if res.Cost() != want.Cost() {
+			t.Errorf("query %d: batch cost %g != direct cost %g", i, res.Cost(), want.Cost())
+		}
+	}
+
+	// Context cancellation still stops the whole batch.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := p.PlanBatch(cctx, qs[:3]); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled batch: got %v, want context.Canceled", err)
 	}
 }
 

@@ -61,6 +61,43 @@ var (
 	NestedLoop CostModel = cost.NestedLoop{}
 	// Hash models a main-memory hash join.
 	Hash CostModel = cost.Hash{}
+	// Cmm prices joins with per-operator main-memory weights (an
+	// adaptation of the C_mm model).
+	Cmm CostModel = cost.Cmm{}
+	// Physical additionally chooses hash join, sort-merge join, or
+	// index nested-loop per node; the choice is recorded in
+	// PlanNode.Phys.
+	Physical CostModel = cost.Physical{}
+)
+
+// ParseCostModel maps a command-line name to a cost model. Recognized
+// names: cout, cmm, nlj, hash, physical.
+func ParseCostModel(s string) (CostModel, error) {
+	switch s {
+	case "cout":
+		return Cout, nil
+	case "cmm":
+		return Cmm, nil
+	case "nlj":
+		return NestedLoop, nil
+	case "hash":
+		return Hash, nil
+	case "physical":
+		return Physical, nil
+	}
+	return nil, fmt.Errorf("repro: unknown cost model %q (have cout, cmm, nlj, hash, physical)", s)
+}
+
+// PhysicalOp identifies the physical join implementation the Physical
+// cost model chose for a plan node (see PlanNode.Phys).
+type PhysicalOp = algebra.PhysOp
+
+// The physical join implementations.
+const (
+	PhysNone      = algebra.PhysNone
+	PhysHashJoin  = algebra.PhysHashJoin
+	PhysSortMerge = algebra.PhysSortMerge
+	PhysIndexNLJ  = algebra.PhysIndexNLJ
 )
 
 // Algorithm selects the enumeration strategy.
@@ -77,11 +114,19 @@ const (
 	// beyond the reach of exact dynamic programming. Plans are valid but
 	// not necessarily optimal.
 	Greedy
+	// SolverAuto routes each query to a concrete algorithm based on its
+	// topology (chain, cycle, star, clique, grid, mixed — see
+	// internal/shape) and the paper's §4 crossover data. The routed
+	// algorithm and the shape class are recorded in
+	// Stats.RoutedAlgorithm and Stats.Shape, and Result.Algorithm
+	// reports what actually ran. Queries beyond the exact cutoffs
+	// degrade directly to Greedy.
+	SolverAuto
 )
 
 var algorithmNames = map[Algorithm]string{
 	DPhyp: "dphyp", DPsize: "dpsize", DPsub: "dpsub", DPccp: "dpccp",
-	TopDown: "topdown", Greedy: "greedy",
+	TopDown: "topdown", Greedy: "greedy", SolverAuto: "auto",
 }
 
 func (a Algorithm) String() string {
@@ -98,7 +143,7 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 			return a, nil
 		}
 	}
-	return 0, fmt.Errorf("repro: unknown algorithm %q (have dphyp, dpsize, dpsub, dpccp, topdown, greedy)", s)
+	return 0, fmt.Errorf("repro: unknown algorithm %q (have dphyp, dpsize, dpsub, dpccp, topdown, greedy, auto)", s)
 }
 
 // Budget bounds the effort of one exact enumeration. The zero value
@@ -227,6 +272,10 @@ func runSolver(g *Graph, o options, filter dp.Filter) (*PlanNode, Stats, error) 
 		return topdown.Solve(g, topdown.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool})
 	case Greedy:
 		return goo.Solve(g, goo.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool})
+	case SolverAuto:
+		// The Planner resolves SolverAuto to a concrete algorithm before
+		// dispatching; reaching this point is a programming error.
+		return nil, Stats{}, fmt.Errorf("repro: SolverAuto must be resolved by the planner before dispatch")
 	default:
 		return nil, Stats{}, fmt.Errorf("repro: unknown algorithm %v", o.alg)
 	}
