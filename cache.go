@@ -16,10 +16,11 @@ import (
 // configuration, so any change to either simply misses and plans anew,
 // while the stale entry ages out of the LRU.
 type planCache struct {
-	mu  sync.Mutex
-	cap int
-	ll  *list.List // front = most recently used
-	m   map[string]*list.Element
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	m         map[string]*list.Element
+	evictions uint64 // lifetime LRU evictions
 }
 
 type cacheEntry struct {
@@ -80,6 +81,7 @@ func (c *planCache) add(key string, plan *PlanNode, stats Stats, alg Algorithm) 
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.m, oldest.Value.(*cacheEntry).key)
+		c.evictions++
 	}
 }
 
@@ -88,4 +90,11 @@ func (c *planCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// evicted reports the lifetime number of LRU evictions.
+func (c *planCache) evicted() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }

@@ -1,0 +1,210 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/hypergraph"
+)
+
+// churnGraph builds a star graph whose hub cardinality (and therefore
+// fingerprint and optimal cost) is unique per index.
+func churnGraph(idx int) *Graph {
+	g := hypergraph.New()
+	g.AddRelation("hub", float64(1_000_000+idx*1_337))
+	for i := 1; i <= 4; i++ {
+		g.AddRelation(fmt.Sprintf("sat%d", i), float64(50*i+idx))
+		g.AddSimpleEdge(0, i, 0.01)
+	}
+	return g
+}
+
+// TestConcurrentCacheChurn hammers one Planner from many goroutines
+// with overlapping fingerprints through a cache far smaller than the
+// working set, asserting that (a) no plan is ever served for the wrong
+// fingerprint — every result's cost matches an uncached reference plan
+// for that exact graph — and (b) the hit/miss/eviction counters stay
+// mutually consistent under the churn. Run with -race.
+func TestConcurrentCacheChurn(t *testing.T) {
+	const (
+		distinct   = 32
+		goroutines = 16
+		iters      = 150
+		cacheSize  = 8 // << distinct: constant eviction pressure
+	)
+
+	graphs := make([]*Graph, distinct)
+	want := make([]float64, distinct)
+	ref := NewPlanner(WithPlanCacheSize(0)) // uncached reference costs
+	for i := range graphs {
+		graphs[i] = churnGraph(i)
+		res, err := ref.PlanGraph(context.Background(), graphs[i])
+		if err != nil {
+			t.Fatalf("reference plan %d: %v", i, err)
+		}
+		want[i] = res.Cost()
+	}
+	for i := 1; i < distinct; i++ {
+		if want[i] == want[i-1] {
+			t.Fatalf("reference costs %d and %d collide; the churn check would be vacuous", i-1, i)
+		}
+	}
+
+	p := NewPlanner(WithPlanCacheSize(cacheSize))
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				idx := (g*7 + j) % distinct // overlapping, shifted walks
+				res, err := p.PlanGraph(context.Background(), graphs[idx])
+				if err != nil {
+					t.Errorf("goroutine %d iter %d: %v", g, j, err)
+					return
+				}
+				if res.Cost() != want[idx] {
+					t.Errorf("goroutine %d iter %d: graph %d got cost %g, want %g — wrong fingerprint's plan served",
+						g, j, idx, res.Cost(), want[idx])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	m := p.Metrics()
+	total := uint64(goroutines * iters)
+	if m.Plans != total {
+		t.Errorf("Plans = %d, want %d", m.Plans, total)
+	}
+	if m.Failures != 0 {
+		t.Errorf("Failures = %d, want 0", m.Failures)
+	}
+	// Every call was cacheable: each is exactly one hit or one miss.
+	if m.CacheHits+m.CacheMisses != total {
+		t.Errorf("CacheHits(%d) + CacheMisses(%d) != Plans(%d)", m.CacheHits, m.CacheMisses, total)
+	}
+	// 32 distinct keys through an 8-entry LRU must evict; and evictions
+	// can never outnumber the insertions (= misses).
+	if m.CacheEvictions == 0 {
+		t.Error("CacheEvictions = 0 under 4x cache pressure")
+	}
+	if m.CacheEvictions > m.CacheMisses {
+		t.Errorf("CacheEvictions(%d) > CacheMisses(%d)", m.CacheEvictions, m.CacheMisses)
+	}
+	if m.CacheEntries > cacheSize {
+		t.Errorf("CacheEntries = %d exceeds capacity %d", m.CacheEntries, cacheSize)
+	}
+	// Every entry in the cache or evicted from it came from a miss, but
+	// not every miss inserted: two goroutines missing the same key
+	// concurrently both enumerate, and the second add updates in place.
+	if got := uint64(m.CacheEntries) + m.CacheEvictions; got > m.CacheMisses {
+		t.Errorf("CacheEntries(%d) + CacheEvictions(%d) = %d exceeds CacheMisses(%d)",
+			m.CacheEntries, m.CacheEvictions, got, m.CacheMisses)
+	}
+}
+
+// TestPlanBatchCancelledMidBatch: when the batch context dies mid-run,
+// the affected queries — both those still queued and the one cut off
+// inside its enumeration — report exactly ctx.Err(), distinguishable
+// from genuine per-query failures.
+func TestPlanBatchCancelledMidBatch(t *testing.T) {
+	// Query 0 is a 14-clique: Θ(3ⁿ) pairs ≈ 4.7M, far beyond what 50ms
+	// can enumerate, so the cancellation is guaranteed to catch it
+	// mid-flight whatever the worker count.
+	qs := []*Query{cliqueQuery(14), cliqueQuery(3), cliqueQuery(4)}
+	p := NewPlanner(WithPlanCacheSize(0))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	results, err := p.PlanBatch(ctx, qs)
+	if err == nil {
+		t.Fatal("cancelled batch returned no error")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error is %T (%v), want *BatchError", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch error does not wrap context.Canceled: %v", err)
+	}
+
+	cancelled := 0
+	for i, qerr := range be.Errs {
+		if qerr == nil {
+			if results[i] == nil {
+				t.Errorf("query %d: no error but no result", i)
+			}
+			continue
+		}
+		// The satellite contract: a cancellation casualty carries the
+		// context's own error — identity, not a wrapped lookalike.
+		if qerr != ctx.Err() {
+			t.Errorf("query %d: error %v is not identical to ctx.Err()", i, qerr)
+		}
+		if !be.Cancelled(i, ctx) {
+			t.Errorf("query %d: Cancelled() = false for a cancellation casualty", i)
+		}
+		cancelled++
+	}
+	if be.Errs[0] != ctx.Err() {
+		t.Errorf("the 14-clique (query 0) was not cancelled mid-enumeration: %v", be.Errs[0])
+	}
+	if cancelled == 0 {
+		t.Error("no query reported the cancellation")
+	}
+
+	// Sanity: Cancelled never claims healthy or out-of-range entries.
+	if be.Cancelled(-1, ctx) || be.Cancelled(len(be.Errs), ctx) {
+		t.Error("Cancelled accepted an out-of-range index")
+	}
+}
+
+// TestBuildQuery: the exported document→Query constructor fingerprints
+// deterministically and rejects tree documents.
+func TestBuildQuery(t *testing.T) {
+	doc := &QueryJSON{
+		Relations: []RelationJSON{{Name: "a", Card: 10}, {Name: "b", Card: 20}},
+		Edges:     []EdgeJSON{{Left: []int{0}, Right: []int{1}, Sel: 0.5}},
+	}
+	q1, err := doc.BuildQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := doc.BuildQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.Graph().Fingerprint() != q2.Graph().Fingerprint() {
+		t.Error("two builds of one document fingerprint differently")
+	}
+
+	res, err := NewPlanner().Plan(context.Background(), q1, WithAlgorithm(DPhyp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := NewPlanner().PlanJSON(context.Background(), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost() != direct.Cost() {
+		t.Errorf("BuildQuery path cost %g != PlanJSON path cost %g", res.Cost(), direct.Cost())
+	}
+
+	rel := 0
+	treeDoc := &QueryJSON{
+		Relations: []RelationJSON{{Name: "a", Card: 10}},
+		Tree:      &TreeJSON{Rel: &rel},
+	}
+	if _, err := treeDoc.BuildQuery(); err == nil {
+		t.Error("tree document built a graph query")
+	}
+}

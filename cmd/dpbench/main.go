@@ -9,6 +9,7 @@
 //	dpbench -list           # list experiment identifiers
 //	dpbench -reps 5         # median over more repetitions
 //	dpbench -csv            # machine-readable output
+//	dpbench -json out.json  # additionally write a JSON result file
 //	dpbench -cell-timeout 30s  # cancel cells that exceed the deadline
 //
 // For every experiment the output is one row per sweep value with the
@@ -27,10 +28,17 @@
 //
 // With -solver auto each row additionally reports which algorithm the
 // planner's topology router picked for the cell.
+//
+// -json writes the same measurements as a machine-readable file (one
+// record per cell: family/experiment, n, solver, cost model, the
+// algorithm that actually ran, median wall ms, csg-cmp-pairs, costed
+// plans, plan cost), so per-PR perf trajectories (BENCH_*.json) can be
+// diffed mechanically.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -45,6 +53,53 @@ import (
 	"repro/internal/workload"
 )
 
+// jsonRecord is one measured cell in the -json output.
+type jsonRecord struct {
+	// Experiment is the experiment id (suite mode) or "shape-sweep".
+	Experiment string `json:"experiment"`
+	// Family is the §4 shape family (shape-sweep mode only).
+	Family string `json:"family,omitempty"`
+	// N is the sweep value (relations, or the series' x).
+	N int `json:"n"`
+	// Solver is what was asked for (a series algorithm, or -solver).
+	Solver    string `json:"solver"`
+	CostModel string `json:"cost_model"`
+	// Algorithm is what actually ran (differs from Solver under auto
+	// routing or greedy fallback); empty when the cell timed out.
+	Algorithm   string  `json:"algorithm,omitempty"`
+	MS          float64 `json:"ms"` // median wall time; -1 when timed out
+	CsgCmpPairs int     `json:"csg_cmp_pairs"`
+	CostedPlans int     `json:"costed_plans"`
+	Cost        float64 `json:"cost"`
+	TimedOut    bool    `json:"timed_out,omitempty"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Reps    int          `json:"reps"`
+	Full    bool         `json:"full"`
+	Results []jsonRecord `json:"results"`
+}
+
+func (r *jsonReport) add(rec jsonRecord) {
+	if r != nil {
+		r.Results = append(r.Results, rec)
+	}
+}
+
+func (r *jsonReport) write(path string) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpbench: encoding -json report:", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "dpbench: writing -json report:", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	var (
 		full    = flag.Bool("full", false, "run at the paper's sizes (DPsize/DPsub on 16-relation stars take minutes)")
@@ -56,11 +111,20 @@ func main() {
 		solver  = flag.String("solver", "", "run the §4 shape sweep with this solver (auto | dphyp | dpsize | dpsub | dpccp | topdown | greedy) instead of the experiment suite")
 		costMod = flag.String("cost", "cout", "cost model for the -solver sweep: cout | cmm | nlj | hash | physical")
 		sweepN  = flag.Int("sweep-max-n", 12, "largest relation count per family in the -solver sweep")
+		jsonOut = flag.String("json", "", "write machine-readable results to this path")
 	)
 	flag.Parse()
 
+	var report *jsonReport
+	if *jsonOut != "" {
+		report = &jsonReport{Reps: *reps, Full: *full, Results: []jsonRecord{}}
+	}
+
 	if *solver != "" {
-		runShapeSweep(*solver, *costMod, *sweepN, *reps, *csv, *timeout)
+		runShapeSweep(*solver, *costMod, *sweepN, *reps, *csv, *timeout, report)
+		if report != nil {
+			report.write(*jsonOut)
+		}
 		return
 	}
 
@@ -91,11 +155,14 @@ func main() {
 		fmt.Println("experiment,x,algorithm,ms,csg_cmp_pairs,costed_plans,cost")
 	}
 	for _, s := range selected {
-		runSeries(s, *reps, *csv, *timeout)
+		runSeries(s, *reps, *csv, *timeout, report)
+	}
+	if report != nil {
+		report.write(*jsonOut)
 	}
 }
 
-func runSeries(s experiments.Series, reps int, csv bool, timeout time.Duration) {
+func runSeries(s experiments.Series, reps int, csv bool, timeout time.Duration, report *jsonReport) {
 	if !csv {
 		fmt.Printf("\n## %s  [%s]\n", s.Title, s.ID)
 		if s.Paper != "" {
@@ -120,6 +187,16 @@ func runSeries(s experiments.Series, reps int, csv bool, timeout time.Duration) 
 			runner := s.Make(x, alg)
 			ms, st, cost, timedOut := measure(runner, reps, timeout)
 			pairs = st.CsgCmpPairs
+			rec := jsonRecord{
+				Experiment: s.ID, N: x, Solver: alg, CostModel: "cout",
+				MS: ms, CsgCmpPairs: st.CsgCmpPairs, CostedPlans: st.CostedPlans, Cost: cost,
+			}
+			if timedOut {
+				rec.MS, rec.Cost, rec.TimedOut = -1, 0, true
+			} else {
+				rec.Algorithm = alg
+			}
+			report.add(rec)
 			switch {
 			case csv && timedOut:
 				fmt.Printf("%s,%d,%s,-1,%d,%d,NaN\n", s.ID, x, alg, st.CsgCmpPairs, st.CostedPlans)
@@ -180,7 +257,7 @@ func measure(r experiments.Runner, reps int, timeout time.Duration) (float64, dp
 // solvers (their Θ(3ⁿ) cells leave the benchmark regime); the auto
 // router degrades larger cliques to greedy by itself, so -solver auto
 // sweeps the full range.
-func runShapeSweep(solverName, costName string, maxN, reps int, csv bool, timeout time.Duration) {
+func runShapeSweep(solverName, costName string, maxN, reps int, csv bool, timeout time.Duration, report *jsonReport) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -254,6 +331,10 @@ func runShapeSweep(solverName, costName string, maxN, reps int, csv bool, timeou
 				times = append(times, float64(elapsed.Nanoseconds())/1e6)
 			}
 			if timedOut {
+				report.add(jsonRecord{
+					Experiment: "shape-sweep", Family: fam.name, N: n,
+					Solver: solverName, CostModel: costName, MS: -1, TimedOut: true,
+				})
 				if csv {
 					fmt.Printf("%s,%d,%s,%s,,-1,0,NaN\n", fam.name, n, solverName, costName)
 				} else {
@@ -264,6 +345,12 @@ func runShapeSweep(solverName, costName string, maxN, reps int, csv bool, timeou
 			sort.Float64s(times)
 			ms := times[len(times)/2]
 			algName := res.Algorithm.String()
+			report.add(jsonRecord{
+				Experiment: "shape-sweep", Family: fam.name, N: n,
+				Solver: solverName, CostModel: costName, Algorithm: algName,
+				MS: ms, CsgCmpPairs: res.Stats.CsgCmpPairs, CostedPlans: res.Stats.CostedPlans,
+				Cost: res.Cost(),
+			})
 			if csv {
 				fmt.Printf("%s,%d,%s,%s,%s,%.4f,%d,%g\n",
 					fam.name, n, solverName, costName, algName, ms, res.Stats.CsgCmpPairs, res.Cost())

@@ -1,0 +1,130 @@
+// Command dpserved is the plan-serving daemon: it wraps a repro.Planner
+// in the service package's HTTP API and runs it until SIGINT/SIGTERM,
+// then drains gracefully.
+//
+// Usage:
+//
+//	dpserved                              # serve on :8080 with defaults
+//	dpserved -addr :9090 -workers 8 -queue 256
+//	dpserved -solver auto -cost physical  # planner defaults for all requests
+//	dpserved -budget-pairs 5000000        # budget + greedy fallback per plan
+//
+// Quickstart:
+//
+//	dpserved -addr :8080 &
+//	querygen -family star -n 8 | jq '{query: .}' \
+//	    | curl -sS -d @- localhost:8080/plan | jq .cost
+//	curl -sS localhost:8080/metrics | grep planner_
+//
+// Endpoints: POST /plan, POST /batch, GET /healthz, GET /metrics — see
+// package repro/service for the wire format, admission control, and
+// coalescing semantics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "concurrent enumerations (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 64, "admission queue depth beyond the workers; overflow is shed with 429")
+		timeout     = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+		maxTimeout  = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
+		cacheSize   = flag.Int("cache-size", 4096, "plan cache entries (0 disables caching)")
+		solver      = flag.String("solver", "auto", "default algorithm: auto | dphyp | dpsize | dpsub | dpccp | topdown | greedy")
+		costMod     = flag.String("cost", "cout", "default cost model: cout | cmm | nlj | hash | physical")
+		budgetPairs = flag.Int("budget-pairs", 10_000_000, "per-plan csg-cmp-pair budget before greedy fallback (0 = unlimited)")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight plans")
+		quiet       = flag.Bool("quiet", false, "suppress per-request access logs")
+	)
+	flag.Parse()
+
+	alg, err := repro.ParseAlgorithm(*solver)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpserved:", err)
+		os.Exit(2)
+	}
+	model, err := repro.ParseCostModel(*costMod)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpserved:", err)
+		os.Exit(2)
+	}
+
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	planner := repro.NewPlanner(
+		repro.WithAlgorithm(alg),
+		repro.WithCostModel(model),
+		repro.WithPlanCacheSize(*cacheSize),
+		repro.WithBudget(repro.Budget{MaxCsgCmpPairs: *budgetPairs}),
+	)
+	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
+	cfg := service.Config{
+		Planner:        planner,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	}
+	if !*quiet {
+		cfg.Logger = logger
+	}
+	svc := service.New(cfg)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// SIGINT/SIGTERM start the drain; a second signal aborts hard.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("dpserved: serving on %s (solver=%s cost=%s workers=%d queue=%d)",
+			*addr, *solver, *costMod, cfg.Workers, cfg.QueueDepth)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		logger.Fatalf("dpserved: serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behavior: a second ^C kills immediately
+
+	logger.Printf("dpserved: signal received; draining (up to %s)", *drainWait)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+
+	// Drain the service first (new plans are refused, in-flight ones
+	// finish), then close the listener and idle connections.
+	if err := svc.Shutdown(drainCtx); err != nil {
+		logger.Printf("dpserved: drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("dpserved: http shutdown: %v", err)
+	}
+
+	m := planner.Metrics()
+	logger.Printf("dpserved: drained; served %d plans (%d cache hits, %d fallbacks, %d failures); bye",
+		m.Plans, m.CacheHits, m.Fallbacks, m.Failures)
+}

@@ -1,0 +1,260 @@
+// Command loadgen replays querygen-style workloads against a running
+// dpserved at a target QPS and reports latency percentiles — the load
+// half of the serving smoke test.
+//
+// Usage:
+//
+//	loadgen -url http://localhost:8080 -family star -n 8 -qps 1000 -duration 10s
+//	loadgen -family chain -n 12 -distinct 32     # 32 query variants → cache churn
+//	loadgen -qps 2000 -min-qps 1000 -min-success 0.999   # gate for CI
+//
+// The generator is open-loop: it schedules sends at the target rate
+// regardless of response latency (up to -concurrency in-flight), so a
+// saturated server shows up as rising percentiles and 429s rather than
+// as a silently reduced offered load. With -distinct 1 (default) every
+// request is the same query — the cached/coalesced regime the serving
+// layer optimizes for; raise -distinct to exercise enumeration and
+// cache churn.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/hypergraph"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		url         = flag.String("url", "http://localhost:8080", "dpserved base URL")
+		family      = flag.String("family", "star", "workload family: chain | cycle | star | clique")
+		n           = flag.Int("n", 8, "relations per query")
+		distinct    = flag.Int("distinct", 1, "distinct query variants cycled through")
+		qps         = flag.Float64("qps", 1000, "target request rate")
+		duration    = flag.Duration("duration", 10*time.Second, "measured load duration")
+		warmup      = flag.Duration("warmup", 500*time.Millisecond, "unrecorded warmup before measuring")
+		concurrency = flag.Int("concurrency", 64, "max in-flight requests")
+		timeoutMS   = flag.Int64("timeout-ms", 2000, "per-request timeout_ms sent to the server")
+		algorithm   = flag.String("algorithm", "", "per-request algorithm override (empty = server default)")
+		costMod     = flag.String("cost", "", "per-request cost model override (empty = server default)")
+		seed        = flag.Int64("seed", 2008, "workload seed")
+		minQPS      = flag.Float64("min-qps", 0, "exit 1 if achieved QPS falls below this (0 = no gate)")
+		minSuccess  = flag.Float64("min-success", 0, "exit 1 if the 2xx fraction falls below this (0 = no gate)")
+	)
+	flag.Parse()
+
+	bodies, err := requestBodies(*family, *n, *distinct, *seed, *algorithm, *costMod, *timeoutMS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *concurrency * 2,
+		MaxIdleConnsPerHost: *concurrency * 2,
+	}}
+
+	type sample struct {
+		ms       float64
+		code     int
+		measured bool
+	}
+	var (
+		mu      sync.Mutex
+		samples []sample
+	)
+	record := func(s sample) {
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+
+	// Open-loop pacing: tokens are emitted on the target schedule; the
+	// senders soak them up to the concurrency bound.
+	interval := time.Duration(float64(time.Second) / *qps)
+	tokens := make(chan time.Time)
+	begin := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := w
+			for sendAt := range tokens {
+				body := bodies[i%len(bodies)]
+				i += *concurrency
+				start := time.Now()
+				code := post(client, *url+"/plan", body)
+				record(sample{
+					ms:       float64(time.Since(start).Microseconds()) / 1000,
+					code:     code,
+					measured: sendAt.Sub(begin) >= *warmup,
+				})
+			}
+		}(w)
+	}
+
+	total := *warmup + *duration
+	sent := 0
+	for {
+		target := begin.Add(time.Duration(sent) * interval)
+		now := time.Now()
+		if now.Sub(begin) >= total {
+			break
+		}
+		if d := target.Sub(now); d > 0 {
+			time.Sleep(d)
+		}
+		tokens <- target
+		sent++
+	}
+	close(tokens)
+	wg.Wait()
+	elapsed := time.Since(begin) - *warmup
+
+	// Aggregate the measured window.
+	var lat []float64
+	codes := map[int]int{}
+	ok := 0
+	measured := 0
+	for _, s := range samples {
+		if !s.measured {
+			continue
+		}
+		measured++
+		lat = append(lat, s.ms)
+		codes[s.code]++
+		if s.code >= 200 && s.code < 300 {
+			ok++
+		}
+	}
+	if measured == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: no measured requests (duration too short?)")
+		os.Exit(1)
+	}
+	sort.Float64s(lat)
+	achieved := float64(measured) / elapsed.Seconds()
+	success := float64(ok) / float64(measured)
+
+	fmt.Printf("loadgen: %s %s n=%d distinct=%d → %d requests in %.2fs (target %.0f QPS)\n",
+		*url, *family, *n, *distinct, measured, elapsed.Seconds(), *qps)
+	fmt.Printf("achieved %.1f QPS, %.2f%% ok\n", achieved, success*100)
+	fmt.Printf("latency ms: p50=%.3f p90=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+		percentile(lat, 50), percentile(lat, 90), percentile(lat, 95), percentile(lat, 99), lat[len(lat)-1])
+	keys := make([]int, 0, len(codes))
+	for c := range codes {
+		keys = append(keys, c)
+	}
+	sort.Ints(keys)
+	fmt.Printf("status:")
+	for _, c := range keys {
+		fmt.Printf(" %d×%d", c, codes[c])
+	}
+	fmt.Println()
+
+	if *minQPS > 0 && achieved < *minQPS {
+		fmt.Fprintf(os.Stderr, "loadgen: achieved %.1f QPS < required %.1f\n", achieved, *minQPS)
+		os.Exit(1)
+	}
+	if *minSuccess > 0 && success < *minSuccess {
+		fmt.Fprintf(os.Stderr, "loadgen: success rate %.4f < required %.4f\n", success, *minSuccess)
+		os.Exit(1)
+	}
+}
+
+// post sends one plan request, drains the response, and returns the
+// status code (0 on transport error).
+func post(client *http.Client, url string, body []byte) int {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// requestBodies pre-marshals the distinct request variants: seed
+// variation changes cardinalities and selectivities, which changes the
+// graph fingerprint and thus defeats cache and coalescer.
+func requestBodies(family string, n, distinct int, seed int64, algorithm, costMod string, timeoutMS int64) ([][]byte, error) {
+	if distinct < 1 {
+		distinct = 1
+	}
+	bodies := make([][]byte, 0, distinct)
+	for i := 0; i < distinct; i++ {
+		cfg := workload.DefaultConfig()
+		cfg.Seed = seed + int64(i)
+		var g *hypergraph.Graph
+		switch family {
+		case "chain":
+			g = workload.Chain(n, cfg)
+		case "cycle":
+			g = workload.Cycle(n, cfg)
+		case "star":
+			g = workload.Star(n, cfg)
+		case "clique":
+			g = workload.Clique(n, cfg)
+		default:
+			return nil, fmt.Errorf("unknown family %q (have chain, cycle, star, clique)", family)
+		}
+		req := map[string]any{"query": graphDoc(g), "timeout_ms": timeoutMS}
+		if algorithm != "" {
+			req["algorithm"] = algorithm
+		}
+		if costMod != "" {
+			req["cost_model"] = costMod
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, body)
+	}
+	return bodies, nil
+}
+
+// graphDoc converts a workload hypergraph to the wire document.
+func graphDoc(g *hypergraph.Graph) *repro.QueryJSON {
+	doc := &repro.QueryJSON{}
+	for i := 0; i < g.NumRels(); i++ {
+		r := g.Relation(i)
+		doc.Relations = append(doc.Relations, repro.RelationJSON{
+			Name: r.Name, Card: r.Card, Free: r.Free.Elems(),
+		})
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		doc.Edges = append(doc.Edges, repro.EdgeJSON{
+			Left: e.U.Elems(), Right: e.V.Elems(), Free: e.W.Elems(),
+			Sel: e.Sel, Op: e.Op.String(), Label: e.Label,
+		})
+	}
+	return doc
+}
+
+// percentile returns the p-th percentile of sorted (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{50, 5}, {90, 9}, {99, 10}, {100, 10}, {1, 1},
+	}
+	for _, c := range cases {
+		if got := percentile(sorted, c.p); got != c.want {
+			t.Errorf("percentile(%v) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if got := percentile([]float64{42}, 99); got != 42 {
+		t.Errorf("singleton p99 = %g, want 42", got)
+	}
+	if !math.IsNaN(percentile(nil, 50)) {
+		t.Error("empty percentile is not NaN")
+	}
+}
+
+func TestRequestBodies(t *testing.T) {
+	bodies, err := requestBodies("star", 6, 3, 7, "auto", "cout", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bodies) != 3 {
+		t.Fatalf("%d bodies, want 3", len(bodies))
+	}
+	// Distinct seeds must produce distinct documents (different
+	// fingerprints defeat the cache, which is the point of -distinct).
+	if string(bodies[0]) == string(bodies[1]) {
+		t.Error("variant 0 and 1 are identical")
+	}
+	if _, err := requestBodies("pentagram", 6, 1, 7, "", "", 0); err == nil {
+		t.Error("unknown family accepted")
+	}
+}

@@ -81,6 +81,39 @@
 // Internally, DP tables are recycled through a per-planner pool, so
 // steady traffic reaches a steady state with few allocations.
 //
+// Planner.Metrics exposes the session's cumulative counters — plans
+// served, cache hits/misses/evictions, current cache occupancy, budget
+// fallbacks, failures, and per-algorithm SolverAuto routing counts — so
+// cache effectiveness and routing behavior are observable in
+// production, not just in tests.
+//
+// # Serving
+//
+// The repro/service package and the cmd/dpserved daemon put a Planner
+// behind an HTTP JSON API: POST /plan and POST /batch accept the same
+// QueryJSON documents as PlanJSON (plus per-request algorithm, cost
+// model, budget, and timeout overrides), GET /healthz reports liveness
+// and drain state, and GET /metrics exports the Planner counters plus
+// server-side series (latency histogram, queue depth, coalescing) in
+// Prometheus text format.
+//
+// The server adds what a bare Planner cannot provide: admission
+// control (a bounded worker pool plus a bounded queue — overload sheds
+// with 429 instead of collapsing), per-request deadlines (504, enforced
+// through the same context cancellation the solvers poll), coalescing
+// of identical in-flight queries keyed by the graph fingerprint (a
+// thundering herd of one query shape costs one enumeration), and
+// graceful drain on shutdown. A curl-based quickstart:
+//
+//	go run ./cmd/dpserved -addr :8080 &
+//	go run ./cmd/querygen -family star -n 8 | jq '{query: .}' \
+//	    | curl -sS -d @- localhost:8080/plan | jq '.cost, .algorithm'
+//	curl -sS localhost:8080/metrics | grep planner_
+//	kill -TERM %1    # drains in-flight plans, then exits
+//
+// cmd/loadgen replays querygen-style workloads against a running
+// server at a target QPS and reports latency percentiles.
+//
 // # Compatibility wrappers
 //
 // The historical one-shot entry points remain and are thin wrappers

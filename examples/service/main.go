@@ -1,0 +1,87 @@
+// Serving example: embed the plan service in-process, plan a star
+// query over HTTP, read the live metrics, and drain gracefully — the
+// programmatic equivalent of running cmd/dpserved.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/service"
+)
+
+func main() {
+	// The service wraps any Planner; here a budgeted auto-routing one.
+	planner := repro.NewPlanner(
+		repro.WithAlgorithm(repro.SolverAuto),
+		repro.WithBudget(repro.Budget{MaxCsgCmpPairs: 1_000_000}),
+	)
+	svc := service.New(service.Config{
+		Planner:        planner,
+		Workers:        4,
+		QueueDepth:     32,
+		DefaultTimeout: 2 * time.Second,
+	})
+
+	// Any http listener works; production uses http.Server + Handler().
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// A star query in the wire format (cmd/querygen emits the same).
+	doc := &repro.QueryJSON{
+		Relations: []repro.RelationJSON{
+			{Name: "fact", Card: 1_000_000},
+			{Name: "d1", Card: 100}, {Name: "d2", Card: 500}, {Name: "d3", Card: 2000},
+		},
+		Edges: []repro.EdgeJSON{
+			{Left: []int{0}, Right: []int{1}, Sel: 0.01},
+			{Left: []int{0}, Right: []int{2}, Sel: 0.002},
+			{Left: []int{0}, Right: []int{3}, Sel: 0.0005},
+		},
+	}
+	body, _ := json.Marshal(service.PlanRequest{Query: doc})
+
+	// Plan it twice: the second call is a plan-cache hit.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(srv.URL+"/plan", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var out service.PlanResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("plan %d: algorithm=%s shape=%s cost=%.4g cacheHit=%v in %.3fms\n",
+			i+1, out.Algorithm, out.Stats.Shape, out.Cost, out.Stats.CacheHit, out.ElapsedMS)
+	}
+
+	// Live metrics: the planner series the /metrics endpoint exports.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range strings.Split(string(text), "\n") {
+		if strings.HasPrefix(line, "planner_plans_total") ||
+			strings.HasPrefix(line, "planner_cache_hits_total") {
+			fmt.Println(line)
+		}
+	}
+
+	// Graceful drain: refuses new work, waits for in-flight plans.
+	if err := svc.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("drained cleanly")
+}

@@ -54,16 +54,27 @@ func ParseQuery(data []byte) (*QueryJSON, error) {
 	if err := json.Unmarshal(data, &q); err != nil {
 		return nil, fmt.Errorf("repro: parsing query: %w", err)
 	}
-	if len(q.Relations) == 0 {
-		return nil, fmt.Errorf("repro: query has no relations")
-	}
-	if q.Tree == nil && len(q.Edges) == 0 {
-		return nil, fmt.Errorf("repro: query needs edges or a tree")
-	}
-	if q.Tree != nil && len(q.Edges) > 0 {
-		return nil, fmt.Errorf("repro: query cannot have both edges and a tree")
+	if err := q.Validate(); err != nil {
+		return nil, err
 	}
 	return &q, nil
+}
+
+// Validate checks the document's structural invariants: at least one
+// relation, and exactly one of edges (hypergraph document) or a tree
+// (operator-tree document). ParseQuery applies it after decoding;
+// servers decoding documents through other paths call it directly.
+func (q *QueryJSON) Validate() error {
+	if len(q.Relations) == 0 {
+		return fmt.Errorf("repro: query has no relations")
+	}
+	if q.Tree == nil && len(q.Edges) == 0 {
+		return fmt.Errorf("repro: query needs edges or a tree")
+	}
+	if q.Tree != nil && len(q.Edges) > 0 {
+		return fmt.Errorf("repro: query cannot have both edges and a tree")
+	}
+	return nil
 }
 
 // OptimizeJSON analyzes and optimizes a decoded query via the default
@@ -84,7 +95,18 @@ func (p *Planner) PlanJSON(ctx context.Context, q *QueryJSON, opts ...Option) (*
 	return p.planJSONGraph(ctx, q, opts)
 }
 
-func (p *Planner) planJSONGraph(ctx context.Context, q *QueryJSON, opts []Option) (*Result, error) {
+// BuildQuery materializes a hypergraph document as a *Query, ready for
+// Planner.Plan. It fails on tree documents (those carry conflict-
+// analysis state that only PlanJSON can derive) and on malformed
+// relations or edges. The connectivity repair is not applied here: it
+// runs, once, on the query's first planning call — so the graph (and
+// its Fingerprint) observed between BuildQuery and Plan is exactly the
+// document's own. Servers use this to key request coalescing by the
+// graph fingerprint before committing a worker to the enumeration.
+func (q *QueryJSON) BuildQuery() (*Query, error) {
+	if q.Tree != nil {
+		return nil, fmt.Errorf("repro: tree documents cannot build a hypergraph query directly; use PlanJSON")
+	}
 	g := hypergraph.New()
 	var err error
 	catch(&err, func() {
@@ -110,14 +132,17 @@ func (p *Planner) planJSONGraph(ctx context.Context, q *QueryJSON, opts []Option
 		}
 	})
 	if err != nil {
+		return nil, err
+	}
+	return &Query{g: g}, nil
+}
+
+func (p *Planner) planJSONGraph(ctx context.Context, q *QueryJSON, opts []Option) (*Result, error) {
+	qq, err := q.BuildQuery()
+	if err != nil {
 		return nil, p.fail(err)
 	}
-	if len(g.Components()) > 1 {
-		g.MakeConnected()
-	}
-	o := p.merged(opts)
-	o.ctx = ctx
-	return p.planGraph(ctx, g, o, nil)
+	return p.Plan(ctx, qq, opts...)
 }
 
 func (p *Planner) planJSONTree(ctx context.Context, q *QueryJSON, opts []Option) (*Result, error) {

@@ -42,10 +42,15 @@ type Planner struct {
 	pool  *dp.Pool
 	cache *planCache
 
-	plans     atomic.Uint64
-	cacheHits atomic.Uint64
-	fallbacks atomic.Uint64
-	failures  atomic.Uint64
+	plans       atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	fallbacks   atomic.Uint64
+	failures    atomic.Uint64
+
+	// routed counts SolverAuto routing decisions per target algorithm
+	// (indexed by Algorithm; SolverAuto itself is never a target).
+	routed [int(SolverAuto) + 1]atomic.Uint64
 }
 
 // NewPlanner returns a Planner with the given configuration. With no
@@ -65,22 +70,51 @@ func NewPlanner(opts ...Option) *Planner {
 	return p
 }
 
-// PlannerMetrics is a snapshot of a Planner's cumulative counters.
+// PlannerMetrics is a snapshot of a Planner's cumulative counters. For
+// purely cacheable, error-free traffic, Plans = CacheHits + CacheMisses;
+// uncacheable calls (observation hooks, generate-and-test filters, or a
+// disabled cache) count toward Plans only, and a cacheable call that
+// fails after its lookup counts toward CacheMisses and Failures but not
+// Plans.
 type PlannerMetrics struct {
-	Plans     uint64 // successful planning calls, cache hits included
-	CacheHits uint64 // calls served from the plan cache
-	Fallbacks uint64 // Greedy downgrades after budget trips
-	Failures  uint64 // calls that returned an error
+	Plans          uint64 // successful planning calls, cache hits included
+	CacheHits      uint64 // calls served from the plan cache
+	CacheMisses    uint64 // cacheable calls that had to enumerate
+	CacheEvictions uint64 // entries displaced by the LRU bound
+	CacheEntries   int    // entries currently cached
+	Fallbacks      uint64 // Greedy downgrades after budget trips
+	Failures       uint64 // calls that returned an error
+
+	// AutoRouted counts SolverAuto routing decisions keyed by the
+	// algorithm name the topology router picked (e.g. "dpsize"). Nil
+	// when no call has been routed.
+	AutoRouted map[string]uint64
 }
 
-// Metrics returns a snapshot of the planner's counters.
+// Metrics returns a snapshot of the planner's counters. The snapshot is
+// not atomic across fields: counters read under concurrent traffic may
+// be a few calls apart from one another, but each is individually exact.
 func (p *Planner) Metrics() PlannerMetrics {
-	return PlannerMetrics{
-		Plans:     p.plans.Load(),
-		CacheHits: p.cacheHits.Load(),
-		Fallbacks: p.fallbacks.Load(),
-		Failures:  p.failures.Load(),
+	m := PlannerMetrics{
+		Plans:       p.plans.Load(),
+		CacheHits:   p.cacheHits.Load(),
+		CacheMisses: p.cacheMisses.Load(),
+		Fallbacks:   p.fallbacks.Load(),
+		Failures:    p.failures.Load(),
 	}
+	if p.cache != nil {
+		m.CacheEvictions = p.cache.evicted()
+		m.CacheEntries = p.cache.len()
+	}
+	for a := range p.routed {
+		if n := p.routed[a].Load(); n > 0 {
+			if m.AutoRouted == nil {
+				m.AutoRouted = make(map[string]uint64)
+			}
+			m.AutoRouted[Algorithm(a).String()] = n
+		}
+	}
+	return m
 }
 
 // merged returns the planner's options overlaid with per-call options.
@@ -140,8 +174,27 @@ func (p *Planner) PlanTree(ctx context.Context, t *TreeQuery, root *Expr, opts .
 // Result is in the returned slice), a non-nil entry carries that
 // query's own error. errors.Is/As see through to the individual errors
 // (e.g. errors.Is(err, ErrBudgetExhausted)).
+//
+// Queries that were cut short because the batch context was cancelled —
+// whether still waiting for a worker or already mid-enumeration — are
+// reported as exactly ctx.Err() (identity, not just errors.Is), so
+// callers can distinguish "this query is fine, the batch was abandoned"
+// from a genuine per-query planning failure with a simple comparison
+// (see Cancelled).
 type BatchError struct {
 	Errs []error
+}
+
+// Cancelled reports whether the query at index i failed only because
+// the batch context was cancelled (its error is the context's own
+// error, not a planning failure). It returns false for out-of-range
+// indexes, successful queries, and genuine failures.
+func (e *BatchError) Cancelled(i int, ctx context.Context) bool {
+	if i < 0 || i >= len(e.Errs) || e.Errs[i] == nil {
+		return false
+	}
+	cerr := ctx.Err()
+	return cerr != nil && e.Errs[i] == cerr
 }
 
 // Error implements error.
@@ -208,7 +261,17 @@ func (p *Planner) PlanBatch(ctx context.Context, qs []*Query, opts ...Option) ([
 					errs[i] = err
 					continue
 				}
-				results[i], errs[i] = p.Plan(ctx, qs[i], opts...)
+				res, err := p.Plan(ctx, qs[i], opts...)
+				// A query interrupted mid-enumeration surfaces the
+				// cancellation through whatever layer it reached (a
+				// solver's abort, the greedy fallback's wrap, ...).
+				// Normalize those entries to the context's own error so
+				// a BatchError consumer can tell "cancelled with the
+				// batch" apart from "this query itself is broken".
+				if cerr := ctx.Err(); err != nil && cerr != nil && errors.Is(err, cerr) {
+					err = cerr
+				}
+				results[i], errs[i] = res, err
 			}
 		}()
 	}
@@ -247,6 +310,7 @@ func (p *Planner) planGraph(ctx context.Context, g *Graph, o options, filter dp.
 		prof := shape.Classify(g)
 		routed := routeAuto(prof)
 		o.alg = routed
+		p.routed[int(routed)].Add(1)
 		annotate = func(st *dp.Stats) {
 			st.AutoRouted = true
 			st.Shape = prof.Class.String()
@@ -269,6 +333,7 @@ func (p *Planner) planGraph(ctx context.Context, g *Graph, o options, filter dp.
 			p.cacheHits.Add(1)
 			return res, nil
 		}
+		p.cacheMisses.Add(1)
 	}
 
 	pl, st, err := runSolver(g, o, filter)

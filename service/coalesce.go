@@ -1,0 +1,91 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro"
+)
+
+// errLeaderAborted is what followers receive when their leader's fn
+// panicked (the panic itself propagates on the leader's goroutine and
+// is turned into a 500 by the middleware). The server retries these
+// through a fresh coalescing round.
+var errLeaderAborted = errors.New("service: coalesced leader aborted")
+
+// coalescer collapses concurrent identical planning requests onto one
+// in-flight call (singleflight). The first request for a key becomes
+// the leader and runs fn; requests arriving for the same key while the
+// leader is in flight become followers: they run nothing and receive
+// the leader's result. The key embeds the canonical graph fingerprint
+// plus the planning options, so "identical" means plan-equivalent, not
+// byte-equal.
+//
+// Unlike a cache, a coalescer holds no completed results: the entry is
+// removed before the followers are released, so a request that arrives
+// after completion plans normally (and typically hits the plan cache).
+type coalescer struct {
+	mu sync.Mutex
+	m  map[string]*call
+
+	waiting   atomic.Int64  // followers currently blocked on a leader
+	leaders   atomic.Uint64 // lifetime leader executions
+	coalesced atomic.Uint64 // lifetime follower hits
+}
+
+type call struct {
+	done chan struct{}
+	res  *repro.Result
+	err  error
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{m: make(map[string]*call)}
+}
+
+// do runs fn for key, unless an identical call is already in flight, in
+// which case it waits for that call and returns its result with
+// shared=true. A follower whose own ctx expires stops waiting and
+// returns ctx.Err() — the leader keeps running for the others.
+//
+// A leader's result is shared verbatim: followers must treat the
+// *repro.Result (and its plan tree) as read-only.
+func (c *coalescer) do(ctx context.Context, key string, fn func() (*repro.Result, error)) (res *repro.Result, shared bool, err error) {
+	c.mu.Lock()
+	if cl, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		c.waiting.Add(1)
+		defer c.waiting.Add(-1)
+		select {
+		case <-cl.done:
+			c.coalesced.Add(1)
+			return cl.res, true, cl.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	cl := &call{done: make(chan struct{})}
+	c.m[key] = cl
+	c.mu.Unlock()
+
+	c.leaders.Add(1)
+	// The cleanup must survive a panicking fn: otherwise the dead entry
+	// would absorb every future request for this key forever. Unpublish
+	// before releasing the followers so a request arriving after
+	// completion starts a fresh call instead of reading a stale result.
+	finished := false
+	defer func() {
+		if !finished {
+			cl.err = errLeaderAborted
+		}
+		c.mu.Lock()
+		delete(c.m, key)
+		c.mu.Unlock()
+		close(cl.done)
+	}()
+	cl.res, cl.err = fn()
+	finished = true
+	return cl.res, false, cl.err
+}

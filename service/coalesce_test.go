@@ -1,0 +1,183 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// TestCoalesceSingleFlight: concurrent do calls for one key run fn once
+// and share its result; sequential calls run fn again.
+func TestCoalesceSingleFlight(t *testing.T) {
+	c := newCoalescer()
+	ctx := context.Background()
+	want := &repro.Result{}
+
+	var calls atomic.Int64
+	began := make(chan struct{})
+	release := make(chan struct{})
+	fn := func() (*repro.Result, error) {
+		if calls.Add(1) == 1 {
+			close(began)
+			<-release
+		}
+		return want, nil
+	}
+
+	const followers = 10
+	var wg sync.WaitGroup
+	leaderShared := make(chan bool, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, shared, err := c.do(ctx, "k", fn)
+		if err != nil || res != want {
+			t.Errorf("leader: res=%v err=%v", res, err)
+		}
+		leaderShared <- shared
+	}()
+	<-began
+
+	var sharedCount atomic.Int64
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, shared, err := c.do(ctx, "k", fn)
+			if err != nil || res != want {
+				t.Errorf("follower: res=%v err=%v", res, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	waitFor(t, func() bool { return c.waiting.Load() == followers }, "followers parked")
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fn ran %d times, want 1", got)
+	}
+	if <-leaderShared {
+		t.Error("leader reported shared=true")
+	}
+	if got := sharedCount.Load(); got != followers {
+		t.Errorf("%d followers shared, want %d", got, followers)
+	}
+	if c.coalesced.Load() != followers || c.leaders.Load() != 1 {
+		t.Errorf("counters: coalesced=%d leaders=%d", c.coalesced.Load(), c.leaders.Load())
+	}
+
+	// The entry is gone: a later call is a fresh leader.
+	if _, shared, _ := c.do(ctx, "k", fn); shared {
+		t.Error("post-completion call was shared; want fresh run")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("fn ran %d times after sequential call, want 2", got)
+	}
+}
+
+// TestCoalesceFollowerDeadline: a follower whose context expires stops
+// waiting without killing the leader.
+func TestCoalesceFollowerDeadline(t *testing.T) {
+	c := newCoalescer()
+	began := make(chan struct{})
+	release := make(chan struct{})
+	go c.do(context.Background(), "k", func() (*repro.Result, error) {
+		close(began)
+		<-release
+		return &repro.Result{}, nil
+	})
+	<-began
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, shared, err := c.do(ctx, "k", func() (*repro.Result, error) {
+		t.Error("follower ran fn")
+		return nil, nil
+	})
+	if !shared || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("follower: shared=%v err=%v, want shared deadline error", shared, err)
+	}
+	close(release)
+}
+
+// TestCoalescePanickingLeader: a leader whose fn panics must not
+// poison the key — followers are released with errLeaderAborted and the
+// entry is unpublished so later calls start fresh.
+func TestCoalescePanickingLeader(t *testing.T) {
+	c := newCoalescer()
+	began := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() { recover() }() // the middleware's job in real serving
+		c.do(context.Background(), "k", func() (*repro.Result, error) {
+			close(began)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-began
+
+	followerErr := make(chan error, 1)
+	go func() {
+		_, shared, err := c.do(context.Background(), "k", func() (*repro.Result, error) {
+			t.Error("follower ran fn")
+			return nil, nil
+		})
+		if !shared {
+			t.Error("follower not marked shared")
+		}
+		followerErr <- err
+	}()
+	waitFor(t, func() bool { return c.waiting.Load() == 1 }, "follower parked")
+	close(release)
+
+	if err := <-followerErr; !errors.Is(err, errLeaderAborted) {
+		t.Fatalf("follower err = %v, want errLeaderAborted", err)
+	}
+	// The key is clean: a fresh call runs its own fn.
+	ran := false
+	if _, shared, err := c.do(context.Background(), "k", func() (*repro.Result, error) {
+		ran = true
+		return &repro.Result{}, nil
+	}); shared || err != nil || !ran {
+		t.Fatalf("post-panic call: shared=%v err=%v ran=%v, want fresh clean run", shared, err, ran)
+	}
+	c.mu.Lock()
+	if len(c.m) != 0 {
+		t.Errorf("%d stale entries left in the coalescer", len(c.m))
+	}
+	c.mu.Unlock()
+}
+
+// TestCoalesceDistinctKeys: different keys never share.
+func TestCoalesceDistinctKeys(t *testing.T) {
+	c := newCoalescer()
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		key := string(rune('a' + i))
+		go func() {
+			defer wg.Done()
+			_, shared, err := c.do(context.Background(), key, func() (*repro.Result, error) {
+				calls.Add(1)
+				return &repro.Result{}, nil
+			})
+			if shared || err != nil {
+				t.Errorf("key %s: shared=%v err=%v", key, shared, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if calls.Load() != 4 {
+		t.Errorf("fn ran %d times, want 4", calls.Load())
+	}
+}

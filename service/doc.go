@@ -1,0 +1,45 @@
+// Package service turns the repro planning library into a long-running
+// plan server: an HTTP JSON API backed by a bounded worker pool with
+// admission control, singleflight coalescing of identical in-flight
+// queries, and live metrics.
+//
+// # Endpoints
+//
+//	POST /plan     optimize one query document (PlanRequest → PlanResponse)
+//	POST /batch    optimize a batch sequentially under one worker slot
+//	GET  /healthz  liveness + drain state + live gauges (JSON)
+//	GET  /metrics  Prometheus text exposition of server and planner counters
+//
+// # Admission control
+//
+// Every enumeration runs on one of a fixed number of worker slots
+// (Config.Workers). Requests beyond the workers wait in a bounded
+// admission queue (Config.QueueDepth); when the queue is full the
+// request is rejected immediately with 429 and a Retry-After hint
+// instead of piling up memory until collapse. Each request carries a
+// deadline (the server default, or the request's own timeout_ms capped
+// by Config.MaxTimeout); a deadline that expires while queued or
+// mid-enumeration cancels the work — the context is polled inside every
+// solver's enumeration loops — and reports 504.
+//
+// # Request coalescing
+//
+// Identical queries that arrive while an equivalent one is already
+// planning do not enqueue a second enumeration: they are coalesced onto
+// the in-flight call (singleflight) and all receive its result. The
+// coalescing key is the canonical graph fingerprint the plan cache
+// already uses, combined with the request's planning options, so a
+// thundering herd of the same query shape costs one worker slot and one
+// enumeration; the followers are marked "coalesced": true in their
+// responses. Tree documents (non-inner-join queries) coalesce on a hash
+// of the document instead.
+//
+// # Shutdown
+//
+// Server.Shutdown flips the server into draining mode — /healthz turns
+// 503 so load balancers stop routing, and new planning requests are
+// refused with 503 — then waits for the in-flight requests to finish
+// (their enumerations keep their own deadlines). cmd/dpserved wires
+// SIGINT/SIGTERM to exactly this, so a rolling restart never truncates
+// a plan mid-flight.
+package service

@@ -1,0 +1,129 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// histogram is a fixed-bucket latency histogram in the Prometheus
+// cumulative style. Buckets are upper bounds in seconds; observations
+// above the last bound land only in +Inf (count).
+type histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // buckets[i] counts observations ≤ bounds[i] (non-cumulative; summed at render)
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+}
+
+// defaultLatencyBounds spans 100µs..10s — cached star-query hits sit in
+// the lowest buckets, budgeted exact enumerations in the middle, and
+// anything near the top is about to trip a deadline.
+var defaultLatencyBounds = []float64{
+	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds))}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	for i, b := range h.bounds {
+		if s <= b {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sumNs.Add(uint64(d.Nanoseconds()))
+}
+
+// write renders the histogram in Prometheus text exposition format.
+// The snapshot is taken under concurrent observe() calls (which bump a
+// bucket before the total), so each cumulative bucket is capped at the
+// total read first — keeping the rendered histogram monotone with
+// +Inf == count even when a scrape lands between the two increments.
+func (h *histogram) write(w io.Writer, name string) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	count := h.count.Load()
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		if cum > count {
+			cum = count
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, count)
+}
+
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}
+
+// metrics aggregates the server-side counters; the planner's own
+// cumulative counters are pulled fresh from Planner.Metrics at scrape
+// time rather than mirrored here.
+type metrics struct {
+	start time.Time
+
+	mu       sync.Mutex
+	requests map[reqKey]uint64
+
+	latency *histogram // /plan and /batch handler latency
+
+	timeouts atomic.Uint64 // requests that ended in 504
+	panics   atomic.Uint64 // handler panics converted to 500
+}
+
+// reqKey labels one request-counter series.
+type reqKey struct {
+	path string
+	code int
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:    time.Now(),
+		requests: make(map[reqKey]uint64),
+		latency:  newHistogram(defaultLatencyBounds),
+	}
+}
+
+func (m *metrics) recordRequest(path string, code int) {
+	m.mu.Lock()
+	m.requests[reqKey{path, code}]++
+	m.mu.Unlock()
+}
+
+// writeRequests renders the per-path/per-code request counters sorted
+// for stable scrapes.
+func (m *metrics) writeRequests(w io.Writer) {
+	m.mu.Lock()
+	keys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].path != keys[j].path {
+			return keys[i].path < keys[j].path
+		}
+		return keys[i].code < keys[j].code
+	})
+	counts := make([]uint64, len(keys))
+	for i, k := range keys {
+		counts[i] = m.requests[k]
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# TYPE dpserved_http_requests_total counter\n")
+	for i, k := range keys {
+		fmt.Fprintf(w, "dpserved_http_requests_total{path=%q,code=\"%d\"} %d\n", k.path, k.code, counts[i])
+	}
+}

@@ -1,0 +1,55 @@
+package service
+
+import (
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusRecorder captures the response code a handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps the mux with panic recovery, request accounting
+// (per-path/per-code counters, planning-latency histogram), and access
+// logging. It is the single seam every request passes through, so the
+// /metrics numbers cannot drift from reality.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				s.met.panics.Add(1)
+				s.logf("dpserved: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				if rec.code == 0 {
+					writeError(rec, http.StatusInternalServerError, errInternal)
+				}
+			}
+			elapsed := time.Since(start)
+			if rec.code == 0 {
+				rec.code = http.StatusOK
+			}
+			s.met.recordRequest(r.URL.Path, rec.code)
+			if r.URL.Path == "/plan" || r.URL.Path == "/batch" {
+				s.met.latency.observe(elapsed)
+				s.logf("dpserved: %s %s %d %.3fms", r.Method, r.URL.Path, rec.code, float64(elapsed.Microseconds())/1000)
+			}
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}

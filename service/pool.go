@@ -1,0 +1,77 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by pool.acquire when the admission queue is
+// at capacity. The server maps it to 429 Too Many Requests: under
+// overload, shedding the excess immediately keeps latency bounded for
+// the requests that were admitted, instead of letting the queue grow
+// until every caller times out.
+var ErrQueueFull = errors.New("service: admission queue full")
+
+// pool is the bounded worker pool with admission control. At most
+// `workers` enumerations run concurrently; at most `queueCap` further
+// requests wait for a slot. Everything beyond that is rejected with
+// ErrQueueFull at acquire time.
+type pool struct {
+	sem      chan struct{} // capacity = workers; holding a token = running
+	queueCap int64
+
+	queued     atomic.Int64  // requests waiting for a slot
+	running    atomic.Int64  // requests holding a slot
+	rejections atomic.Uint64 // lifetime ErrQueueFull rejections
+}
+
+func newPool(workers, queueCap int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	return &pool{sem: make(chan struct{}, workers), queueCap: int64(queueCap)}
+}
+
+// acquire obtains a worker slot, waiting in the admission queue if all
+// slots are busy. It fails fast with ErrQueueFull when the queue is at
+// capacity, and with ctx.Err() when the caller's deadline expires while
+// still queued. On success the caller must release().
+func (p *pool) acquire(ctx context.Context) error {
+	// Fast path: a free slot needs no queueing accounting.
+	select {
+	case p.sem <- struct{}{}:
+		p.running.Add(1)
+		return nil
+	default:
+	}
+	if p.queued.Add(1) > p.queueCap {
+		p.queued.Add(-1)
+		p.rejections.Add(1)
+		return ErrQueueFull
+	}
+	defer p.queued.Add(-1)
+	select {
+	case p.sem <- struct{}{}:
+		p.running.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a worker slot.
+func (p *pool) release() {
+	p.running.Add(-1)
+	<-p.sem
+}
+
+// gauges returns the live queue depth and running count.
+func (p *pool) gauges() (queued, running int64) {
+	return p.queued.Load(), p.running.Load()
+}
+
+func (p *pool) workers() int { return cap(p.sem) }

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestPoolAdmission: slots are bounded, the queue is bounded, and the
+// overflow is rejected with ErrQueueFull instead of waiting.
+func TestPoolAdmission(t *testing.T) {
+	p := newPool(2, 1)
+	ctx := context.Background()
+
+	if err := p.acquire(ctx); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if err := p.acquire(ctx); err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	if _, running := p.gauges(); running != 2 {
+		t.Fatalf("running = %d, want 2", running)
+	}
+
+	// Third request queues.
+	queuedErr := make(chan error, 1)
+	go func() { queuedErr <- p.acquire(ctx) }()
+	waitFor(t, func() bool { q, _ := p.gauges(); return q == 1 }, "third request queued")
+
+	// Fourth overflows the queue: immediate rejection.
+	if err := p.acquire(ctx); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow acquire: err = %v, want ErrQueueFull", err)
+	}
+	if p.rejections.Load() != 1 {
+		t.Fatalf("rejections = %d, want 1", p.rejections.Load())
+	}
+
+	// A release admits the queued request.
+	p.release()
+	if err := <-queuedErr; err != nil {
+		t.Fatalf("queued acquire after release: %v", err)
+	}
+	p.release()
+	p.release()
+	if q, running := p.gauges(); q != 0 || running != 0 {
+		t.Fatalf("gauges after drain = (%d, %d), want (0, 0)", q, running)
+	}
+}
+
+// TestPoolQueuedDeadline: a deadline that expires while queued returns
+// the context's error and frees the queue slot.
+func TestPoolQueuedDeadline(t *testing.T) {
+	p := newPool(1, 4)
+	if err := p.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire: err = %v, want DeadlineExceeded", err)
+	}
+	waitFor(t, func() bool { q, _ := p.gauges(); return q == 0 }, "queue slot freed")
+	p.release()
+}
+
+// waitFor polls cond until it holds or the test deadline budget runs
+// out.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

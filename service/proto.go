@@ -1,0 +1,206 @@
+package service
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// PlanRequest is the body of POST /plan. Query uses the repository's
+// QueryJSON document format (the same one cmd/querygen emits); the
+// remaining fields override the server's planning defaults for this
+// request only.
+type PlanRequest struct {
+	Query *repro.QueryJSON `json:"query"`
+
+	// Algorithm selects the enumeration algorithm (dphyp | dpsize |
+	// dpsub | dpccp | topdown | greedy | auto). Empty uses the server's
+	// planner default.
+	Algorithm string `json:"algorithm,omitempty"`
+	// CostModel selects the cost model (cout | cmm | nlj | hash |
+	// physical). Empty uses the server's planner default.
+	CostModel string `json:"cost_model,omitempty"`
+	// Budget bounds the exact enumeration effort for this request.
+	Budget *BudgetJSON `json:"budget,omitempty"`
+	// TimeoutMS bounds this request's total time (queueing included).
+	// 0 uses the server default; values above Config.MaxTimeout are
+	// clamped to it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// BudgetJSON mirrors repro.Budget.
+type BudgetJSON struct {
+	MaxCsgCmpPairs int `json:"max_csg_cmp_pairs,omitempty"`
+	MaxCostedPlans int `json:"max_costed_plans,omitempty"`
+}
+
+// BatchRequest is the body of POST /batch: the shared option fields
+// apply to every query in the batch. The batch occupies one worker slot
+// and plans its queries sequentially under one deadline, so a batch is
+// admission-controlled as a single unit of work.
+type BatchRequest struct {
+	Queries   []*repro.QueryJSON `json:"queries"`
+	Algorithm string             `json:"algorithm,omitempty"`
+	CostModel string             `json:"cost_model,omitempty"`
+	Budget    *BudgetJSON        `json:"budget,omitempty"`
+	TimeoutMS int64              `json:"timeout_ms,omitempty"`
+}
+
+// PlanResponse is the body of a successful POST /plan.
+type PlanResponse struct {
+	Plan        *PlanNodeJSON `json:"plan"`
+	Cost        float64       `json:"cost"`
+	Cardinality float64       `json:"cardinality"`
+	Algorithm   string        `json:"algorithm"`
+	Stats       StatsJSON     `json:"stats"`
+	// Coalesced marks a response served by waiting on an identical
+	// in-flight request instead of enumerating again.
+	Coalesced bool    `json:"coalesced,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// BatchResponse is the body of POST /batch. Results is parallel to the
+// request's Queries; each entry carries either a response or an error.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// BatchItem is one per-query outcome inside a BatchResponse.
+type BatchItem struct {
+	*PlanResponse
+	Error string `json:"error,omitempty"`
+}
+
+// StatsJSON is the wire form of the enumeration statistics.
+type StatsJSON struct {
+	CsgCmpPairs     int    `json:"csg_cmp_pairs"`
+	CostedPlans     int    `json:"costed_plans"`
+	CacheHit        bool   `json:"cache_hit,omitempty"`
+	BudgetExhausted bool   `json:"budget_exhausted,omitempty"`
+	FallbackGreedy  bool   `json:"fallback_greedy,omitempty"`
+	Shape           string `json:"shape,omitempty"`
+	RoutedAlgorithm string `json:"routed_algorithm,omitempty"`
+}
+
+// PlanNodeJSON is the wire form of an optimized operator tree. Leaves
+// carry Relation/Rel; inner nodes carry Op and both children.
+type PlanNodeJSON struct {
+	Op       string        `json:"op,omitempty"`
+	Relation string        `json:"relation,omitempty"`
+	Rel      *int          `json:"rel,omitempty"`
+	Phys     string        `json:"phys,omitempty"`
+	Card     float64       `json:"card"`
+	Cost     float64       `json:"cost"`
+	Left     *PlanNodeJSON `json:"left,omitempty"`
+	Right    *PlanNodeJSON `json:"right,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// planOptions resolves the request's option fields into repro Options
+// plus a canonical key fragment for the coalescer. Unset fields resolve
+// to the literal "default" in the key — the server's planner defaults
+// are fixed for the process lifetime, so the fragment still identifies
+// one planning configuration.
+func planOptions(algorithm, costModel string, budget *BudgetJSON) ([]repro.Option, string, error) {
+	var opts []repro.Option
+	algKey, costKey := "default", "default"
+	if algorithm != "" {
+		a, err := repro.ParseAlgorithm(algorithm)
+		if err != nil {
+			return nil, "", err
+		}
+		opts = append(opts, repro.WithAlgorithm(a))
+		algKey = a.String()
+	}
+	if costModel != "" {
+		m, err := repro.ParseCostModel(costModel)
+		if err != nil {
+			return nil, "", err
+		}
+		opts = append(opts, repro.WithCostModel(m))
+		costKey = costModel
+	}
+	var b repro.Budget
+	if budget != nil {
+		if budget.MaxCsgCmpPairs < 0 || budget.MaxCostedPlans < 0 {
+			return nil, "", fmt.Errorf("service: budget limits must be non-negative")
+		}
+		b = repro.Budget{
+			MaxCsgCmpPairs: budget.MaxCsgCmpPairs,
+			MaxCostedPlans: budget.MaxCostedPlans,
+		}
+		opts = append(opts, repro.WithBudget(b))
+	}
+	key := fmt.Sprintf("%s/%s/%d:%d", algKey, costKey, b.MaxCsgCmpPairs, b.MaxCostedPlans)
+	return opts, key, nil
+}
+
+// validateQuery guards the nil case, then defers to the library's own
+// document validator so the HTTP path can never accept a document the
+// CLI path rejects.
+func validateQuery(q *repro.QueryJSON) error {
+	if q == nil {
+		return fmt.Errorf("service: request has no query")
+	}
+	return q.Validate()
+}
+
+// planNodeJSON renders a plan tree for the wire. names maps relation
+// indexes to names; it may be nil (tools planning anonymous graphs).
+func planNodeJSON(n *repro.PlanNode, names func(int) string) *PlanNodeJSON {
+	if n == nil {
+		return nil
+	}
+	out := &PlanNodeJSON{Card: n.Card, Cost: n.Cost}
+	if n.IsLeaf() {
+		rel := n.Rel
+		out.Rel = &rel
+		if names != nil {
+			out.Relation = names(rel)
+		}
+		return out
+	}
+	out.Op = n.Op.String()
+	if n.Phys != repro.PhysNone {
+		out.Phys = n.Phys.String()
+	}
+	out.Left = planNodeJSON(n.Left, names)
+	out.Right = planNodeJSON(n.Right, names)
+	return out
+}
+
+// planResponse renders a planning result for the wire.
+func planResponse(res *repro.Result, coalesced bool, elapsedMS float64) *PlanResponse {
+	var names func(int) string
+	if res.Graph != nil {
+		g := res.Graph
+		names = func(i int) string {
+			if i >= 0 && i < g.NumRels() {
+				return g.Relation(i).Name
+			}
+			return ""
+		}
+	}
+	st := res.Stats
+	return &PlanResponse{
+		Plan:        planNodeJSON(res.Plan, names),
+		Cost:        res.Cost(),
+		Cardinality: res.Cardinality(),
+		Algorithm:   res.Algorithm.String(),
+		Stats: StatsJSON{
+			CsgCmpPairs:     st.CsgCmpPairs,
+			CostedPlans:     st.CostedPlans,
+			CacheHit:        st.CacheHit,
+			BudgetExhausted: st.BudgetExhausted,
+			FallbackGreedy:  st.FallbackGreedy,
+			Shape:           st.Shape,
+			RoutedAlgorithm: st.RoutedAlgorithm,
+		},
+		Coalesced: coalesced,
+		ElapsedMS: elapsedMS,
+	}
+}

@@ -1,0 +1,475 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// errInternal is the opaque body of a 500 after a handler panic; the
+// panic itself goes to the log, not to the client.
+var errInternal = errors.New("service: internal error")
+
+// Planner is the planning backend a Server serves. *repro.Planner
+// implements it; tests substitute gated fakes to make concurrency
+// scenarios deterministic.
+type Planner interface {
+	Plan(ctx context.Context, q *repro.Query, opts ...repro.Option) (*repro.Result, error)
+	PlanJSON(ctx context.Context, doc *repro.QueryJSON, opts ...repro.Option) (*repro.Result, error)
+	Metrics() repro.PlannerMetrics
+}
+
+// Config configures a Server. The zero value is usable: it plans with a
+// fresh default repro.Planner, GOMAXPROCS workers, a 64-deep admission
+// queue, and a 10s default deadline.
+type Config struct {
+	// Planner is the planning backend. Nil constructs a default
+	// repro.NewPlanner().
+	Planner Planner
+	// Workers bounds concurrent enumerations. Default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds requests waiting for a worker; beyond it,
+	// requests are rejected with 429. Default 64.
+	QueueDepth int
+	// DefaultTimeout is the per-request deadline when the request names
+	// none. Default 10s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps a request's own timeout_ms. Default 60s.
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds a request body. Default 4 MiB.
+	MaxBodyBytes int64
+	// Logger receives access and error lines. Nil is silent.
+	Logger *log.Logger
+}
+
+// Server is the concurrent plan-serving subsystem: it owns the worker
+// pool, the request coalescer, and the live metrics, and exposes them
+// as an http.Handler. Construct with New, serve Handler(), stop with
+// Shutdown.
+type Server struct {
+	cfg     Config
+	planner Planner
+	pool    *pool
+	co      *coalescer
+	met     *metrics
+	handler http.Handler
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	draining bool
+	inflight int
+}
+
+// New returns a Server over cfg (see Config for defaults).
+func New(cfg Config) *Server {
+	if cfg.Planner == nil {
+		cfg.Planner = repro.NewPlanner()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 10 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 60 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 4 << 20
+	}
+	s := &Server{
+		cfg:     cfg,
+		planner: cfg.Planner,
+		pool:    newPool(cfg.Workers, cfg.QueueDepth),
+		co:      newCoalescer(),
+		met:     newMetrics(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /plan", s.handlePlan)
+	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.handler = s.instrument(mux)
+	return s
+}
+
+// Handler returns the server's HTTP handler (all four endpoints, with
+// recovery, accounting, and access logging applied).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Shutdown drains the server: new planning requests are refused with
+// 503 and /healthz reports draining, while requests already admitted
+// run to completion (under their own deadlines). It returns nil once
+// the last in-flight request finished, or ctx.Err() if ctx expires
+// first — in-flight work is then still running; callers that must stop
+// it should also cancel the requests' base context.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		for s.inflight > 0 {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has been initiated.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// begin admits one planning request into the in-flight set; it fails
+// once draining so Shutdown's wait is race-free.
+func (s *Server) begin() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+func (s *Server) end() {
+	s.mu.Lock()
+	s.inflight--
+	if s.inflight == 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// timeoutFor resolves a request's effective deadline.
+func (s *Server) timeoutFor(ms int64) time.Duration {
+	if ms <= 0 {
+		return s.cfg.DefaultTimeout
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.cfg.MaxTimeout {
+		return s.cfg.MaxTimeout
+	}
+	return d
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// handlePlan serves POST /plan: decode, coalesce, admit, plan, render.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if !s.begin() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("service: draining"))
+		return
+	}
+	defer s.end()
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: reading body: %w", err))
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("service: body exceeds %d bytes", s.cfg.MaxBodyBytes))
+		return
+	}
+	var req PlanRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: decoding request: %w", err))
+		return
+	}
+	if err := validateQuery(req.Query); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, optKey, err := planOptions(req.Algorithm, req.CostModel, req.Budget)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// The coalescing key: planning options plus the canonical graph
+	// fingerprint (tree documents hash the document instead — their
+	// conflict analysis has no graph to fingerprint before planning).
+	var key string
+	var leaderPlan func(context.Context) (*repro.Result, error)
+	if req.Query.Tree == nil {
+		q, err := req.Query.BuildQuery()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		key = optKey + "\x00" + q.Graph().Fingerprint()
+		leaderPlan = func(ctx context.Context) (*repro.Result, error) {
+			return s.planner.Plan(ctx, q, opts...)
+		}
+	} else {
+		// Hash a canonical re-marshal of the query document alone:
+		// request-level fields (timeout_ms), field order, and whitespace
+		// are plan-irrelevant and must not defeat coalescing.
+		canon, err := json.Marshal(req.Query)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: canonicalizing query: %w", err))
+			return
+		}
+		sum := sha256.Sum256(canon)
+		key = optKey + "\x00tree:" + hex.EncodeToString(sum[:])
+		doc := req.Query
+		leaderPlan = func(ctx context.Context) (*repro.Result, error) {
+			return s.planner.PlanJSON(ctx, doc, opts...)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMS))
+	defer cancel()
+
+	// Only the leader takes a worker slot: a thundering herd of one
+	// query shape costs one enumeration and one slot, however many
+	// requests are waiting on it.
+	admitted := func(ctx context.Context) (*repro.Result, error) {
+		if err := s.pool.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.pool.release()
+		return leaderPlan(ctx)
+	}
+
+	start := time.Now()
+	var (
+		res    *repro.Result
+		shared bool
+	)
+	// A leader that dies of its own context (shorter deadline, vanished
+	// client) or a panic must not fail its followers: they re-enter the
+	// coalescer, where one of them is elected the next leader and the
+	// rest keep waiting — never a herd of direct enumerations. Bounded:
+	// each round consumes one dead leader, and healthy outcomes exit.
+	for attempt := 0; ; attempt++ {
+		res, shared, err = s.co.do(ctx, key, func() (*repro.Result, error) { return admitted(ctx) })
+		if err != nil && shared && ctx.Err() == nil && attempt < 8 &&
+			(isContextErr(err) || errors.Is(err, errLeaderAborted)) {
+			continue
+		}
+		break
+	}
+	if err != nil {
+		s.writePlanError(w, err)
+		return
+	}
+	elapsed := time.Since(start)
+	writeJSON(w, http.StatusOK, planResponse(res, shared, float64(elapsed.Microseconds())/1000))
+}
+
+// handleBatch serves POST /batch: the batch occupies one worker slot
+// and plans sequentially under one deadline. Per-query failures land in
+// the matching Results entry; only request-level problems (bad JSON,
+// full queue, expired deadline before any work) fail the whole call.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.begin() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("service: draining"))
+		return
+	}
+	defer s.end()
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: reading body: %w", err))
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("service: body exceeds %d bytes", s.cfg.MaxBodyBytes))
+		return
+	}
+	var req BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: decoding request: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("service: batch has no queries"))
+		return
+	}
+	opts, _, err := planOptions(req.Algorithm, req.CostModel, req.Budget)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMS))
+	defer cancel()
+	if err := s.pool.acquire(ctx); err != nil {
+		s.writePlanError(w, err)
+		return
+	}
+	defer s.pool.release()
+
+	out := BatchResponse{Results: make([]BatchItem, len(req.Queries))}
+	for i, doc := range req.Queries {
+		if err := ctx.Err(); err != nil {
+			out.Results[i] = BatchItem{Error: err.Error()}
+			continue
+		}
+		if err := validateQuery(doc); err != nil {
+			out.Results[i] = BatchItem{Error: err.Error()}
+			continue
+		}
+		start := time.Now()
+		res, err := s.planner.PlanJSON(ctx, doc, opts...)
+		if err != nil {
+			out.Results[i] = BatchItem{Error: err.Error()}
+			continue
+		}
+		elapsed := time.Since(start)
+		out.Results[i] = BatchItem{PlanResponse: planResponse(res, false, float64(elapsed.Microseconds())/1000)}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// healthzResponse is the body of GET /healthz.
+type healthzResponse struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	UptimeS  int64  `json:"uptime_s"`
+	Inflight int    `json:"inflight"`
+	Queued   int64  `json:"queued"`
+	Running  int64  `json:"running"`
+	Workers  int    `json:"workers"`
+	Plans    uint64 `json:"plans"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining, inflight := s.draining, s.inflight
+	s.mu.Unlock()
+	queued, running := s.pool.gauges()
+	resp := healthzResponse{
+		Status:   "ok",
+		UptimeS:  int64(time.Since(s.met.start).Seconds()),
+		Inflight: inflight,
+		Queued:   queued,
+		Running:  running,
+		Workers:  s.pool.workers(),
+		Plans:    s.planner.Metrics().Plans,
+	}
+	code := http.StatusOK
+	if draining {
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	fmt.Fprintf(w, "# TYPE dpserved_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "dpserved_uptime_seconds %g\n", time.Since(s.met.start).Seconds())
+
+	s.met.writeRequests(w)
+	s.met.latency.write(w, "dpserved_request_duration_seconds")
+
+	queued, running := s.pool.gauges()
+	fmt.Fprintf(w, "# TYPE dpserved_workers gauge\ndpserved_workers %d\n", s.pool.workers())
+	fmt.Fprintf(w, "# TYPE dpserved_queue_capacity gauge\ndpserved_queue_capacity %d\n", s.pool.queueCap)
+	fmt.Fprintf(w, "# TYPE dpserved_queued_requests gauge\ndpserved_queued_requests %d\n", queued)
+	fmt.Fprintf(w, "# TYPE dpserved_running_requests gauge\ndpserved_running_requests %d\n", running)
+	fmt.Fprintf(w, "# TYPE dpserved_admission_rejections_total counter\ndpserved_admission_rejections_total %d\n", s.pool.rejections.Load())
+	fmt.Fprintf(w, "# TYPE dpserved_request_timeouts_total counter\ndpserved_request_timeouts_total %d\n", s.met.timeouts.Load())
+	fmt.Fprintf(w, "# TYPE dpserved_handler_panics_total counter\ndpserved_handler_panics_total %d\n", s.met.panics.Load())
+
+	fmt.Fprintf(w, "# TYPE dpserved_coalesce_leaders_total counter\ndpserved_coalesce_leaders_total %d\n", s.co.leaders.Load())
+	fmt.Fprintf(w, "# TYPE dpserved_coalesced_requests_total counter\ndpserved_coalesced_requests_total %d\n", s.co.coalesced.Load())
+	fmt.Fprintf(w, "# TYPE dpserved_coalesce_waiting gauge\ndpserved_coalesce_waiting %d\n", s.co.waiting.Load())
+
+	pm := s.planner.Metrics()
+	fmt.Fprintf(w, "# TYPE planner_plans_total counter\nplanner_plans_total %d\n", pm.Plans)
+	fmt.Fprintf(w, "# TYPE planner_cache_hits_total counter\nplanner_cache_hits_total %d\n", pm.CacheHits)
+	fmt.Fprintf(w, "# TYPE planner_cache_misses_total counter\nplanner_cache_misses_total %d\n", pm.CacheMisses)
+	fmt.Fprintf(w, "# TYPE planner_cache_evictions_total counter\nplanner_cache_evictions_total %d\n", pm.CacheEvictions)
+	fmt.Fprintf(w, "# TYPE planner_cache_entries gauge\nplanner_cache_entries %d\n", pm.CacheEntries)
+	fmt.Fprintf(w, "# TYPE planner_fallbacks_total counter\nplanner_fallbacks_total %d\n", pm.Fallbacks)
+	fmt.Fprintf(w, "# TYPE planner_failures_total counter\nplanner_failures_total %d\n", pm.Failures)
+	if len(pm.AutoRouted) > 0 {
+		algs := make([]string, 0, len(pm.AutoRouted))
+		for alg := range pm.AutoRouted {
+			algs = append(algs, alg)
+		}
+		sort.Strings(algs)
+		fmt.Fprintf(w, "# TYPE planner_auto_routed_total counter\n")
+		for _, alg := range algs {
+			fmt.Fprintf(w, "planner_auto_routed_total{algorithm=%q} %d\n", alg, pm.AutoRouted[alg])
+		}
+	}
+}
+
+// writePlanError maps a planning failure to a status code:
+//
+//	429 queue full (Retry-After: 1)
+//	504 the request's deadline expired (queued or mid-enumeration)
+//	499 the client went away (nginx's convention; the response is moot)
+//	422 the query was understood but could not be planned
+func (s *Server) writePlanError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		writeError(w, 499, err)
+	case errors.Is(err, errLeaderAborted):
+		// Only reachable when the retry budget ran out on a key whose
+		// leaders keep panicking.
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeError(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
