@@ -17,8 +17,11 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/bitset"
 	"repro/internal/experiments"
+	"repro/internal/memo"
 	"repro/internal/optree"
+	"repro/internal/plan"
 	"repro/internal/workload"
 )
 
@@ -177,6 +180,102 @@ func BenchmarkPlannerSession(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := p.PlanGraph(ctx, g); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMemo isolates the memo claim of the unified enumeration
+// engine: open-addressing table + flat arena (internal/memo) versus the
+// map[bitset.Set]*plan.Node each solver used to carry. The key stream is
+// every non-empty subset of a 14-relation universe in Vance–Maier order
+// — the exact access pattern of a clique enumeration.
+func BenchmarkMemo(b *testing.B) {
+	keys := bitset.Subsets(bitset.Full(14))
+	leaf := plan.Leaf(0, 100)
+
+	b.Run("insert/map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := make(map[bitset.Set]*plan.Node, 64)
+			for _, k := range keys {
+				m[k] = leaf
+			}
+			if len(m) != len(keys) {
+				b.Fatal("bad size")
+			}
+		}
+	})
+	b.Run("insert/engine", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var tb memo.Table
+			tb.Reset(64)
+			for j, k := range keys {
+				tb.Put(k, int32(j))
+			}
+			if tb.Len() != len(keys) {
+				b.Fatal("bad size")
+			}
+		}
+	})
+
+	mm := make(map[bitset.Set]*plan.Node, len(keys))
+	var tb memo.Table
+	tb.Reset(len(keys))
+	for j, k := range keys {
+		mm[k] = leaf
+		tb.Put(k, int32(j))
+	}
+	b.Run("lookup/map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hits := 0
+			for _, k := range keys {
+				if mm[k] != nil {
+					hits++
+				}
+			}
+			if hits != len(keys) {
+				b.Fatal("bad hits")
+			}
+		}
+	})
+	b.Run("lookup/engine", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hits := 0
+			for _, k := range keys {
+				if _, ok := tb.Get(k); ok {
+					hits++
+				}
+			}
+			if hits != len(keys) {
+				b.Fatal("bad hits")
+			}
+		}
+	})
+
+	// arena-reset measures the steady-state cycle a pooled engine lives
+	// in: clear storage that is already sized, then re-fill it.
+	b.Run("arena-reset/map", func(b *testing.B) {
+		m := make(map[bitset.Set]*plan.Node, len(keys))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			clear(m)
+			for _, k := range keys {
+				m[k] = leaf
+			}
+		}
+	})
+	b.Run("arena-reset/engine", func(b *testing.B) {
+		var t2 memo.Table
+		t2.Reset(len(keys))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t2.Reset(len(keys))
+			for j, k := range keys {
+				t2.Put(k, int32(j))
 			}
 		}
 	})

@@ -32,8 +32,10 @@
 // -json writes the same measurements as a machine-readable file (one
 // record per cell: family/experiment, n, solver, cost model, the
 // algorithm that actually ran, median wall ms, csg-cmp-pairs, costed
-// plans, plan cost), so per-PR perf trajectories (BENCH_*.json) can be
-// diffed mechanically.
+// plans, plan cost, and the per-run allocation footprint — median heap
+// bytes and allocation count, measured as runtime.MemStats deltas), so
+// per-PR perf trajectories (BENCH_*.json) can be diffed mechanically,
+// including the allocation baseline of the memo engine.
 package main
 
 import (
@@ -43,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -71,7 +74,12 @@ type jsonRecord struct {
 	CsgCmpPairs int     `json:"csg_cmp_pairs"`
 	CostedPlans int     `json:"costed_plans"`
 	Cost        float64 `json:"cost"`
-	TimedOut    bool    `json:"timed_out,omitempty"`
+	// BytesPerOp and AllocsPerOp are the median heap bytes and heap
+	// allocations of one planning call (runtime.MemStats deltas around
+	// the run; the process is single-threaded while measuring).
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	TimedOut    bool   `json:"timed_out,omitempty"`
 }
 
 // jsonReport is the top-level -json document.
@@ -185,11 +193,12 @@ func runSeries(s experiments.Series, reps int, csv bool, timeout time.Duration, 
 		var pairs int
 		for _, alg := range s.Algs {
 			runner := s.Make(x, alg)
-			ms, st, cost, timedOut := measure(runner, reps, timeout)
+			ms, st, cost, bytesPer, allocsPer, timedOut := measure(runner, reps, timeout)
 			pairs = st.CsgCmpPairs
 			rec := jsonRecord{
 				Experiment: s.ID, N: x, Solver: alg, CostModel: "cout",
 				MS: ms, CsgCmpPairs: st.CsgCmpPairs, CostedPlans: st.CostedPlans, Cost: cost,
+				BytesPerOp: bytesPer, AllocsPerOp: allocsPer,
 			}
 			if timedOut {
 				rec.MS, rec.Cost, rec.TimedOut = -1, 0, true
@@ -214,32 +223,59 @@ func runSeries(s experiments.Series, reps int, csv bool, timeout time.Duration, 
 	}
 }
 
+// allocMeter snapshots runtime.MemStats around one run so each cell can
+// report its allocation footprint alongside wall time. The deltas are
+// exact for the single-threaded benchmark loop (no concurrent mutators).
+type allocMeter struct{ before runtime.MemStats }
+
+func (a *allocMeter) start() { runtime.ReadMemStats(&a.before) }
+
+func (a *allocMeter) stop() (bytes, allocs uint64) {
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - a.before.TotalAlloc, after.Mallocs - a.before.Mallocs
+}
+
+// medianU64 returns the median of a non-empty sample.
+func medianU64(xs []uint64) uint64 {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	return xs[len(xs)/2]
+}
+
 // measure returns the median wall time in milliseconds over reps runs,
-// the enumeration statistics, the plan cost, and whether the cell was
-// cancelled by the per-cell deadline.
-func measure(r experiments.Runner, reps int, timeout time.Duration) (float64, dp.Stats, float64, bool) {
+// the enumeration statistics, the plan cost, the median allocation
+// footprint, and whether the cell was cancelled by the per-cell
+// deadline.
+func measure(r experiments.Runner, reps int, timeout time.Duration) (float64, dp.Stats, float64, uint64, uint64, bool) {
 	times := make([]float64, 0, reps)
+	bytesPer := make([]uint64, 0, reps)
+	allocsPer := make([]uint64, 0, reps)
 	var stats dp.Stats
 	var cost float64
+	var meter allocMeter
 	for i := 0; i < reps; i++ {
 		ctx := context.Background()
 		cancel := context.CancelFunc(func() {})
 		if timeout > 0 {
 			ctx, cancel = context.WithTimeout(ctx, timeout)
 		}
+		meter.start()
 		start := time.Now()
 		p, st, err := r(ctx)
 		elapsed := time.Since(start)
+		b, a := meter.stop()
 		cancel()
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
 				// Partial statistics show how far the cell got.
-				return 0, st, 0, true
+				return 0, st, 0, 0, 0, true
 			}
 			fmt.Fprintf(os.Stderr, "dpbench: optimization failed: %v\n", err)
 			os.Exit(1)
 		}
 		times = append(times, float64(elapsed.Nanoseconds())/1e6)
+		bytesPer = append(bytesPer, b)
+		allocsPer = append(allocsPer, a)
 		stats = st
 		cost = p.Cost
 		// Very slow cells are not repeated: one sample tells the story.
@@ -248,7 +284,7 @@ func measure(r experiments.Runner, reps int, timeout time.Duration) (float64, dp
 		}
 	}
 	sort.Float64s(times)
-	return times[len(times)/2], stats, cost, false
+	return times[len(times)/2], stats, cost, medianU64(bytesPer), medianU64(allocsPer), false
 }
 
 // runShapeSweep drives the §4 chain/cycle/star/clique families through
@@ -305,8 +341,11 @@ func runShapeSweep(solverName, costName string, maxN, reps int, csv bool, timeou
 		for n := 4; n <= fam.maxN; n++ {
 			g := fam.make(n)
 			var (
-				times []float64
-				res   *repro.Result
+				times     []float64
+				bytesPer  []uint64
+				allocsPer []uint64
+				res       *repro.Result
+				meter     allocMeter
 			)
 			timedOut := false
 			for r := 0; r < reps; r++ {
@@ -315,9 +354,11 @@ func runShapeSweep(solverName, costName string, maxN, reps int, csv bool, timeou
 				if timeout > 0 {
 					ctx, cancel = context.WithTimeout(ctx, timeout)
 				}
+				meter.start()
 				start := time.Now()
 				out, err := planner.PlanGraph(ctx, g)
 				elapsed := time.Since(start)
+				b, a := meter.stop()
 				cancel()
 				if err != nil {
 					if errors.Is(err, context.DeadlineExceeded) {
@@ -329,6 +370,8 @@ func runShapeSweep(solverName, costName string, maxN, reps int, csv bool, timeou
 				}
 				res = out
 				times = append(times, float64(elapsed.Nanoseconds())/1e6)
+				bytesPer = append(bytesPer, b)
+				allocsPer = append(allocsPer, a)
 			}
 			if timedOut {
 				report.add(jsonRecord{
@@ -349,7 +392,7 @@ func runShapeSweep(solverName, costName string, maxN, reps int, csv bool, timeou
 				Experiment: "shape-sweep", Family: fam.name, N: n,
 				Solver: solverName, CostModel: costName, Algorithm: algName,
 				MS: ms, CsgCmpPairs: res.Stats.CsgCmpPairs, CostedPlans: res.Stats.CostedPlans,
-				Cost: res.Cost(),
+				Cost: res.Cost(), BytesPerOp: medianU64(bytesPer), AllocsPerOp: medianU64(allocsPer),
 			})
 			if csv {
 				fmt.Printf("%s,%d,%s,%s,%s,%.4f,%d,%g\n",

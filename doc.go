@@ -78,14 +78,53 @@
 // (WithTrace, generate-and-test filters) bypass the cache entirely.
 // WithPlanCacheSize sizes the cache; 0 disables it.
 //
-// Internally, DP tables are recycled through a per-planner pool, so
-// steady traffic reaches a steady state with few allocations.
+// Internally, memo engines — open-addressing DP table, plan-node arena,
+// and builder scratch — are recycled through a per-planner pool, so
+// steady traffic reaches a steady state in which an enumeration run
+// performs no table or plan-node allocations at all (see Architecture).
+// Stats.ArenaReused reports per run whether recycled storage was used;
+// PlannerMetrics.ArenaReuses, PairsEmitted, and MemoPeakEntries
+// aggregate the engine's work across the session.
 //
 // Planner.Metrics exposes the session's cumulative counters — plans
 // served, cache hits/misses/evictions, current cache occupancy, budget
 // fallbacks, failures, and per-algorithm SolverAuto routing counts — so
 // cache effectiveness and routing behavior are observable in
 // production, not just in tests.
+//
+// # Architecture
+//
+// Join enumeration is split into three layers, mirroring the paper's
+// separation of enumeration order from plan construction:
+//
+//   - Enumerators (internal/core, internal/dpsize, internal/dpsub,
+//     internal/dpccp, internal/topdown, internal/goo) are pure: they
+//     own nothing but their traversal order. Each run seeds base
+//     relations with EmitBase, proposes csg-cmp-pairs with EmitPair,
+//     and uses Contains/Step/Aborted for its connectivity tests and
+//     cancellation polling. No solver carries its own memo map.
+//   - The memo engine (internal/memo) owns storage and accounting: an
+//     open-addressing hash table specialized for the uint64 relation-set
+//     keys (Fibonacci hashing, linear probing, power-of-two growth), a
+//     flat plan-node arena addressed by indices instead of pointers
+//     (improved entries overwrite their slot in place; nothing is
+//     heap-allocated per candidate plan), budget enforcement for the
+//     §2.2 effort yardsticks, context-cancellation polling, and the
+//     counting and observation hooks. Engines are pooled and reused
+//     across planning calls.
+//   - The plan builder (internal/dp) is the engine's semantic backend:
+//     for every admitted pair it recovers the operator from the
+//     connecting hyperedges (§5.4), applies dependency constraints
+//     (§5.6) and the optional generate-and-test filter (§5.8),
+//     estimates cardinalities, prices candidates under the configured
+//     cost model, and finally materializes the winning tree out of the
+//     arena into the pointer-based PlanNode form callers consume.
+//
+// The split is what makes the evaluation's comparisons meaningful: all
+// six strategies pay identical per-pair construction costs, so measured
+// differences are purely the enumeration overhead the paper studies —
+// and it is the prerequisite for sharding enumeration across cores and
+// reusing arenas across served requests (see ROADMAP).
 //
 // # Serving
 //
@@ -131,7 +170,8 @@
 //
 // # Algorithms
 //
-// Six enumeration strategies share one plan-construction core:
+// Six enumeration strategies share one memo engine and plan-construction
+// backend (see Architecture):
 //
 //   - DPhyp (the paper's contribution, default): enumerates exactly the
 //     csg-cmp-pairs of the hypergraph.

@@ -17,6 +17,7 @@ package bitset
 
 import (
 	"fmt"
+	"iter"
 	"math/bits"
 	"strings"
 )
@@ -214,6 +215,29 @@ func (s Set) String() string {
 // non-empty subset. After s == m it wraps to the empty set.
 func (s Set) NextSubset(m Set) Set {
 	return (s - m) & m
+}
+
+// SubsetsOf returns an iterator over all non-empty subsets of m in
+// Vance–Maier order (ascending numeric bit-pattern value, ending with m
+// itself). It packages the (s − m) & m enumeration step so that the
+// enumeration loops of DPsub and DPccp read as plain range statements
+// instead of hand-rolled wrap-around loops:
+//
+//	for s := range m.SubsetsOf() { ... }
+//
+// The iterator is allocation-free and supports early break. An empty m
+// yields nothing.
+func (m Set) SubsetsOf() iter.Seq[Set] {
+	return func(yield func(Set) bool) {
+		if m == 0 {
+			return
+		}
+		for s := Empty.NextSubset(m); ; s = s.NextSubset(m) {
+			if !yield(s) || s == m {
+				return
+			}
+		}
+	}
 }
 
 // Subsets returns all non-empty subsets of m in Vance–Maier order.

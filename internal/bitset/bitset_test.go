@@ -335,3 +335,99 @@ func BenchmarkSetOps(b *testing.B) {
 	}
 	_ = acc
 }
+
+// TestSubsetsOfMatchesSubsets: the iterator must yield exactly the
+// Vance–Maier sequence Subsets returns, for every mask over a small
+// universe and for random sparse masks over the full width.
+func TestSubsetsOfMatchesSubsets(t *testing.T) {
+	check := func(m Set) {
+		want := Subsets(m)
+		var got []Set
+		for s := range m.SubsetsOf() {
+			got = append(got, s)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("mask %v: %d subsets, want %d", m, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("mask %v: subset %d = %v, want %v", m, i, got[i], want[i])
+			}
+		}
+	}
+	for m := Set(0); m < 1<<10; m++ {
+		check(m)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		// Sparse masks exercise the non-contiguous wrap-around carries.
+		check(Set(rng.Uint64() & rng.Uint64() & rng.Uint64()))
+	}
+}
+
+// TestSubsetsOfProperties checks the iterator invariants directly:
+// count 2^|m|−1, every yield a non-empty subset of m, strictly
+// ascending numeric order, m itself last.
+func TestSubsetsOfProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		m := Set(rng.Uint64()) & Full(14) // bounded popcount keeps 2^|m| small
+		count := 0
+		prev := Empty
+		last := Empty
+		for s := range m.SubsetsOf() {
+			count++
+			if s.IsEmpty() {
+				t.Fatalf("mask %v yielded the empty set", m)
+			}
+			if !s.SubsetOf(m) {
+				t.Fatalf("mask %v yielded non-subset %v", m, s)
+			}
+			if count > 1 && s <= prev {
+				t.Fatalf("mask %v: order not ascending (%v after %v)", m, s, prev)
+			}
+			prev, last = s, s
+		}
+		if want := 1<<uint(m.Len()) - 1; count != want {
+			t.Fatalf("mask %v: %d subsets, want %d", m, count, want)
+		}
+		if m != Empty && last != m {
+			t.Fatalf("mask %v: last subset %v, want the mask itself", m, last)
+		}
+	}
+}
+
+// TestSubsetsOfEarlyBreak: breaking out of the range must stop the
+// iteration cleanly (this is what the budget-tripped solver loops do).
+func TestSubsetsOfEarlyBreak(t *testing.T) {
+	m := Full(16)
+	n := 0
+	for range m.SubsetsOf() {
+		n++
+		if n == 10 {
+			break
+		}
+	}
+	if n != 10 {
+		t.Fatalf("saw %d subsets after break at 10", n)
+	}
+	for range Empty.SubsetsOf() {
+		t.Fatal("empty mask must yield nothing")
+	}
+}
+
+// BenchmarkSubsetsOf measures the iterator against the hand-rolled loop
+// it replaced (BenchmarkSubsetEnumeration above).
+func BenchmarkSubsetsOf(b *testing.B) {
+	m := Full(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var count int
+		for range m.SubsetsOf() {
+			count++
+		}
+		if count != 1<<16-1 {
+			b.Fatal("bad count")
+		}
+	}
+}

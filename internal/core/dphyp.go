@@ -33,6 +33,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dp"
 	"repro/internal/hypergraph"
+	"repro/internal/memo"
 	"repro/internal/plan"
 )
 
@@ -59,43 +60,48 @@ type Options struct {
 	// dp.ErrBudgetExhausted. The zero value imposes no bounds.
 	Limits dp.Limits
 
-	// Pool, when non-nil, supplies recycled DP scratch state.
-	Pool *dp.Pool
+	// Pool, when non-nil, supplies recycled memo engines (table,
+	// arena, and backend scratch) from previous runs.
+	Pool *memo.Pool
 }
 
-// Solver runs DPhyp over one hypergraph.
+// Solver runs DPhyp over one hypergraph. It is a pure enumerator: all
+// memoization, budget accounting, and plan construction route through
+// the memo engine (e) and its dp.Builder backend (b).
 type Solver struct {
 	g    *hypergraph.Graph
+	e    *memo.Engine
 	b    *dp.Builder
 	opts Options
 }
 
 // New prepares a solver. The graph must stay unmodified during Run.
 func New(g *hypergraph.Graph, opts Options) *Solver {
-	b := opts.Pool.Get(g, opts.Model)
+	e, b := dp.NewRun(opts.Pool, g, opts.Model)
 	b.Filter = opts.Filter
-	b.OnEmit = opts.OnEmit
-	b.SetLimits(opts.Limits)
-	return &Solver{g: g, b: b, opts: opts}
+	e.OnEmit = opts.OnEmit
+	e.SetLimits(opts.Limits)
+	return &Solver{g: g, e: e, b: b, opts: opts}
 }
 
 // Solve is the convenience entry point: it runs DPhyp on g and returns
 // the optimal bushy plan without cross products. When opts.Pool is set,
-// the solver's scratch state is returned to the pool before Solve
-// returns (the plan itself is not pooled and stays valid).
+// the engine's scratch state is returned to the pool before Solve
+// returns (the plan itself is materialized out of the arena and stays
+// valid).
 func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 	s := New(g, opts)
 	p, err := s.Run()
 	st := s.Stats()
-	opts.Pool.Put(s.b)
+	opts.Pool.Put(s.e)
 	return p, st, err
 }
 
 // Stats returns the enumeration statistics of the last Run.
-func (s *Solver) Stats() dp.Stats { return s.b.Stats }
+func (s *Solver) Stats() dp.Stats { return s.e.Stats }
 
-// Table exposes the DP table (read-only use) for tests and tooling.
-func (s *Solver) Table() map[bitset.Set]*plan.Node { return s.b.Table }
+// Engine exposes the memo engine (read-only use) for tests and tooling.
+func (s *Solver) Engine() *memo.Engine { return s.e }
 
 // Run executes the Solve routine of §3.1.
 func (s *Solver) Run() (*plan.Node, error) {
@@ -108,7 +114,7 @@ func (s *Solver) Run() (*plan.Node, error) {
 
 	// "for each v ∈ V descending according to ≺: EmitCsg({v});
 	// EnumerateCsgRec({v}, B_v)"
-	for v := n - 1; v >= 0 && s.b.Aborted() == nil; v-- {
+	for v := n - 1; v >= 0 && s.e.Aborted() == nil; v-- {
 		S := bitset.Single(v)
 		s.opts.Trace.add(StepStartNode, S, bitset.Empty)
 		s.emitCsg(S)
@@ -121,7 +127,7 @@ func (s *Solver) Run() (*plan.Node, error) {
 // of forbidden nodes; every node the function will consider itself is
 // forbidden in recursive calls to avoid duplicate enumeration.
 func (s *Solver) enumerateCsgRec(S1, X bitset.Set) {
-	if !s.b.Step() {
+	if !s.e.Step() {
 		return
 	}
 	N := s.g.Neighborhood(S1, X)
@@ -132,11 +138,11 @@ func (s *Solver) enumerateCsgRec(S1, X bitset.Set) {
 	// Vance–Maier order enumerates every proper subset of a subset
 	// before it, so the DP order is respected within the loop, too.
 	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
-		if !s.b.Step() {
+		if !s.e.Step() {
 			return
 		}
 		next := S1.Union(n)
-		if s.b.Best(next) != nil {
+		if s.e.Contains(next) {
 			s.opts.Trace.add(StepCsg, next, bitset.Empty)
 			s.emitCsg(next)
 		}
@@ -159,7 +165,7 @@ func (s *Solver) enumerateCsgRec(S1, X bitset.Set) {
 // emitCsg generates the seeds of all complements of the connected
 // subgraph S1 (§3.3).
 func (s *Solver) emitCsg(S1 bitset.Set) {
-	if !s.b.Step() {
+	if !s.e.Step() {
 		return
 	}
 	X := S1.Union(bitset.BelowEq(S1.Min()))
@@ -168,14 +174,14 @@ func (s *Solver) emitCsg(S1 bitset.Set) {
 		return
 	}
 	// "for each v ∈ N descending according to ≺"
-	for v := N.Max(); v >= 0 && s.b.Aborted() == nil; v = prevElem(N, v) {
+	for v := N.Max(); v >= 0 && s.e.Aborted() == nil; v = prevElem(N, v) {
 		S2 := bitset.Single(v)
 		// "if ∃(u,v) ∈ E : u ⊆ S1 ∧ v ⊆ S2": the neighborhood may
 		// contain representatives of larger hypernodes that do not yet
 		// connect (§3.3's step 20: no edge between {R1,R2,R3} and {R4}).
 		if s.g.ConnectsTo(S1, S2) {
 			s.opts.Trace.add(StepCmp, S1, S2)
-			s.b.EmitCsgCmp(S1, S2)
+			s.e.EmitPair(S1, S2)
 		}
 		// Forbid the smaller-ordered neighbors while growing this seed so
 		// each complement is produced from its ≺-minimal seed only (the
@@ -195,7 +201,7 @@ func prevElem(N bitset.Set, v int) int {
 
 // enumerateCmpRec grows the complement S2 of S1 (§3.4).
 func (s *Solver) enumerateCmpRec(S1, S2, X bitset.Set) {
-	if !s.b.Step() {
+	if !s.e.Step() {
 		return
 	}
 	N := s.g.Neighborhood(S2, X)
@@ -203,14 +209,14 @@ func (s *Solver) enumerateCmpRec(S1, S2, X bitset.Set) {
 		return
 	}
 	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
-		if !s.b.Step() {
+		if !s.e.Step() {
 			return
 		}
 		next := S2.Union(n)
 		// "if dpTable[S2 ∪ N] ≠ ∅ ∧ ∃(u,v) ∈ E : u ⊆ S1 ∧ v ⊆ S2 ∪ N"
-		if s.b.Best(next) != nil && s.g.ConnectsTo(S1, next) {
+		if s.e.Contains(next) && s.g.ConnectsTo(S1, next) {
 			s.opts.Trace.add(StepCmp, S1, next)
-			s.b.EmitCsgCmp(S1, next)
+			s.e.EmitPair(S1, next)
 		}
 		if n == N {
 			break

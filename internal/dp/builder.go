@@ -1,51 +1,44 @@
-// Package dp provides the dynamic-programming plumbing shared by all
+// Package dp provides the plan-construction semantics shared by all
 // join enumeration algorithms in this repository (DPhyp, DPsize, DPsub,
-// DPccp, and the top-down memoization baseline).
+// DPccp, TopDown, and the GOO fallback).
 //
-// The central piece is Builder, which owns the DP table mapping relation
-// sets to their best plans and implements the plan-construction logic of
-// EmitCsgCmp (§3.5): recovering the operator attached to the connecting
+// Storage and accounting live one layer down, in internal/memo: the
+// open-addressing DP table, the flat plan-node arena, budget and
+// cancellation enforcement, and the counting hooks. This package
+// contributes the Backend the engine calls for every admitted
+// csg-cmp-pair: Builder implements the plan-construction logic of
+// EmitCsgCmp (§3.5) — recovering the operator attached to the connecting
 // hyperedges (§5.4), switching to dependent variants when the right side
 // references the left (§5.6), applying the optional generate-and-test
 // filter (the TES-check alternative measured in Fig. 8a), estimating
-// cardinalities, and costing both orientations of commutative operators.
+// cardinalities, and costing both orientations of commutative operators
+// — and materializes the winning plan tree out of the engine's arena.
 package dp
 
 import (
-	"context"
-	"errors"
 	"fmt"
 
 	"repro/internal/algebra"
 	"repro/internal/bitset"
 	"repro/internal/cost"
 	"repro/internal/hypergraph"
+	"repro/internal/memo"
 	"repro/internal/plan"
 )
 
 // ErrBudgetExhausted reports that an enumeration stopped because it
-// reached its Limits before connecting the full graph. Callers that can
-// tolerate suboptimal plans should fall back to a heuristic (GOO) when
-// they see this error; the Planner layer does so automatically.
-var ErrBudgetExhausted = errors.New("dp: enumeration budget exhausted")
+// reached its Limits before connecting the full graph. It is the memo
+// engine's sentinel, re-exported for the solver and planner layers.
+var ErrBudgetExhausted = memo.ErrBudgetExhausted
 
-// Limits bounds one enumeration run. The zero value imposes no bounds.
-//
-// Ctx is polled periodically (every pollInterval units of enumeration
-// work) so that cancellation interrupts even the O(3^n) inner loops of
-// DPsub within microseconds. The two Max fields cap the paper's two
-// effort yardsticks: csg-cmp-pairs emitted and candidate plans priced.
-type Limits struct {
-	Ctx            context.Context
-	MaxCsgCmpPairs int // 0 = unlimited
-	MaxCostedPlans int // 0 = unlimited
-}
+// Limits bounds one enumeration run; see memo.Limits.
+type Limits = memo.Limits
 
-// pollInterval is the number of Step calls between context polls.
-// Polling a context costs an atomic load plus a channel check; amortizing
-// it keeps the per-iteration overhead of the enumeration loops below a
-// nanosecond while still reacting to cancellation promptly.
-const pollInterval = 1024
+// Stats counts the work an enumeration performed; see memo.Stats.
+type Stats = memo.Stats
+
+// Pool recycles memo engines across planning calls; see memo.Pool.
+type Pool = memo.Pool
 
 // EdgeRef identifies a hyperedge connecting a concrete csg-cmp-pair.
 // Flipped is true when the edge's stored (U,V) orientation is reversed
@@ -62,147 +55,88 @@ type EdgeRef struct {
 // enumerated, which is exactly the overhead Fig. 8a measures.
 type Filter func(left, right bitset.Set, conn []EdgeRef) bool
 
-// Stats counts the work an enumeration performed. The number of
-// csg-cmp-pairs is the paper's yardstick: "the minimal number of cost
-// function calls of any dynamic programming algorithm is exactly the
-// number of csg-cmp-pairs" (§2.2).
-type Stats struct {
-	CsgCmpPairs   int // EmitCsgCmp invocations (unordered pairs)
-	CostedPlans   int // plans actually priced (2x for commutative ops)
-	FilterReject  int // plans rejected by the generate-and-test filter
-	InvalidReject int // plans rejected by dependency constraints
-	AmbiguousOps  int // pairs connected by more than one non-inner edge
-	TableEntries  int // number of connected subgraphs with a plan
-
-	// Session-level accounting, filled by the Planner layer.
-	BudgetExhausted bool // exact enumeration stopped at its Limits
-	FallbackGreedy  bool // a GOO plan was substituted after the budget trip
-	CacheHit        bool // served from the planner's fingerprint cache
-
-	// Adaptive-routing accounting, filled by the Planner when the
-	// SolverAuto mode picked the algorithm. RoutedAlgorithm names the
-	// solver the topology router selected — it stays put even when a
-	// budget trip later downgraded the run to greedy (FallbackGreedy
-	// then reports the downgrade alongside it).
-	AutoRouted      bool   // the algorithm was chosen by SolverAuto
-	Shape           string // topology class the router saw (e.g. "star")
-	RoutedAlgorithm string // solver the router picked (e.g. "dphyp")
-}
-
-// Builder is the shared DP state.
+// Builder is the plan-construction backend of one enumeration run: it
+// holds the graph and cost model the memo engine is deliberately
+// ignorant of, plus reusable scratch buffers for edge recovery. It
+// implements memo.Backend and stays attached to its engine across pool
+// round-trips so the buffers are recycled too.
 type Builder struct {
 	G      *hypergraph.Graph
 	Model  cost.Model
 	Filter Filter
 
-	// OnEmit, if set, observes every csg-cmp-pair in emission order.
-	OnEmit func(S1, S2 bitset.Set)
-
-	Table map[bitset.Set]*plan.Node
-	Stats Stats
+	// Engine is the memo this run stores plans into.
+	Engine *memo.Engine
 
 	connBuf []EdgeRef
-
-	limits   Limits
-	steps    int
-	abortErr error
+	flipBuf []EdgeRef
+	edgeBuf []int
 }
 
-// NewBuilder returns a Builder over g using the given cost model
-// (cost.Default() if nil).
-func NewBuilder(g *hypergraph.Graph, m cost.Model) *Builder {
+// NewRun obtains an engine (recycled from pool when possible), resets it
+// for a run over g, and attaches a Builder using the given cost model
+// (cost.Default() if nil). Return the engine to the pool with pool.Put
+// when the run's statistics have been read.
+func NewRun(pool *memo.Pool, g *hypergraph.Graph, m cost.Model) (*memo.Engine, *Builder) {
 	if m == nil {
 		m = cost.Default()
 	}
-	return &Builder{
-		G:     g,
-		Model: m,
-		Table: make(map[bitset.Set]*plan.Node, 1<<uint(min(g.NumRels(), 20))),
+	e := pool.Get()
+	e.Reset(g.NumRels())
+	b, _ := e.Backend().(*Builder)
+	if b == nil {
+		b = &Builder{}
+		e.SetBackend(b)
 	}
+	b.G, b.Model, b.Engine = g, m, e
+	return e, b
 }
 
-// SetLimits installs cancellation and budget bounds for the next run.
-func (b *Builder) SetLimits(l Limits) { b.limits = l }
-
-// Aborted returns the cancellation or budget error once a limit has
-// tripped, and nil while the run may proceed. Solvers use it to unwind
-// recursive enumeration cheaply.
-func (b *Builder) Aborted() error { return b.abortErr }
-
-// Step records one unit of enumeration work (a loop iteration or
-// recursive call) and reports whether the run may continue. The context
-// is polled every pollInterval steps; budget limits are enforced in
-// EmitCsgCmp and tryBuild where the counted events happen.
-func (b *Builder) Step() bool {
-	if b.abortErr != nil {
-		return false
-	}
-	if b.limits.Ctx == nil {
-		return true
-	}
-	b.steps++
-	if b.steps%pollInterval != 0 {
-		return true
-	}
-	if err := b.limits.Ctx.Err(); err != nil {
-		b.abortErr = err
-		return false
-	}
-	return true
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
+// NewBuilder returns a Builder over g with a fresh engine, for tests and
+// tooling that drive plan construction directly. Production runs go
+// through NewRun.
+func NewBuilder(g *hypergraph.Graph, m cost.Model) *Builder {
+	_, b := NewRun(nil, g, m)
 	return b
+}
+
+// Release drops the per-run references so a pooled engine does not pin
+// the graph or model; the scratch buffers stay for the next run.
+func (b *Builder) Release() {
+	b.G = nil
+	b.Model = nil
+	b.Filter = nil
+	b.Engine = nil
+	b.connBuf = b.connBuf[:0]
+	b.flipBuf = b.flipBuf[:0]
+	b.edgeBuf = b.edgeBuf[:0]
 }
 
 // Init seeds the DP table with access plans for single relations
 // ("dpTable[{v}] = plan for v").
 func (b *Builder) Init() {
 	for i := 0; i < b.G.NumRels(); i++ {
-		b.Table[bitset.Single(i)] = plan.Leaf(i, b.G.Relation(i).Card)
+		b.Engine.EmitBase(i, b.G.Relation(i).Card)
 	}
 }
 
-// Best returns the best plan for S, or nil.
-func (b *Builder) Best(S bitset.Set) *plan.Node { return b.Table[S] }
+// Best materializes the memoed plan for S, or nil. Intended for tests;
+// the enumeration-side membership test is Engine.Contains.
+func (b *Builder) Best(S bitset.Set) *plan.Node { return b.Engine.Plan(S) }
 
 // Final returns the plan covering all relations, or an error when the
 // enumeration could not connect the graph (the hypergraph was not
 // Definition-3 connected, or every candidate plan was filtered out).
 func (b *Builder) Final() (*plan.Node, error) {
-	if b.abortErr != nil {
-		b.Stats.TableEntries = len(b.Table)
-		return nil, b.abortErr
-	}
-	p := b.Table[b.G.AllNodes()]
-	if p == nil {
-		return nil, fmt.Errorf("dp: no plan for %v: hypergraph not connected or all plans rejected", b.G.AllNodes())
-	}
-	b.Stats.TableEntries = len(b.Table)
-	return p, nil
+	return b.Engine.Final(b.G.AllNodes())
 }
 
-// EmitCsgCmp considers building plans from the csg-cmp-pair (S1, S2),
-// following §3.5: it recovers the connecting edges and their predicates,
-// resolves the operator, and prices one orientation for non-commutative
-// operators or both for commutative ones.
-func (b *Builder) EmitCsgCmp(S1, S2 bitset.Set) {
-	if b.abortErr != nil {
-		return
-	}
-	if max := b.limits.MaxCsgCmpPairs; max > 0 && b.Stats.CsgCmpPairs >= max {
-		b.abortErr = fmt.Errorf("%w: %d csg-cmp-pairs emitted (limit %d)",
-			ErrBudgetExhausted, b.Stats.CsgCmpPairs, max)
-		return
-	}
-	b.Stats.CsgCmpPairs++
-	if b.OnEmit != nil {
-		b.OnEmit(S1, S2)
-	}
-
+// BuildPair implements memo.Backend, following §3.5: it recovers the
+// connecting edges and their predicates, resolves the operator, and
+// prices one orientation for non-commutative operators or both for
+// commutative ones. Budget and emission bookkeeping has already happened
+// in Engine.EmitPair.
+func (b *Builder) BuildPair(S1, S2 bitset.Set) {
 	conn := b.connBuf[:0]
 	b.G.EachConnectingEdge(S1, S2, func(idx int, flipped bool) {
 		conn = append(conn, EdgeRef{Idx: idx, Flipped: flipped})
@@ -211,7 +145,7 @@ func (b *Builder) EmitCsgCmp(S1, S2 bitset.Set) {
 	if len(conn) == 0 {
 		// Not a csg-cmp-pair; callers are expected to have checked, so
 		// this indicates an enumeration bug.
-		panic(fmt.Sprintf("dp: EmitCsgCmp(%v,%v) without connecting edge", S1, S2))
+		panic(fmt.Sprintf("dp: EmitPair(%v,%v) without connecting edge", S1, S2))
 	}
 
 	// Operator recovery (§5.4): every hyperedge carries the operator it
@@ -230,7 +164,7 @@ func (b *Builder) EmitCsgCmp(S1, S2 bitset.Set) {
 		}
 	}
 	if nonInner > 1 {
-		b.Stats.AmbiguousOps++
+		b.Engine.Stats.AmbiguousOps++
 	}
 
 	if op.Commutative() {
@@ -245,13 +179,15 @@ func (b *Builder) EmitCsgCmp(S1, S2 bitset.Set) {
 	}
 }
 
-// tryBuild prices "left op right" and stores it if it improves the table
-// entry for left ∪ right. connFlipped indicates that the EdgeRef.Flipped
-// flags in conn are relative to the swapped orientation.
+// tryBuild prices "left op right" and stores it through Engine.Improve
+// if it beats the incumbent for left ∪ right. connFlipped indicates that
+// the EdgeRef.Flipped flags in conn are relative to the swapped
+// orientation.
 func (b *Builder) tryBuild(left, right bitset.Set, op algebra.Op, conn []EdgeRef, connFlipped bool) {
-	p1 := b.Table[left]
-	p2 := b.Table[right]
-	if p1 == nil || p2 == nil {
+	e := b.Engine
+	lh, lok := e.Lookup(left)
+	rh, rok := e.Lookup(right)
+	if !lok || !rok {
 		panic(fmt.Sprintf("dp: missing subplan for %v or %v", left, right))
 	}
 
@@ -259,13 +195,13 @@ func (b *Builder) tryBuild(left, right bitset.Set, op algebra.Op, conn []EdgeRef
 	// the right side; if the right side references the left, the operator
 	// becomes its dependent counterpart.
 	if b.G.FreeTables(left).Overlaps(right) {
-		b.Stats.InvalidReject++
+		e.Stats.InvalidReject++
 		return
 	}
 	if b.G.FreeTables(right).Overlaps(left) {
 		op = op.DependentVariant()
 		if !op.Valid() {
-			b.Stats.InvalidReject++
+			e.Stats.InvalidReject++
 			return
 		}
 	}
@@ -273,10 +209,10 @@ func (b *Builder) tryBuild(left, right bitset.Set, op algebra.Op, conn []EdgeRef
 	if b.Filter != nil {
 		fc := conn
 		if connFlipped {
-			fc = flipRefs(conn)
+			fc = b.flipRefs(conn)
 		}
 		if !b.Filter(left, right, fc) {
-			b.Stats.FilterReject++
+			e.Stats.FilterReject++
 			return
 		}
 	}
@@ -291,43 +227,41 @@ func (b *Builder) tryBuild(left, right bitset.Set, op algebra.Op, conn []EdgeRef
 	// which keeps cardinality estimates independent of the join order.
 	S := left.Union(right)
 	sel := 1.0
-	var applied []int
+	applied := b.edgeBuf[:0]
 	for i := 0; i < b.G.NumEdges(); i++ {
-		e := b.G.Edge(i)
-		nodes := e.Nodes()
+		ed := b.G.Edge(i)
+		nodes := ed.Nodes()
 		if nodes.SubsetOf(S) && !nodes.SubsetOf(left) && !nodes.SubsetOf(right) {
-			sel *= e.Sel
+			sel *= ed.Sel
 			applied = append(applied, i)
 		}
 	}
-	if max := b.limits.MaxCostedPlans; max > 0 && b.Stats.CostedPlans >= max {
-		b.abortErr = fmt.Errorf("%w: %d plans costed (limit %d)",
-			ErrBudgetExhausted, b.Stats.CostedPlans, max)
+	b.edgeBuf = applied
+	if !e.ChargePlan() {
 		return
 	}
-	card := cost.EstimateCard(op, p1.Card, p2.Card, sel)
+	lcard, lcost := e.PlanInfo(lh)
+	rcard, rcost := e.PlanInfo(rh)
+	card := cost.EstimateCard(op, lcard, rcard, sel)
 	var (
 		c    float64
 		phys algebra.PhysOp
 	)
 	if pm, ok := b.Model.(cost.PhysicalModel); ok {
-		phys, c = pm.ChooseJoin(op, p1.Cost, p2.Cost, p1.Card, p2.Card, card)
+		phys, c = pm.ChooseJoin(op, lcost, rcost, lcard, rcard, card)
 	} else {
-		c = b.Model.JoinCost(op, p1.Cost, p2.Cost, p1.Card, p2.Card, card)
+		c = b.Model.JoinCost(op, lcost, rcost, lcard, rcard, card)
 	}
-	b.Stats.CostedPlans++
 
-	if cur := b.Table[S]; cur == nil || c < cur.Cost {
-		node := plan.Join(op, p1, p2, applied, card, c)
-		node.Phys = phys
-		b.Table[S] = node
-	}
+	e.Improve(S, lh, rh, op, phys, card, c, applied)
 }
 
-func flipRefs(conn []EdgeRef) []EdgeRef {
-	out := make([]EdgeRef, len(conn))
-	for i, r := range conn {
-		out[i] = EdgeRef{Idx: r.Idx, Flipped: !r.Flipped}
+// flipRefs inverts the Flipped flags into the reusable flip buffer.
+func (b *Builder) flipRefs(conn []EdgeRef) []EdgeRef {
+	out := b.flipBuf[:0]
+	for _, r := range conn {
+		out = append(out, EdgeRef{Idx: r.Idx, Flipped: !r.Flipped})
 	}
+	b.flipBuf = out
 	return out
 }

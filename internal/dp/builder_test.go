@@ -36,13 +36,13 @@ func TestEmitCsgCmpInnerJoinBothOrientations(t *testing.T) {
 	g := twoRelGraph(algebra.Join)
 	b := NewBuilder(g, cost.Cout{})
 	b.Init()
-	b.EmitCsgCmp(bitset.New(0), bitset.New(1))
-	if b.Stats.CsgCmpPairs != 1 {
-		t.Errorf("pairs = %d", b.Stats.CsgCmpPairs)
+	b.Engine.EmitPair(bitset.New(0), bitset.New(1))
+	if b.Engine.Stats.CsgCmpPairs != 1 {
+		t.Errorf("pairs = %d", b.Engine.Stats.CsgCmpPairs)
 	}
 	// Commutative: both orientations priced.
-	if b.Stats.CostedPlans != 2 {
-		t.Errorf("costed = %d, want 2", b.Stats.CostedPlans)
+	if b.Engine.Stats.CostedPlans != 2 {
+		t.Errorf("costed = %d, want 2", b.Engine.Stats.CostedPlans)
 	}
 	p := b.Best(bitset.New(0, 1))
 	if p == nil || p.Op != algebra.Join {
@@ -59,9 +59,9 @@ func TestEmitCsgCmpNonCommutativeOrientation(t *testing.T) {
 	b.Init()
 	// Emit with the pair swapped relative to the edge orientation: the
 	// builder must still put the edge's U side on the left.
-	b.EmitCsgCmp(bitset.New(1), bitset.New(0))
-	if b.Stats.CostedPlans != 1 {
-		t.Errorf("costed = %d, want 1 (non-commutative)", b.Stats.CostedPlans)
+	b.Engine.EmitPair(bitset.New(1), bitset.New(0))
+	if b.Engine.Stats.CostedPlans != 1 {
+		t.Errorf("costed = %d, want 1 (non-commutative)", b.Engine.Stats.CostedPlans)
 	}
 	p := b.Best(bitset.New(0, 1))
 	if p == nil {
@@ -77,7 +77,7 @@ func TestDependentSwitch(t *testing.T) {
 	g.SetFree(1, bitset.New(0)) // R depends on L
 	b := NewBuilder(g, cost.Cout{})
 	b.Init()
-	b.EmitCsgCmp(bitset.New(0), bitset.New(1))
+	b.Engine.EmitPair(bitset.New(0), bitset.New(1))
 	p := b.Best(bitset.New(0, 1))
 	if p == nil {
 		t.Fatal("no plan")
@@ -89,8 +89,8 @@ func TestDependentSwitch(t *testing.T) {
 		t.Error("provider must be on the left")
 	}
 	// The reversed orientation (dependent side left) must be rejected.
-	if b.Stats.InvalidReject != 1 {
-		t.Errorf("invalid rejects = %d, want 1", b.Stats.InvalidReject)
+	if b.Engine.Stats.InvalidReject != 1 {
+		t.Errorf("invalid rejects = %d, want 1", b.Engine.Stats.InvalidReject)
 	}
 }
 
@@ -99,12 +99,12 @@ func TestDependentFullOuterImpossible(t *testing.T) {
 	g.SetFree(1, bitset.New(0))
 	b := NewBuilder(g, cost.Cout{})
 	b.Init()
-	b.EmitCsgCmp(bitset.New(0), bitset.New(1))
+	b.Engine.EmitPair(bitset.New(0), bitset.New(1))
 	if b.Best(bitset.New(0, 1)) != nil {
 		t.Error("dependent full outer join must be impossible")
 	}
-	if b.Stats.InvalidReject != 2 {
-		t.Errorf("invalid rejects = %d, want 2 (both orientations)", b.Stats.InvalidReject)
+	if b.Engine.Stats.InvalidReject != 2 {
+		t.Errorf("invalid rejects = %d, want 2 (both orientations)", b.Engine.Stats.InvalidReject)
 	}
 }
 
@@ -117,7 +117,7 @@ func TestFilterOrientationFlags(t *testing.T) {
 		return true
 	}
 	b.Init()
-	b.EmitCsgCmp(bitset.New(0), bitset.New(1))
+	b.Engine.EmitPair(bitset.New(0), bitset.New(1))
 	if len(seen) != 2 {
 		t.Fatalf("filter called %d times", len(seen))
 	}
@@ -138,9 +138,9 @@ func TestAmbiguousOperatorCounting(t *testing.T) {
 	g.AddEdge(hypergraph.Edge{U: bitset.New(0), V: bitset.New(1), Sel: 0.2, Op: algebra.AntiJoin})
 	b := NewBuilder(g, cost.Cout{})
 	b.Init()
-	b.EmitCsgCmp(bitset.New(0), bitset.New(1))
-	if b.Stats.AmbiguousOps != 1 {
-		t.Errorf("ambiguous = %d, want 1", b.Stats.AmbiguousOps)
+	b.Engine.EmitPair(bitset.New(0), bitset.New(1))
+	if b.Engine.Stats.AmbiguousOps != 1 {
+		t.Errorf("ambiguous = %d, want 1", b.Engine.Stats.AmbiguousOps)
 	}
 	if b.Best(bitset.New(0, 1)) == nil {
 		t.Error("plan must still be built")
@@ -158,7 +158,7 @@ func TestEmitWithoutEdgePanics(t *testing.T) {
 			t.Error("EmitCsgCmp without a connecting edge must panic")
 		}
 	}()
-	b.EmitCsgCmp(bitset.New(0), bitset.New(1))
+	b.Engine.EmitPair(bitset.New(0), bitset.New(1))
 }
 
 func TestFinalErrors(t *testing.T) {
@@ -186,9 +186,9 @@ func TestHyperedgeSelectivityChargedOnce(t *testing.T) {
 	b := NewBuilder(g, cost.Cout{})
 	b.Init()
 	// Build ((R0 R1) (R2 R3)): the hyperedge's sides straddle the join.
-	b.EmitCsgCmp(bitset.New(0), bitset.New(1))
-	b.EmitCsgCmp(bitset.New(2), bitset.New(3))
-	b.EmitCsgCmp(bitset.New(0, 1), bitset.New(2, 3))
+	b.Engine.EmitPair(bitset.New(0), bitset.New(1))
+	b.Engine.EmitPair(bitset.New(2), bitset.New(3))
+	b.Engine.EmitPair(bitset.New(0, 1), bitset.New(2, 3))
 	p := b.Best(bitset.Full(4))
 	if p == nil {
 		t.Fatal("no plan")

@@ -9,6 +9,11 @@
 // that "DPhyp performs exactly like DPccp on regular graphs": the tests
 // verify both emit identical pair sequences.
 //
+// The solver is a pure enumerator: memoization, budgets, and plan
+// construction route through the shared memo engine (internal/memo),
+// and neighborhood subsets are generated with the bitset.SubsetsOf
+// iterator.
+//
 // Solve panics if the graph contains hyperedges; use DPhyp for those.
 package dpccp
 
@@ -17,6 +22,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dp"
 	"repro/internal/hypergraph"
+	"repro/internal/memo"
 	"repro/internal/plan"
 )
 
@@ -26,12 +32,12 @@ type Options struct {
 	Filter dp.Filter
 	OnEmit func(S1, S2 bitset.Set)
 	Limits dp.Limits
-	Pool   *dp.Pool
+	Pool   *memo.Pool
 }
 
 type solver struct {
 	g *hypergraph.Graph
-	b *dp.Builder
+	e *memo.Engine
 }
 
 // Solve runs DPccp over the simple graph g.
@@ -41,53 +47,47 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 			panic("dpccp: hyperedge in input graph; DPccp handles simple graphs only")
 		}
 	}
-	b := opts.Pool.Get(g, opts.Model)
-	defer opts.Pool.Put(b)
+	e, b := dp.NewRun(opts.Pool, g, opts.Model)
+	defer opts.Pool.Put(e)
 	b.Filter = opts.Filter
-	b.OnEmit = opts.OnEmit
-	b.SetLimits(opts.Limits)
+	e.OnEmit = opts.OnEmit
+	e.SetLimits(opts.Limits)
 	n := g.NumRels()
 	if n == 0 {
-		return nil, b.Stats, errEmpty
+		return nil, e.Stats, errEmpty
 	}
 	b.Init()
-	s := &solver{g: g, b: b}
+	s := &solver{g: g, e: e}
 
-	for v := n - 1; v >= 0 && b.Aborted() == nil; v-- {
+	for v := n - 1; v >= 0 && e.Aborted() == nil; v-- {
 		S := bitset.Single(v)
 		s.emitCmp(S)
 		s.enumerateCsgRec(S, bitset.BelowEq(v))
 	}
 	p, err := b.Final()
-	return p, b.Stats, err
+	return p, e.Stats, err
 }
 
 // enumerateCsgRec grows connected subgraphs along the adjacency
 // structure. On simple graphs S1 ∪ N' is connected for every non-empty
 // N' ⊆ N(S1), so no membership test is required.
 func (s *solver) enumerateCsgRec(S1, X bitset.Set) {
-	if !s.b.Step() {
+	if !s.e.Step() {
 		return
 	}
 	N := s.g.Neighborhood(S1, X)
 	if N.IsEmpty() {
 		return
 	}
-	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
-		if !s.b.Step() {
+	for n := range N.SubsetsOf() {
+		if !s.e.Step() {
 			return
 		}
 		s.emitCmp(S1.Union(n))
-		if n == N {
-			break
-		}
 	}
 	newX := X.Union(N)
-	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
+	for n := range N.SubsetsOf() {
 		s.enumerateCsgRec(S1.Union(n), newX)
-		if n == N {
-			break
-		}
 	}
 }
 
@@ -95,7 +95,7 @@ func (s *solver) enumerateCsgRec(S1, X bitset.Set) {
 // ordered before min(S1) are excluded to avoid duplicate pairs; each
 // complement is grown from its ≺-minimal neighbor.
 func (s *solver) emitCmp(S1 bitset.Set) {
-	if !s.b.Step() {
+	if !s.e.Step() {
 		return
 	}
 	X := S1.Union(bitset.BelowEq(S1.Min()))
@@ -103,9 +103,9 @@ func (s *solver) emitCmp(S1 bitset.Set) {
 	if N.IsEmpty() {
 		return
 	}
-	for v := N.Max(); v >= 0 && s.b.Aborted() == nil; v = prevElem(N, v) {
+	for v := N.Max(); v >= 0 && s.e.Aborted() == nil; v = prevElem(N, v) {
 		S2 := bitset.Single(v)
-		s.b.EmitCsgCmp(S1, S2)
+		s.e.EmitPair(S1, S2)
 		s.growCmp(S1, S2, X.Union(N.Intersect(bitset.BelowEq(v))))
 	}
 }
@@ -113,28 +113,22 @@ func (s *solver) emitCmp(S1 bitset.Set) {
 // growCmp extends the complement S2; every grown set remains connected
 // and adjacent to S1, so every subset is emitted unconditionally.
 func (s *solver) growCmp(S1, S2, X bitset.Set) {
-	if !s.b.Step() {
+	if !s.e.Step() {
 		return
 	}
 	N := s.g.Neighborhood(S2, X)
 	if N.IsEmpty() {
 		return
 	}
-	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
-		if !s.b.Step() {
+	for n := range N.SubsetsOf() {
+		if !s.e.Step() {
 			return
 		}
-		s.b.EmitCsgCmp(S1, S2.Union(n))
-		if n == N {
-			break
-		}
+		s.e.EmitPair(S1, S2.Union(n))
 	}
 	newX := X.Union(N)
-	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
+	for n := range N.SubsetsOf() {
 		s.growCmp(S1, S2.Union(n), newX)
-		if n == N {
-			break
-		}
 	}
 }
 

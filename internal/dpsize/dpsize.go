@@ -14,6 +14,9 @@
 // capable to deal with hyperedges" (§4.1) — here via
 // hypergraph.ConnectsTo, which understands hypernodes and generalized
 // edges.
+//
+// The solver is a pure enumerator: memoization, budgets, and plan
+// construction route through the shared memo engine (internal/memo).
 package dpsize
 
 import (
@@ -21,6 +24,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dp"
 	"repro/internal/hypergraph"
+	"repro/internal/memo"
 	"repro/internal/plan"
 )
 
@@ -31,20 +35,20 @@ type Options struct {
 	Filter dp.Filter
 	OnEmit func(S1, S2 bitset.Set)
 	Limits dp.Limits
-	Pool   *dp.Pool
+	Pool   *memo.Pool
 }
 
 // Solve runs DPsize over g and returns the optimal bushy cross-product-
 // free plan, enumeration statistics, and an error if no plan exists.
 func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
-	b := opts.Pool.Get(g, opts.Model)
-	defer opts.Pool.Put(b)
+	e, b := dp.NewRun(opts.Pool, g, opts.Model)
+	defer opts.Pool.Put(e)
 	b.Filter = opts.Filter
-	b.OnEmit = opts.OnEmit
-	b.SetLimits(opts.Limits)
+	e.OnEmit = opts.OnEmit
+	e.SetLimits(opts.Limits)
 	n := g.NumRels()
 	if n == 0 {
-		return nil, b.Stats, errEmpty
+		return nil, e.Stats, errEmpty
 	}
 	b.Init()
 
@@ -64,7 +68,7 @@ enumerate:
 				for _, S2 := range bySize[s2] {
 					// The failing (*) tests dominate the run time, so the
 					// cancellation poll sits in the innermost loop.
-					if !b.Step() {
+					if !e.Step() {
 						break enumerate
 					}
 					if !S1.Disjoint(S2) { // (*) "if S1 ∩ S2 ≠ ∅ continue"
@@ -74,22 +78,22 @@ enumerate:
 						continue
 					}
 					// The s1/s2 double loop visits each unordered pair in
-					// both orientations; EmitCsgCmp prices both sides of
+					// both orientations; EmitPair prices both sides of
 					// commutative operators itself, so emit once.
 					if S1.Min() < S2.Min() {
-						b.EmitCsgCmp(S1, S2)
+						e.EmitPair(S1, S2)
 					}
 				}
 			}
 		}
-		for S := range b.Table {
+		e.ForEach(func(S bitset.Set) {
 			if S.Len() == s {
 				bySize[s] = append(bySize[s], S)
 			}
-		}
+		})
 	}
 	p, err := b.Final()
-	return p, b.Stats, err
+	return p, e.Stats, err
 }
 
 type solverError string

@@ -10,6 +10,10 @@
 //
 // As with DPsize, hypergraph support needs no structural change: only
 // the connectivity test must understand hyperedges (§4.1).
+//
+// The solver is a pure enumerator: memoization, budgets, and plan
+// construction route through the shared memo engine (internal/memo),
+// and subset generation uses the bitset.SubsetsOf iterator.
 package dpsub
 
 import (
@@ -17,6 +21,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dp"
 	"repro/internal/hypergraph"
+	"repro/internal/memo"
 	"repro/internal/plan"
 )
 
@@ -26,57 +31,59 @@ type Options struct {
 	Filter dp.Filter
 	OnEmit func(S1, S2 bitset.Set)
 	Limits dp.Limits
-	Pool   *dp.Pool
+	Pool   *memo.Pool
 }
 
 // Solve runs DPsub over g.
 func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
-	b := opts.Pool.Get(g, opts.Model)
-	defer opts.Pool.Put(b)
+	e, b := dp.NewRun(opts.Pool, g, opts.Model)
+	defer opts.Pool.Put(e)
 	b.Filter = opts.Filter
-	b.OnEmit = opts.OnEmit
-	b.SetLimits(opts.Limits)
+	e.OnEmit = opts.OnEmit
+	e.SetLimits(opts.Limits)
 	n := g.NumRels()
 	if n == 0 {
-		return nil, b.Stats, errEmpty
+		return nil, e.Stats, errEmpty
 	}
 	b.Init()
 
 	all := g.AllNodes()
-	// Ascending integer order enumerates every proper subset of S before
-	// S itself, so the DP order is respected.
+	// Vance–Maier order is ascending integer order, so every proper
+	// subset of S is enumerated before S itself and the DP order is
+	// respected.
 enumerate:
-	for S := bitset.Empty.NextSubset(all); ; S = S.NextSubset(all) {
-		if S.Len() >= 2 {
-			// "DPsub generates all subsets S1 ⊂ S and joins the best
-			// plans for S1 and S2 = S ∖ S1."
-			for S1 := bitset.Empty.NextSubset(S); S1 != S; S1 = S1.NextSubset(S) {
-				// DPsub spends Θ(3^n) iterations mostly on failing subset
-				// tests; poll cancellation in the innermost loop.
-				if !b.Step() {
-					break enumerate
-				}
-				S2 := S.Minus(S1)
-				if b.Best(S1) == nil || b.Best(S2) == nil {
-					continue // one side is not a connected subgraph
-				}
-				if !g.ConnectsTo(S1, S2) {
-					continue
-				}
-				// Both orientations appear in the subset loop; emit the
-				// normalized one (EmitCsgCmp prices commutative operators
-				// in both directions itself).
-				if S1.Min() < S2.Min() {
-					b.EmitCsgCmp(S1, S2)
-				}
-			}
+	for S := range all.SubsetsOf() {
+		if S.Len() < 2 {
+			continue
 		}
-		if S == all {
-			break
+		// "DPsub generates all subsets S1 ⊂ S and joins the best plans
+		// for S1 and S2 = S ∖ S1."
+		for S1 := range S.SubsetsOf() {
+			if S1 == S {
+				break // proper subsets only
+			}
+			// DPsub spends Θ(3^n) iterations mostly on failing subset
+			// tests; poll cancellation in the innermost loop.
+			if !e.Step() {
+				break enumerate
+			}
+			S2 := S.Minus(S1)
+			if !e.Contains(S1) || !e.Contains(S2) {
+				continue // one side is not a connected subgraph
+			}
+			if !g.ConnectsTo(S1, S2) {
+				continue
+			}
+			// Both orientations appear in the subset loop; emit the
+			// normalized one (EmitPair prices commutative operators in
+			// both directions itself).
+			if S1.Min() < S2.Min() {
+				e.EmitPair(S1, S2)
+			}
 		}
 	}
 	p, err := b.Final()
-	return p, b.Stats, err
+	return p, e.Stats, err
 }
 
 type solverError string

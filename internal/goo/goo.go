@@ -20,6 +20,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dp"
 	"repro/internal/hypergraph"
+	"repro/internal/memo"
 	"repro/internal/plan"
 )
 
@@ -29,19 +30,19 @@ type Options struct {
 	Filter dp.Filter
 	OnEmit func(S1, S2 bitset.Set)
 	Limits dp.Limits
-	Pool   *dp.Pool
+	Pool   *memo.Pool
 }
 
 // Solve runs greedy operator ordering over g.
 func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
-	b := opts.Pool.Get(g, opts.Model)
-	defer opts.Pool.Put(b)
+	e, b := dp.NewRun(opts.Pool, g, opts.Model)
+	defer opts.Pool.Put(e)
 	b.Filter = opts.Filter
-	b.OnEmit = opts.OnEmit
-	b.SetLimits(opts.Limits)
+	e.OnEmit = opts.OnEmit
+	e.SetLimits(opts.Limits)
 	n := g.NumRels()
 	if n == 0 {
-		return nil, b.Stats, errEmpty
+		return nil, e.Stats, errEmpty
 	}
 	b.Init()
 
@@ -55,16 +56,22 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 		bestCard := 0.0
 		for i := 0; i < len(comps); i++ {
 			for j := i + 1; j < len(comps); j++ {
-				if !b.Step() {
-					return nil, b.Stats, b.Aborted()
+				if !e.Step() {
+					return nil, e.Stats, e.Aborted()
 				}
 				if !g.ConnectsTo(comps[i], comps[j]) {
 					continue
 				}
 				// Rank by the inner-join cardinality approximation; the
 				// real operator is recovered when the pair is emitted.
-				ci, cj := b.Best(comps[i]), b.Best(comps[j])
-				card := cost.EstimateCard(algebra.Join, ci.Card, cj.Card,
+				hi, iok := e.Lookup(comps[i])
+				hj, jok := e.Lookup(comps[j])
+				if !iok || !jok {
+					panic("goo: component without a memo entry")
+				}
+				ciCard, _ := e.PlanInfo(hi)
+				cjCard, _ := e.PlanInfo(hj)
+				card := cost.EstimateCard(algebra.Join, ciCard, cjCard,
 					g.SelectivityBetween(comps[i], comps[j]))
 				if bestI < 0 || card < bestCard {
 					bestI, bestJ, bestCard = i, j, card
@@ -72,28 +79,28 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 			}
 		}
 		if bestI < 0 {
-			return nil, b.Stats, errDisconnected
+			return nil, e.Stats, errDisconnected
 		}
 		s1, s2 := comps[bestI], comps[bestJ]
 		if s1.Min() < s2.Min() {
-			b.EmitCsgCmp(s1, s2)
+			e.EmitPair(s1, s2)
 		} else {
-			b.EmitCsgCmp(s2, s1)
+			e.EmitPair(s2, s1)
 		}
 		merged := s1.Union(s2)
-		if b.Best(merged) == nil {
-			if err := b.Aborted(); err != nil {
-				return nil, b.Stats, err
+		if !e.Contains(merged) {
+			if err := e.Aborted(); err != nil {
+				return nil, e.Stats, err
 			}
 			// The only candidate pair was rejected (dependency or
 			// filter); greedy has no alternative to fall back to.
-			return nil, b.Stats, errRejected
+			return nil, e.Stats, errRejected
 		}
 		comps[bestI] = merged
 		comps = append(comps[:bestJ], comps[bestJ+1:]...)
 	}
 	p, err := b.Final()
-	return p, b.Stats, err
+	return p, e.Stats, err
 }
 
 type solverError string

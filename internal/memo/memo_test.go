@@ -1,0 +1,351 @@
+package memo
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/bitset"
+)
+
+// lcg is a tiny deterministic pseudo-random source so table tests are
+// reproducible without seeding math/rand.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r)
+}
+
+func TestTableBasic(t *testing.T) {
+	var tb Table
+	tb.Reset(0)
+	if tb.Len() != 0 {
+		t.Fatalf("fresh table Len = %d", tb.Len())
+	}
+	if _, ok := tb.Get(bitset.New(3)); ok {
+		t.Fatal("Get on empty table must miss")
+	}
+	tb.Put(bitset.New(3), 7)
+	tb.Put(bitset.New(1, 2), 9)
+	if v, ok := tb.Get(bitset.New(3)); !ok || v != 7 {
+		t.Fatalf("Get = %d,%t want 7,true", v, ok)
+	}
+	tb.Put(bitset.New(3), 8) // overwrite must not grow Len
+	if v, _ := tb.Get(bitset.New(3)); v != 8 {
+		t.Fatalf("overwrite lost: %d", v)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d want 2", tb.Len())
+	}
+}
+
+func TestTableGetEmptyMisses(t *testing.T) {
+	var tb Table
+	tb.Reset(0)
+	tb.Put(bitset.New(1), 5)
+	// The empty set is the free-slot sentinel; looking it up must miss
+	// rather than match a free slot and return its stale value.
+	if v, ok := tb.Get(bitset.Empty); ok {
+		t.Fatalf("Get(Empty) = %d,true — matched the free-slot sentinel", v)
+	}
+}
+
+func TestTablePutEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put(Empty) must panic: the empty set is the free-slot sentinel")
+		}
+	}()
+	var tb Table
+	tb.Reset(0)
+	tb.Put(bitset.Empty, 1)
+}
+
+// TestTableGrowthCollisionHeavy drives the table through several rehashes
+// with keys chosen to hash into a single slot of the initial table, the
+// worst case for linear probing: one long cluster that must stay intact
+// across growth.
+func TestTableGrowthCollisionHeavy(t *testing.T) {
+	var tb Table
+	tb.Reset(0)
+	if tb.Cap() != minSlots {
+		t.Fatalf("initial capacity = %d want %d", tb.Cap(), minSlots)
+	}
+	shift := uint(64 - 6) // 64 slots
+	var keys []bitset.Set
+	for k := uint64(1); len(keys) < 300; k++ {
+		if uint64(k)*fibMul>>shift == 0 { // all collide in slot 0 initially
+			keys = append(keys, bitset.Set(k))
+		}
+	}
+	for i, k := range keys {
+		tb.Put(k, int32(i))
+	}
+	if tb.Grows() == 0 {
+		t.Fatal("300 colliding inserts into 64 slots must rehash")
+	}
+	if tb.Len() != len(keys) {
+		t.Fatalf("Len = %d want %d", tb.Len(), len(keys))
+	}
+	for i, k := range keys {
+		if v, ok := tb.Get(k); !ok || v != int32(i) {
+			t.Fatalf("key %v lost across rehash: got %d,%t", k, v, ok)
+		}
+	}
+	// Absent keys must still miss (the probe chains must terminate).
+	misses := 0
+	for k := uint64(1); misses < 100; k++ {
+		s := bitset.Set(k * 2654435761)
+		if s == bitset.Empty {
+			continue
+		}
+		found := false
+		for _, have := range keys {
+			if have == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			misses++
+			if _, ok := tb.Get(s); ok {
+				t.Fatalf("phantom hit for %v", s)
+			}
+		}
+	}
+}
+
+// TestTableMatchesMap cross-checks a large random workload against a Go
+// map, including overwrites.
+func TestTableMatchesMap(t *testing.T) {
+	var tb Table
+	tb.Reset(16)
+	ref := make(map[bitset.Set]int32)
+	r := lcg(42)
+	for i := 0; i < 50_000; i++ {
+		k := bitset.Set(r.next())
+		if k == bitset.Empty {
+			continue
+		}
+		v := int32(r.next() >> 33)
+		tb.Put(k, v)
+		ref[k] = v
+	}
+	if tb.Len() != len(ref) {
+		t.Fatalf("Len = %d want %d", tb.Len(), len(ref))
+	}
+	for k, v := range ref {
+		if got, ok := tb.Get(k); !ok || got != v {
+			t.Fatalf("Get(%v) = %d,%t want %d,true", k, got, ok, v)
+		}
+	}
+	seen := 0
+	tb.ForEach(func(k bitset.Set, v int32) {
+		seen++
+		if ref[k] != v {
+			t.Fatalf("ForEach yielded %v=%d, want %d", k, v, ref[k])
+		}
+	})
+	if seen != len(ref) {
+		t.Fatalf("ForEach visited %d entries, want %d", seen, len(ref))
+	}
+}
+
+func TestTableResetKeepsStorage(t *testing.T) {
+	var tb Table
+	tb.Reset(400)
+	capBefore := tb.Cap()
+	tb.Put(bitset.New(1), 1)
+	// A moderately smaller hint (within shrinkFactor) must keep and
+	// clear the existing arrays.
+	if kept := tb.Reset(200); !kept {
+		t.Fatal("Reset within the shrink bound must keep storage")
+	}
+	if tb.Cap() != capBefore {
+		t.Fatalf("Reset reallocated: cap %d -> %d", capBefore, tb.Cap())
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Reset did not clear: Len = %d", tb.Len())
+	}
+	if _, ok := tb.Get(bitset.New(1)); ok {
+		t.Fatal("entry survived Reset")
+	}
+}
+
+func TestTableResetShrinksOversized(t *testing.T) {
+	var tb Table
+	tb.Reset(100_000)
+	huge := tb.Cap()
+	// A tiny hint after a huge run must reallocate small: pooled
+	// engines must not pin one giant query's storage forever.
+	if kept := tb.Reset(4); kept {
+		t.Fatal("Reset far below the shrink bound must reallocate")
+	}
+	if tb.Cap() >= huge {
+		t.Fatalf("oversized table not shrunk: cap %d -> %d", huge, tb.Cap())
+	}
+	if tb.Cap() != minSlots {
+		t.Fatalf("shrunk capacity = %d, want %d", tb.Cap(), minSlots)
+	}
+}
+
+// recordBackend is a minimal Backend that records emitted pairs.
+type recordBackend struct {
+	pairs [][2]bitset.Set
+}
+
+func (b *recordBackend) BuildPair(S1, S2 bitset.Set) {
+	b.pairs = append(b.pairs, [2]bitset.Set{S1, S2})
+}
+func (b *recordBackend) Release() {}
+
+func TestEngineArenaImprove(t *testing.T) {
+	e := NewEngine()
+	e.Reset(2)
+	e.EmitBase(0, 100)
+	e.EmitBase(1, 50)
+	S := bitset.New(0, 1)
+	l, _ := e.Lookup(bitset.New(0))
+	r, _ := e.Lookup(bitset.New(1))
+
+	e.Improve(S, l, r, algebra.Join, algebra.PhysNone, 500, 500, []int{0})
+	nodes := len(e.nodes)
+	// A worse candidate must be pruned...
+	e.Improve(S, l, r, algebra.Join, algebra.PhysNone, 500, 700, []int{1})
+	if c, _ := e.BestCost(S); c != 500 {
+		t.Fatalf("worse candidate overwrote: cost %g", c)
+	}
+	// ...and a better one must overwrite in place, not append.
+	e.Improve(S, r, l, algebra.Join, algebra.PhysNone, 500, 300, []int{2})
+	if len(e.nodes) != nodes {
+		t.Fatalf("improvement appended a new arena node: %d -> %d", nodes, len(e.nodes))
+	}
+	if c, _ := e.BestCost(S); c != 300 {
+		t.Fatalf("improvement lost: cost %g", c)
+	}
+	p := e.Plan(S)
+	if p == nil || p.Cost != 300 || len(p.Edges) != 1 || p.Edges[0] != 2 {
+		t.Fatalf("materialized plan wrong: %+v", p)
+	}
+	if p.Left.Rel != 1 || p.Right.Rel != 0 {
+		t.Fatalf("improved orientation lost: %s", p.Compact())
+	}
+	if e.Entries() != 3 {
+		t.Fatalf("Entries = %d want 3", e.Entries())
+	}
+}
+
+func TestEnginePairBudget(t *testing.T) {
+	e := NewEngine()
+	e.Reset(2)
+	b := &recordBackend{}
+	e.SetBackend(b)
+	e.SetLimits(Limits{MaxCsgCmpPairs: 2})
+	for i := 0; i < 5; i++ {
+		e.EmitPair(bitset.New(0), bitset.New(1))
+	}
+	if len(b.pairs) != 2 {
+		t.Fatalf("backend saw %d pairs, want 2", len(b.pairs))
+	}
+	if e.Stats.CsgCmpPairs != 2 {
+		t.Fatalf("CsgCmpPairs = %d want 2", e.Stats.CsgCmpPairs)
+	}
+	if !errors.Is(e.Aborted(), ErrBudgetExhausted) {
+		t.Fatalf("Aborted = %v, want ErrBudgetExhausted", e.Aborted())
+	}
+	if _, err := e.Final(bitset.New(0, 1)); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("Final after trip = %v", err)
+	}
+}
+
+func TestEngineCostedPlanBudget(t *testing.T) {
+	e := NewEngine()
+	e.Reset(2)
+	e.SetLimits(Limits{MaxCostedPlans: 3})
+	for i := 0; i < 3; i++ {
+		if !e.ChargePlan() {
+			t.Fatalf("charge %d rejected below the limit", i)
+		}
+	}
+	if e.ChargePlan() {
+		t.Fatal("charge above the limit admitted")
+	}
+	if !errors.Is(e.Aborted(), ErrBudgetExhausted) {
+		t.Fatalf("Aborted = %v", e.Aborted())
+	}
+}
+
+func TestEngineStepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	e := NewEngine()
+	e.Reset(2)
+	e.SetLimits(Limits{Ctx: ctx})
+	cancel()
+	alive := 0
+	for i := 0; i < 4*pollInterval; i++ {
+		if !e.Step() {
+			break
+		}
+		alive++
+	}
+	if alive >= 4*pollInterval {
+		t.Fatal("cancellation never observed")
+	}
+	if !errors.Is(e.Aborted(), context.Canceled) {
+		t.Fatalf("Aborted = %v", e.Aborted())
+	}
+}
+
+func TestPoolRecyclesStorage(t *testing.T) {
+	pool := &Pool{}
+	e := pool.Get()
+	e.Reset(8)
+	if e.Stats.ArenaReused {
+		t.Fatal("fresh engine must not report ArenaReused")
+	}
+	e.EmitBase(0, 10)
+	pool.Put(e)
+
+	// sync.Pool may drop entries (it does so randomly under -race), so
+	// retry a few times: at least one Get must come back warm.
+	warm := false
+	for i := 0; i < 32 && !warm; i++ {
+		e2 := pool.Get()
+		e2.Reset(8)
+		warm = e2.Stats.ArenaReused
+		if warm && e2.Entries() != 0 {
+			t.Fatalf("recycled engine not cleared: %d entries", e2.Entries())
+		}
+		e2.EmitBase(0, 10)
+		pool.Put(e2)
+	}
+	if !warm {
+		t.Fatal("pool never recycled an engine in 32 round-trips")
+	}
+
+	// A nil pool must behave like no pool at all.
+	var np *Pool
+	e3 := np.Get()
+	if e3 == nil {
+		t.Fatal("nil pool Get returned nil engine")
+	}
+	np.Put(e3) // must not panic
+}
+
+func TestEngineFinalNoPlan(t *testing.T) {
+	e := NewEngine()
+	e.Reset(2)
+	e.EmitBase(0, 10)
+	e.EmitBase(1, 10)
+	if _, err := e.Final(bitset.New(0, 1)); err == nil {
+		t.Fatal("Final without a full plan must fail")
+	}
+	if e.Stats.TableEntries != 2 || e.Stats.ArenaNodes != 2 {
+		t.Fatalf("occupancy stats wrong: %+v", e.Stats)
+	}
+	if e.Stats.MemoCapacity == 0 {
+		t.Fatal("MemoCapacity not recorded")
+	}
+}

@@ -10,6 +10,11 @@
 // DPsub); it is included as an extension so the repository can
 // demonstrate the §1 claim that naive memoization pays for failing
 // partition tests the same way DPsub does.
+//
+// The solver is a pure enumerator: plan memoization, budgets, and plan
+// construction route through the shared memo engine, and the failure
+// memo (sets whose partitions have been fully explored without a plan)
+// uses the same open-addressing memo.Table instead of a Go map.
 package topdown
 
 import (
@@ -17,6 +22,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dp"
 	"repro/internal/hypergraph"
+	"repro/internal/memo"
 	"repro/internal/plan"
 )
 
@@ -26,36 +32,39 @@ type Options struct {
 	Filter dp.Filter
 	OnEmit func(S1, S2 bitset.Set)
 	Limits dp.Limits
-	Pool   *dp.Pool
+	Pool   *memo.Pool
 }
 
 // Solve runs top-down memoization over g.
 func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
-	b := opts.Pool.Get(g, opts.Model)
-	defer opts.Pool.Put(b)
+	e, b := dp.NewRun(opts.Pool, g, opts.Model)
+	defer opts.Pool.Put(e)
 	b.Filter = opts.Filter
-	b.OnEmit = opts.OnEmit
-	b.SetLimits(opts.Limits)
+	e.OnEmit = opts.OnEmit
+	e.SetLimits(opts.Limits)
 	n := g.NumRels()
 	if n == 0 {
-		return nil, b.Stats, errEmpty
+		return nil, e.Stats, errEmpty
 	}
 	b.Init()
 
 	// done marks sets whose partitions have all been explored, whether or
 	// not a plan was found (failure memoization matters: disconnected
-	// sets are re-encountered exponentially often otherwise).
-	done := make(map[bitset.Set]bool, 1<<uint(min(n, 20)))
+	// sets are re-encountered exponentially often otherwise). It lives in
+	// the engine's scratch table so its storage is pooled across runs.
+	done := e.Scratch(1 << uint(min(n, 12)))
 
-	var solve func(S bitset.Set) *plan.Node
-	solve = func(S bitset.Set) *plan.Node {
+	// solve reports whether a plan for S exists in the memo after
+	// exploring S's partitions.
+	var solve func(S bitset.Set) bool
+	solve = func(S bitset.Set) bool {
 		if S.IsSingleton() {
-			return b.Best(S)
+			return true // seeded by Init
 		}
-		if done[S] {
-			return b.Best(S)
+		if _, ok := done.Get(S); ok {
+			return e.Contains(S)
 		}
-		done[S] = true
+		done.Put(S, 1)
 		// Generate-and-test over all partitions with min(S) ∈ S1,
 		// recursing first so subplans are final before pricing.
 		lo := S.MinSet()
@@ -63,27 +72,27 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 		for a := bitset.Empty; ; a = a.NextSubset(rest) {
 			// The partition generate-and-test loop is where this
 			// enumerator spends its time; poll cancellation here.
-			if !b.Step() {
-				return nil
+			if !e.Step() {
+				return false
 			}
 			S1 := lo.Union(a)
 			S2 := S.Minus(S1)
 			if S2.IsEmpty() {
 				break // a == rest: S1 == S
 			}
-			if g.ConnectsTo(S1, S2) && solve(S1) != nil && solve(S2) != nil {
-				b.EmitCsgCmp(S1, S2)
+			if g.ConnectsTo(S1, S2) && solve(S1) && solve(S2) {
+				e.EmitPair(S1, S2)
 			}
 			if a == rest {
 				break
 			}
 		}
-		return b.Best(S)
+		return e.Contains(S)
 	}
 
 	solve(g.AllNodes())
 	p, err := b.Final()
-	return p, b.Stats, err
+	return p, e.Stats, err
 }
 
 func min(a, b int) int {

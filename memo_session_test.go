@@ -1,0 +1,130 @@
+package repro
+
+// Session-level tests for the unified enumeration engine (internal/memo)
+// as driven through the public Planner: storage reuse across sequential
+// calls, budget exhaustion mid-emission, and the occupancy counters the
+// serving layer exports.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestArenaReuseAcrossSequentialPlans: two sequential Plan calls on one
+// Planner (cache disabled so both enumerate) must reuse the pooled memo
+// storage, and the recycled run must produce the identical plan.
+func TestArenaReuseAcrossSequentialPlans(t *testing.T) {
+	g := workload.Star(8, workload.DefaultConfig())
+	p := NewPlanner(WithPlanCacheSize(0))
+	ctx := context.Background()
+
+	first, err := p.PlanGraph(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.ArenaReused {
+		t.Error("first run of a fresh planner cannot reuse an arena")
+	}
+
+	// sync.Pool is allowed to drop entries (and does so randomly under
+	// -race), so allow several attempts; under normal scheduling the very
+	// next call reuses the engine the first call returned.
+	reused := false
+	for i := 0; i < 32 && !reused; i++ {
+		res, err := p.PlanGraph(ctx, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost() != first.Cost() || !res.Plan.Equal(first.Plan) {
+			t.Fatalf("recycled run changed the plan: cost %g vs %g", res.Cost(), first.Cost())
+		}
+		reused = res.Stats.ArenaReused
+	}
+	if !reused {
+		t.Fatal("no run reused pooled memo storage in 32 sequential plans")
+	}
+	m := p.Metrics()
+	if m.ArenaReuses == 0 {
+		t.Error("PlannerMetrics.ArenaReuses not incremented")
+	}
+	if m.PairsEmitted == 0 {
+		t.Error("PlannerMetrics.PairsEmitted not incremented")
+	}
+	if m.MemoPeakEntries < first.Stats.TableEntries {
+		t.Errorf("MemoPeakEntries = %d, below a run's TableEntries %d",
+			m.MemoPeakEntries, first.Stats.TableEntries)
+	}
+}
+
+// TestBudgetExhaustionMidEmissionGreedyFallback: a pair budget that
+// trips mid-emission must still yield a valid greedy plan, and the
+// engine that aborted mid-run must come back from the pool unpoisoned.
+func TestBudgetExhaustionMidEmissionGreedyFallback(t *testing.T) {
+	g := workload.Clique(8, workload.DefaultConfig())
+	p := NewPlanner(WithPlanCacheSize(0))
+	ctx := context.Background()
+
+	exact, err := p.PlanGraph(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := p.PlanGraph(ctx, g, WithBudget(Budget{MaxCsgCmpPairs: 5}))
+	if err != nil {
+		t.Fatalf("budget trip must fall back to greedy, got error: %v", err)
+	}
+	if !res.Stats.BudgetExhausted || !res.Stats.FallbackGreedy {
+		t.Errorf("fallback not recorded: %+v", res.Stats)
+	}
+	if res.Algorithm != Greedy {
+		t.Errorf("Algorithm = %v, want greedy", res.Algorithm)
+	}
+	if err := res.Plan.Validate(); err != nil {
+		t.Errorf("greedy fallback plan invalid: %v", err)
+	}
+	if res.Plan.Rels != g.AllNodes() {
+		t.Errorf("fallback plan covers %v, want %v", res.Plan.Rels, g.AllNodes())
+	}
+	if res.Cost() < exact.Cost() {
+		t.Errorf("greedy fallback cost %g beats the exact optimum %g", res.Cost(), exact.Cost())
+	}
+
+	// The aborted engine went back to the pool; the next unbudgeted run
+	// must still find the exact optimum on recycled storage.
+	again, err := p.PlanGraph(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cost() != exact.Cost() {
+		t.Errorf("post-abort exact run cost %g, want %g", again.Cost(), exact.Cost())
+	}
+	if p.Metrics().Fallbacks != 1 {
+		t.Errorf("Fallbacks = %d, want 1", p.Metrics().Fallbacks)
+	}
+}
+
+// TestMemoStatsPerRun: every solver must report memo occupancy through
+// the shared engine's counters.
+func TestMemoStatsPerRun(t *testing.T) {
+	g := workload.Cycle(7, workload.DefaultConfig())
+	ctx := context.Background()
+	for _, alg := range []Algorithm{DPhyp, DPsize, DPsub, DPccp, TopDown, Greedy} {
+		p := NewPlanner(WithAlgorithm(alg), WithPlanCacheSize(0))
+		res, err := p.PlanGraph(ctx, g)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		st := res.Stats
+		if st.TableEntries == 0 || st.ArenaNodes == 0 {
+			t.Errorf("%v: memo counters empty: %+v", alg, st)
+		}
+		if st.MemoCapacity == 0 || st.MemoCapacity&(st.MemoCapacity-1) != 0 {
+			t.Errorf("%v: MemoCapacity = %d, want a power of two", alg, st.MemoCapacity)
+		}
+		if st.ArenaNodes < st.TableEntries {
+			t.Errorf("%v: arena smaller than table: %d < %d", alg, st.ArenaNodes, st.TableEntries)
+		}
+	}
+}

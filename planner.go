@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dp"
+	"repro/internal/memo"
 	"repro/internal/shape"
 )
 
@@ -39,7 +40,7 @@ const DefaultPlanCacheSize = 256
 // plan-relevant configuration dimension.
 type Planner struct {
 	base  options
-	pool  *dp.Pool
+	pool  *memo.Pool
 	cache *planCache
 
 	plans       atomic.Uint64
@@ -47,6 +48,12 @@ type Planner struct {
 	cacheMisses atomic.Uint64
 	fallbacks   atomic.Uint64
 	failures    atomic.Uint64
+
+	// Memo-engine accounting, aggregated from the per-run Stats of every
+	// enumeration (cache hits excluded — they do no memo work).
+	pairsEmitted    atomic.Uint64
+	arenaReuses     atomic.Uint64
+	memoPeakEntries atomic.Int64
 
 	// routed counts SolverAuto routing decisions per target algorithm
 	// (indexed by Algorithm; SolverAuto itself is never a target).
@@ -62,7 +69,7 @@ func NewPlanner(opts ...Option) *Planner {
 	for _, f := range opts {
 		f(&o)
 	}
-	p := &Planner{base: o, pool: &dp.Pool{}}
+	p := &Planner{base: o, pool: &memo.Pool{}}
 	p.base.pool = p.pool
 	if o.cacheSize > 0 {
 		p.cache = newPlanCache(o.cacheSize)
@@ -85,6 +92,16 @@ type PlannerMetrics struct {
 	Fallbacks      uint64 // Greedy downgrades after budget trips
 	Failures       uint64 // calls that returned an error
 
+	// Memo-engine counters, aggregated across every enumeration run the
+	// planner performed (cache hits excluded). PairsEmitted is the §2.2
+	// effort yardstick summed over the session; ArenaReuses counts runs
+	// that started on recycled memo storage (table slots and plan-node
+	// arena) instead of allocating fresh; MemoPeakEntries is the largest
+	// DP-table occupancy any single run reached.
+	PairsEmitted    uint64
+	ArenaReuses     uint64
+	MemoPeakEntries int
+
 	// AutoRouted counts SolverAuto routing decisions keyed by the
 	// algorithm name the topology router picked (e.g. "dpsize"). Nil
 	// when no call has been routed.
@@ -96,11 +113,14 @@ type PlannerMetrics struct {
 // be a few calls apart from one another, but each is individually exact.
 func (p *Planner) Metrics() PlannerMetrics {
 	m := PlannerMetrics{
-		Plans:       p.plans.Load(),
-		CacheHits:   p.cacheHits.Load(),
-		CacheMisses: p.cacheMisses.Load(),
-		Fallbacks:   p.fallbacks.Load(),
-		Failures:    p.failures.Load(),
+		Plans:           p.plans.Load(),
+		CacheHits:       p.cacheHits.Load(),
+		CacheMisses:     p.cacheMisses.Load(),
+		Fallbacks:       p.fallbacks.Load(),
+		Failures:        p.failures.Load(),
+		PairsEmitted:    p.pairsEmitted.Load(),
+		ArenaReuses:     p.arenaReuses.Load(),
+		MemoPeakEntries: int(p.memoPeakEntries.Load()),
 	}
 	if p.cache != nil {
 		m.CacheEvictions = p.cache.evicted()
@@ -352,14 +372,36 @@ func (p *Planner) planGraph(ctx context.Context, g *Graph, o options, filter dp.
 		if gerr != nil {
 			return nil, p.fail(fmt.Errorf("repro: greedy fallback after budget trip: %w", gerr))
 		}
-		// Account for the work the aborted exact pass performed.
+		// Account for the work the aborted exact pass performed. The
+		// occupancy high-water marks keep the exact pass's values when
+		// larger — the greedy table holds only ~2n-1 entries, while the
+		// aborted enumeration is what actually sized the memo.
 		gst.CsgCmpPairs += st.CsgCmpPairs
 		gst.CostedPlans += st.CostedPlans
+		gst.TableEntries = max(gst.TableEntries, st.TableEntries)
+		gst.MemoCapacity = max(gst.MemoCapacity, st.MemoCapacity)
+		gst.MemoGrows = max(gst.MemoGrows, st.MemoGrows)
+		gst.ArenaNodes = max(gst.ArenaNodes, st.ArenaNodes)
 		gst.BudgetExhausted = true
 		gst.FallbackGreedy = true
 		p.fallbacks.Add(1)
 		pl, st, o.alg = gp, gst, Greedy
 	}
+	// Memo-engine session accounting: total pairs emitted (both passes of
+	// a budget-tripped run were merged into st above), whether the run
+	// reused pooled storage, and the table-occupancy high-water mark.
+	p.pairsEmitted.Add(uint64(st.CsgCmpPairs))
+	if st.ArenaReused {
+		p.arenaReuses.Add(1)
+	}
+	for {
+		peak := p.memoPeakEntries.Load()
+		if int64(st.TableEntries) <= peak ||
+			p.memoPeakEntries.CompareAndSwap(peak, int64(st.TableEntries)) {
+			break
+		}
+	}
+
 	// The cache entry keeps the routing-agnostic stats (the key is the
 	// routed algorithm's, so direct calls may hit it too); only the
 	// outgoing Result is stamped with the routing decision.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/dpsub"
 	"repro/internal/goo"
 	"repro/internal/hypergraph"
+	"repro/internal/memo"
 	"repro/internal/optree"
 	"repro/internal/plan"
 	"repro/internal/topdown"
@@ -177,7 +178,7 @@ type options struct {
 	budget     Budget
 	cacheSize  int
 	noFallback bool
-	pool       *dp.Pool
+	pool       *memo.Pool
 }
 
 func defaultOptions() options {

@@ -82,6 +82,18 @@ type metrics struct {
 	panics   atomic.Uint64 // handler panics converted to 500
 }
 
+// writeMemoMetrics renders the planner's memo-engine counters: csg-cmp
+// pairs emitted (the paper's §2.2 effort yardstick, summed over the
+// session), enumeration runs that started on recycled memo storage, and
+// the DP-table occupancy high-water mark. Together with the cache
+// counters these make the storage half of the enumeration observable:
+// arena reuse should approach 100% of cache misses under steady traffic.
+func writeMemoMetrics(w io.Writer, pairsEmitted, arenaReuses uint64, memoPeakEntries int) {
+	fmt.Fprintf(w, "# TYPE planner_pairs_emitted_total counter\nplanner_pairs_emitted_total %d\n", pairsEmitted)
+	fmt.Fprintf(w, "# TYPE planner_arena_reuses_total counter\nplanner_arena_reuses_total %d\n", arenaReuses)
+	fmt.Fprintf(w, "# TYPE planner_memo_peak_entries gauge\nplanner_memo_peak_entries %d\n", memoPeakEntries)
+}
+
 // reqKey labels one request-counter series.
 type reqKey struct {
 	path string
