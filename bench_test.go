@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/experiments"
+	"repro/internal/hypergraph"
 	"repro/internal/memo"
 	"repro/internal/optree"
 	"repro/internal/plan"
@@ -279,4 +280,92 @@ func BenchmarkMemo(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkParallel measures the tentpole of the parallel-enumeration
+// work: cold-cache exact planning of the hardest §4 shapes, serial
+// engine versus 4 memo workers. CI diffs clique12 against the PR base
+// with benchstat (non-gating). On a single-core runner the parallel
+// variant shows only the fork/join + merge overhead; the speedup needs
+// real cores.
+func BenchmarkParallel(b *testing.B) {
+	ctx := context.Background()
+	cfg := workload.DefaultConfig()
+	cases := []struct {
+		name string
+		g    *Graph
+		alg  Algorithm
+	}{
+		{"clique12", workload.Clique(12, cfg), SolverAuto},
+		{"star12", workload.Star(12, cfg), SolverAuto},
+	}
+	for _, c := range cases {
+		for _, par := range []int{1, 4} {
+			name := fmt.Sprintf("%s/serial", c.name)
+			if par > 1 {
+				name = fmt.Sprintf("%s/parallel%d", c.name, par)
+			}
+			b.Run(name, func(b *testing.B) {
+				p := NewPlanner(WithAlgorithm(c.alg), WithPlanCacheSize(0), WithParallelism(par))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := p.PlanGraph(ctx, c.g); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkNeighborhood isolates the DPhyp neighborhood micro-opt: the
+// per-csg N(S,X) computation with and without the incremental
+// simple-neighbor union and the reusable candidate buffer, on the
+// paper's Figure 2 hypergraph (complex edges force the candidate
+// path) and on a plain star.
+func BenchmarkNeighborhood(b *testing.B) {
+	graphs := []struct {
+		name string
+		g    *Graph
+	}{
+		{"fig2-hyper", hypergraph.PaperExampleGraph()},
+		{"star12", workload.Star(12, workload.DefaultConfig())},
+	}
+	for _, gc := range graphs {
+		g := gc.g
+		g.Freeze()
+		n := g.NumRels()
+		var sets []bitset.Set
+		for v := 0; v < n; v++ {
+			sets = append(sets, bitset.Single(v))
+			for _, w := range []int{2, 3} {
+				if v+w <= n {
+					// Multi-node csgs reach the hypernode-candidate path
+					// (and its buffer) on the hypergraph case.
+					sets = append(sets, bitset.Range(v, v+w))
+				}
+			}
+		}
+		b.Run(gc.name+"/baseline", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, S := range sets {
+					_ = g.Neighborhood(S, bitset.Below(S.Min()))
+				}
+			}
+		})
+		b.Run(gc.name+"/cached", func(b *testing.B) {
+			b.ReportAllocs()
+			var sc hypergraph.NeighborScratch
+			sus := make([]bitset.Set, len(sets))
+			for i, S := range sets {
+				sus[i] = g.SimpleNeighborUnion(S)
+			}
+			for i := 0; i < b.N; i++ {
+				for j, S := range sets {
+					_ = g.NeighborhoodWith(S, bitset.Below(S.Min()), sus[j], &sc)
+				}
+			}
+		})
+	}
 }

@@ -8,6 +8,7 @@
 //	dpserved -addr :9090 -workers 8 -queue 256
 //	dpserved -solver auto -cost physical  # planner defaults for all requests
 //	dpserved -budget-pairs 5000000        # budget + greedy fallback per plan
+//	dpserved -parallel 4                  # multi-core exact enumeration per plan
 //
 // Quickstart:
 //
@@ -49,6 +50,7 @@ func main() {
 		solver      = flag.String("solver", "auto", "default algorithm: auto | dphyp | dpsize | dpsub | dpccp | topdown | greedy")
 		costMod     = flag.String("cost", "cout", "default cost model: cout | cmm | nlj | hash | physical")
 		budgetPairs = flag.Int("budget-pairs", 10_000_000, "per-plan csg-cmp-pair budget before greedy fallback (0 = unlimited)")
+		parallel    = flag.Int("parallel", 0, "enumeration workers per plan (0 = GOMAXPROCS, 1 = serial); large cache-miss queries fan out across cores")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight plans")
 		quiet       = flag.Bool("quiet", false, "suppress per-request access logs")
 	)
@@ -73,6 +75,7 @@ func main() {
 		repro.WithCostModel(model),
 		repro.WithPlanCacheSize(*cacheSize),
 		repro.WithBudget(repro.Budget{MaxCsgCmpPairs: *budgetPairs}),
+		repro.WithParallelism(*parallel),
 	)
 	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
 	cfg := service.Config{

@@ -123,8 +123,46 @@
 // The split is what makes the evaluation's comparisons meaningful: all
 // six strategies pay identical per-pair construction costs, so measured
 // differences are purely the enumeration overhead the paper studies —
-// and it is the prerequisite for sharding enumeration across cores and
-// reusing arenas across served requests (see ROADMAP).
+// and it is what allows enumeration to shard across cores (see
+// Parallel planning) and arenas to be reused across served requests.
+//
+// # Parallel planning
+//
+// WithParallelism(n) lets one exact enumeration use up to n memo
+// workers (default GOMAXPROCS; 1 pins the serial engine). The engine
+// parallelizes level-synchronously: within one DP level — a plan size
+// for DPsize/DPsub, a result-set size for the csg-cmp streams of
+// DPhyp/DPccp — every candidate pair is independent given the levels
+// below it, so workers claim fixed chunks of the level dynamically,
+// build plans into private memo views (per-worker open-addressing
+// table + arena over the read-only merged levels), and a barrier folds
+// the per-worker winners back into the main memo. DPsize and DPsub
+// partition their (*)-test loops directly; DPhyp and DPccp enumerate
+// first (DPccp's test-free enumeration itself partitions across start
+// vertices) and price the collected pairs level-parallel. TopDown and
+// Greedy remain serial — the router sends parallel clique workloads to
+// DPsub, whose partition loops are test-free on cliques.
+//
+// Parallelism never changes the answer. Equal-cost ties are broken
+// order-independently (the lexicographically lowest (left, right)
+// relation-set split wins, in the serial engine too), so the winning
+// plan is a pure function of the candidate set and plans are
+// byte-identical across worker counts — the determinism tests assert
+// exactly that over hundreds of random graphs, and the plan cache
+// therefore ignores the parallelism knob. Budgets bound the *sum* of
+// work across workers through shared atomic counters, cancellation is
+// polled by every worker, and either trip stops all workers within one
+// poll interval, after which the usual Greedy fallback applies.
+//
+// Small queries (under ParallelMinRels relations) always plan
+// serially: an exact enumeration at that size costs tens of
+// microseconds and fork/join would only add overhead. Traced and
+// observed runs (WithTrace, OnEmit, generate-and-test filters) are
+// also pinned serial, as are graphs with dependent relations for the
+// DPhyp/DPccp deferred modes. Stats.Workers and Stats.WorkerPairs
+// record the fan-out per run; PlannerMetrics.ParallelRuns and
+// ParallelPairs (exported at /metrics as planner_parallel_runs_total
+// and planner_parallel_pairs_total) aggregate it per session.
 //
 // # Serving
 //

@@ -63,6 +63,18 @@ type Options struct {
 	// Pool, when non-nil, supplies recycled memo engines (table,
 	// arena, and backend scratch) from previous runs.
 	Pool *memo.Pool
+
+	// Parallelism > 1 enables the two-phase parallel mode: the csg-cmp
+	// enumeration runs once, recording pairs and connected-subgraph
+	// membership instead of pricing (the enumeration itself must stay
+	// ordered — csg membership with a given representative depends on
+	// earlier start vertices), and the recorded pairs are then priced
+	// level-by-level across workers (dp.ParRun.PriceLevels). Plan
+	// construction dominates the per-pair cost, so the bulk of the run
+	// parallelizes. Graphs with dependent relations fall back to the
+	// serial engine (dp.ParallelSafe). 0 or 1 runs today's serial
+	// engine.
+	Parallelism int
 }
 
 // Solver runs DPhyp over one hypergraph. It is a pure enumerator: all
@@ -73,6 +85,18 @@ type Solver struct {
 	e    *memo.Engine
 	b    *dp.Builder
 	opts Options
+
+	// emit and contains are the enumeration's two memo touch points.
+	// In the serial mode they are the engine's EmitPair/Contains; the
+	// parallel mode redirects them to a pair recorder backed by a
+	// membership-only table.
+	emit     func(S1, S2 bitset.Set)
+	contains func(S bitset.Set) bool
+
+	// sc is the reusable neighborhood candidate buffer; together with
+	// the incrementally maintained simple-neighbor unions it removes
+	// the remaining per-csg allocations from the recursion.
+	sc hypergraph.NeighborScratch
 }
 
 // New prepares a solver. The graph must stay unmodified during Run.
@@ -81,7 +105,10 @@ func New(g *hypergraph.Graph, opts Options) *Solver {
 	b.Filter = opts.Filter
 	e.OnEmit = opts.OnEmit
 	e.SetLimits(opts.Limits)
-	return &Solver{g: g, e: e, b: b, opts: opts}
+	s := &Solver{g: g, e: e, b: b, opts: opts}
+	s.emit = e.EmitPair
+	s.contains = e.Contains
+	return s
 }
 
 // Solve is the convenience entry point: it runs DPhyp on g and returns
@@ -112,25 +139,69 @@ func (s *Solver) Run() (*plan.Node, error) {
 	s.b.Init()
 	s.opts.Trace.init(n)
 
+	// Mirror the planner's serial gates for direct solver callers:
+	// filters may carry shared per-analysis state, and hooks/traces need
+	// the serial emission order (dp.ParallelSafe additionally requires
+	// cost-free pair acceptance for the deferred mode).
+	if s.opts.Parallelism > 1 && s.opts.Filter == nil && s.opts.OnEmit == nil &&
+		s.opts.Trace == nil && dp.ParallelSafe(s.g) {
+		return s.runParallel(n)
+	}
+	s.enumerate(n)
+	return s.b.Final()
+}
+
+// enumerate drives the §3.1 outer loop, feeding pairs to s.emit.
+func (s *Solver) enumerate(n int) {
 	// "for each v ∈ V descending according to ≺: EmitCsg({v});
 	// EnumerateCsgRec({v}, B_v)"
 	for v := n - 1; v >= 0 && s.e.Aborted() == nil; v-- {
 		S := bitset.Single(v)
+		su := s.g.SimpleNeighborUnion(S)
 		s.opts.Trace.add(StepStartNode, S, bitset.Empty)
-		s.emitCsg(S)
-		s.enumerateCsgRec(S, bitset.BelowEq(v))
+		s.emitCsg(S, su)
+		s.enumerateCsgRec(S, bitset.BelowEq(v), su)
+	}
+}
+
+// runParallel is the two-phase parallel mode: phase 1 runs the serial
+// enumeration with pricing deferred — pairs are recorded into buckets
+// keyed by result-set size, and csg membership is tracked in the
+// engine's scratch table (every admitted pair produces an entry, which
+// dp.ParallelSafe guaranteed) — and phase 2 prices the buckets
+// level-by-level across the workers.
+func (s *Solver) runParallel(n int) (*plan.Node, error) {
+	membership := s.e.Scratch(1 << uint(min(n, 12)))
+	buckets := make([][]dp.PairRec, n+1)
+	s.emit = func(S1, S2 bitset.Set) {
+		if !s.e.EmitDeferred(S1, S2) {
+			return
+		}
+		S := S1.Union(S2)
+		buckets[S.Len()] = append(buckets[S.Len()], dp.PairRec{S1: S1, S2: S2})
+		membership.Put(S, 1)
+	}
+	s.contains = func(S bitset.Set) bool {
+		_, ok := membership.Get(S)
+		return ok
+	}
+	s.enumerate(n)
+	if s.e.Aborted() == nil {
+		pr := dp.NewParRun(s.b, s.opts.Parallelism)
+		pr.PriceLevels(buckets)
 	}
 	return s.b.Final()
 }
 
 // enumerateCsgRec extends the connected subgraph S1 (§3.2). X is the set
 // of forbidden nodes; every node the function will consider itself is
-// forbidden in recursive calls to avoid duplicate enumeration.
-func (s *Solver) enumerateCsgRec(S1, X bitset.Set) {
+// forbidden in recursive calls to avoid duplicate enumeration. su is
+// the incrementally maintained SimpleNeighborUnion of S1.
+func (s *Solver) enumerateCsgRec(S1, X, su bitset.Set) {
 	if !s.e.Step() {
 		return
 	}
-	N := s.g.Neighborhood(S1, X)
+	N := s.g.NeighborhoodWith(S1, X, su, &s.sc)
 	if N.IsEmpty() {
 		return
 	}
@@ -142,9 +213,9 @@ func (s *Solver) enumerateCsgRec(S1, X bitset.Set) {
 			return
 		}
 		next := S1.Union(n)
-		if s.e.Contains(next) {
+		if s.contains(next) {
 			s.opts.Trace.add(StepCsg, next, bitset.Empty)
-			s.emitCsg(next)
+			s.emitCsg(next, su.Union(s.g.SimpleNeighborUnion(n)))
 		}
 		if n == N {
 			break
@@ -155,7 +226,7 @@ func (s *Solver) enumerateCsgRec(S1, X bitset.Set) {
 	// all nodes it will investigate itself").
 	newX := X.Union(N)
 	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
-		s.enumerateCsgRec(S1.Union(n), newX)
+		s.enumerateCsgRec(S1.Union(n), newX, su.Union(s.g.SimpleNeighborUnion(n)))
 		if n == N {
 			break
 		}
@@ -163,13 +234,13 @@ func (s *Solver) enumerateCsgRec(S1, X bitset.Set) {
 }
 
 // emitCsg generates the seeds of all complements of the connected
-// subgraph S1 (§3.3).
-func (s *Solver) emitCsg(S1 bitset.Set) {
+// subgraph S1 (§3.3). su is the SimpleNeighborUnion of S1.
+func (s *Solver) emitCsg(S1, su bitset.Set) {
 	if !s.e.Step() {
 		return
 	}
 	X := S1.Union(bitset.BelowEq(S1.Min()))
-	N := s.g.Neighborhood(S1, X)
+	N := s.g.NeighborhoodWith(S1, X, su, &s.sc)
 	if N.IsEmpty() {
 		return
 	}
@@ -181,12 +252,12 @@ func (s *Solver) emitCsg(S1 bitset.Set) {
 		// connect (§3.3's step 20: no edge between {R1,R2,R3} and {R4}).
 		if s.g.ConnectsTo(S1, S2) {
 			s.opts.Trace.add(StepCmp, S1, S2)
-			s.e.EmitPair(S1, S2)
+			s.emit(S1, S2)
 		}
 		// Forbid the smaller-ordered neighbors while growing this seed so
 		// each complement is produced from its ≺-minimal seed only (the
 		// duplicate-avoidance scheme of DPccp [17]).
-		s.enumerateCmpRec(S1, S2, X.Union(N.Intersect(bitset.BelowEq(v))))
+		s.enumerateCmpRec(S1, S2, X.Union(N.Intersect(bitset.BelowEq(v))), s.g.SimpleNeighborUnion(S2))
 	}
 }
 
@@ -199,12 +270,13 @@ func prevElem(N bitset.Set, v int) int {
 	return below.Max()
 }
 
-// enumerateCmpRec grows the complement S2 of S1 (§3.4).
-func (s *Solver) enumerateCmpRec(S1, S2, X bitset.Set) {
+// enumerateCmpRec grows the complement S2 of S1 (§3.4). su is the
+// SimpleNeighborUnion of S2.
+func (s *Solver) enumerateCmpRec(S1, S2, X, su bitset.Set) {
 	if !s.e.Step() {
 		return
 	}
-	N := s.g.Neighborhood(S2, X)
+	N := s.g.NeighborhoodWith(S2, X, su, &s.sc)
 	if N.IsEmpty() {
 		return
 	}
@@ -214,9 +286,9 @@ func (s *Solver) enumerateCmpRec(S1, S2, X bitset.Set) {
 		}
 		next := S2.Union(n)
 		// "if dpTable[S2 ∪ N] ≠ ∅ ∧ ∃(u,v) ∈ E : u ⊆ S1 ∧ v ⊆ S2 ∪ N"
-		if s.e.Contains(next) && s.g.ConnectsTo(S1, next) {
+		if s.contains(next) && s.g.ConnectsTo(S1, next) {
 			s.opts.Trace.add(StepCmp, S1, next)
-			s.e.EmitPair(S1, next)
+			s.emit(S1, next)
 		}
 		if n == N {
 			break
@@ -225,7 +297,7 @@ func (s *Solver) enumerateCmpRec(S1, S2, X bitset.Set) {
 	// "X = X ∪ N(S2,X)" before the recursive descent.
 	newX := X.Union(N)
 	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
-		s.enumerateCmpRec(S1, S2.Union(n), newX)
+		s.enumerateCmpRec(S1, S2.Union(n), newX, su.Union(s.g.SimpleNeighborUnion(n)))
 		if n == N {
 			break
 		}

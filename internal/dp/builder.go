@@ -17,6 +17,8 @@ package dp
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/algebra"
 	"repro/internal/bitset"
@@ -90,6 +92,110 @@ func NewRun(pool *memo.Pool, g *hypergraph.Graph, m cost.Model) (*memo.Engine, *
 	}
 	b.G, b.Model, b.Engine = g, m, e
 	return e, b
+}
+
+// ParRun couples the memo engine's parallel orchestration with one
+// Builder per worker view, so plan construction — edge recovery,
+// dependency checks, costing — runs lock-free on every worker: the
+// scratch buffers the Builder reuses are private to its view.
+type ParRun struct {
+	Par *memo.Par
+	Bs  []*Builder
+}
+
+// NewParRun prepares n parallel worker views over b's engine. Like the
+// engine views themselves, the worker Builders ride the pool: a
+// recycled engine revives them with their scratch buffers intact.
+func NewParRun(b *Builder, n int) *ParRun {
+	par := b.Engine.Parallel(n)
+	bs := make([]*Builder, n)
+	for i, w := range par.Workers() {
+		wb, _ := w.Backend().(*Builder)
+		if wb == nil {
+			wb = &Builder{}
+			w.SetBackend(wb)
+		}
+		wb.G, wb.Model, wb.Filter, wb.Engine = b.G, b.Model, b.Filter, w
+		bs[i] = wb
+	}
+	return &ParRun{Par: par, Bs: bs}
+}
+
+// PairRec is one csg-cmp-pair whose pricing was deferred: the
+// enumerate-first parallel modes of DPhyp and DPccp collect the pairs
+// their (serial or per-start-vertex) enumeration admits, then price
+// them level-synchronously with PriceLevels.
+type PairRec struct {
+	S1, S2 bitset.Set
+}
+
+// priceChunk bounds the deferred pairs per parallel work unit. Pricing
+// a pair costs two O(|E|) edge scans plus the cost model, so even
+// small chunks amortize the atomic claim while keeping skewed levels
+// (a star's hub level holds almost everything) balanced.
+const priceChunk = 128
+
+// PriceLevels prices deferred pairs level-by-level: buckets[s] holds
+// the pairs whose result set has s relations, and all pairs within a
+// bucket are independent given the merged smaller levels, so workers
+// claim fixed chunks of each bucket dynamically. Emission was already
+// counted when the pairs were collected, so the per-level merges add
+// only per-worker built counts, not run totals. On abort (budget or
+// cancellation) the remaining levels are skipped; the main engine
+// carries the cause.
+func (pr *ParRun) PriceLevels(buckets [][]PairRec) {
+	for s := 2; s < len(buckets); s++ {
+		bucket := buckets[s]
+		if len(bucket) == 0 {
+			continue
+		}
+		pr.Par.StartLevel()
+		var (
+			next atomic.Int64
+			wg   sync.WaitGroup
+		)
+		for w := range pr.Bs {
+			we := pr.Bs[w].Engine
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					lo := (int(next.Add(1)) - 1) * priceChunk
+					if lo >= len(bucket) || we.Aborted() != nil {
+						return
+					}
+					for _, p := range bucket[lo:min(lo+priceChunk, len(bucket))] {
+						if !we.Step() {
+							return
+						}
+						we.BuildDeferred(p.S1, p.S2)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		pr.Par.FinishLevel(memo.LevelPriced)
+		if pr.Par.Aborted() != nil {
+			return
+		}
+	}
+}
+
+// ParallelSafe reports whether g admits the enumerate-first parallel
+// modes of DPhyp and DPccp. Deferred pricing requires that every
+// admitted pair actually produces a memo entry — otherwise a later
+// level would price against a missing subplan. Plans are only rejected
+// after admission by dependency constraints (§5.6), which need free
+// variables, so graphs without dependent relations qualify. (The
+// generate-and-test Filter has the same issue; the planner already
+// keeps filtered runs serial.)
+func ParallelSafe(g *hypergraph.Graph) bool {
+	for i := 0; i < g.NumRels(); i++ {
+		if !g.Relation(i).Free.IsEmpty() {
+			return false
+		}
+	}
+	return true
 }
 
 // NewBuilder returns a Builder over g with a fresh engine, for tests and

@@ -17,6 +17,10 @@
 package dpsub
 
 import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/bitset"
 	"repro/internal/cost"
 	"repro/internal/dp"
@@ -32,6 +36,16 @@ type Options struct {
 	OnEmit func(S1, S2 bitset.Set)
 	Limits dp.Limits
 	Pool   *memo.Pool
+
+	// Parallelism > 1 switches to the level-synchronous parallel
+	// enumeration: relation sets are processed by ascending size
+	// instead of ascending integer value (every proper subset still
+	// precedes its supersets), and the sets of one size — whose Θ(2^|S|)
+	// partition loops are independent given the smaller sizes — are
+	// partitioned across workers. On cliques, where every subset is
+	// connected, this parallelizes essentially the entire Θ(3^n) run.
+	// 0 or 1 runs today's serial engine.
+	Parallelism int
 }
 
 // Solve runs DPsub over g.
@@ -48,6 +62,18 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 	b.Init()
 
 	all := g.AllNodes()
+	// The level enumeration steps with Gosper's hack, which needs one
+	// bit of headroom above the universe; 63-relation queries are far
+	// beyond exact enumeration anyway.
+	// Filters may carry shared per-analysis state and hooks need the
+	// serial emission order, so both pin direct solver calls to the
+	// serial engine (the planner enforces the same gates).
+	if opts.Parallelism > 1 && n < 63 && opts.Filter == nil && opts.OnEmit == nil {
+		solveParallel(g, b, all, n, opts.Parallelism)
+		p, err := b.Final()
+		return p, e.Stats, err
+	}
+
 	// Vance–Maier order is ascending integer order, so every proper
 	// subset of S is enumerated before S itself and the DP order is
 	// respected.
@@ -84,6 +110,81 @@ enumerate:
 	}
 	p, err := b.Final()
 	return p, e.Stats, err
+}
+
+// chunkSets bounds the relation sets per parallel work unit. Each set
+// costs Θ(2^|S|) subset probes, so even short chunks amortize the
+// atomic claim; short chunks keep the skewed middle levels balanced.
+const chunkSets = 16
+
+// solveParallel is the level-synchronous parallel DPsub: for each size
+// s it materializes the size-s subsets of the universe in ascending
+// order (Gosper's hack), partitions them into fixed chunks that
+// workers claim dynamically, and runs each set's Vance–Maier partition
+// loop on the claiming worker. All memo reads during a level hit sizes
+// < s, frozen since the previous barrier; writes go to per-worker
+// views merged deterministically at the barrier.
+func solveParallel(g *hypergraph.Graph, b *dp.Builder, all bitset.Set, n, workers int) {
+	pr := dp.NewParRun(b, workers)
+	var sets []bitset.Set
+	for s := 2; s <= n; s++ {
+		sets = sets[:0]
+		for S := bitset.Full(s); S <= all; S = nextSameSize(S) {
+			sets = append(sets, S)
+		}
+		pr.Par.StartLevel()
+		var (
+			next atomic.Int64
+			wg   sync.WaitGroup
+		)
+		for w := 0; w < workers; w++ {
+			we := pr.Bs[w].Engine
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					ci := int(next.Add(1)) - 1
+					lo := ci * chunkSets
+					if lo >= len(sets) || we.Aborted() != nil {
+						return
+					}
+					for _, S := range sets[lo:min(lo+chunkSets, len(sets))] {
+						for S1 := range S.SubsetsOf() {
+							if S1 == S {
+								break
+							}
+							if !we.Step() {
+								return
+							}
+							S2 := S.Minus(S1)
+							if !we.Contains(S1) || !we.Contains(S2) {
+								continue
+							}
+							if !g.ConnectsTo(S1, S2) {
+								continue
+							}
+							if S1.Min() < S2.Min() {
+								we.EmitPair(S1, S2)
+							}
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		pr.Par.FinishLevel(memo.LevelBuilt)
+		if pr.Par.Aborted() != nil {
+			return
+		}
+	}
+}
+
+// nextSameSize returns the next set with the same cardinality in
+// ascending numeric order (Gosper's hack).
+func nextSameSize(S bitset.Set) bitset.Set {
+	c := S & -S
+	r := S + c
+	return r | ((S^r)>>2)>>uint(bits.TrailingZeros64(uint64(c)))
 }
 
 type solverError string

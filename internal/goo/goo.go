@@ -31,6 +31,13 @@ type Options struct {
 	OnEmit func(S1, S2 bitset.Set)
 	Limits dp.Limits
 	Pool   *memo.Pool
+
+	// Parallelism is accepted for interface parity but ignored: GOO is
+	// inherently sequential (each greedy merge depends on the previous
+	// one), and its O(n³) pair inspections are far below the scale
+	// where fork/join pays. It stays the serial fallback even inside a
+	// parallel planning session.
+	Parallelism int
 }
 
 // Solve runs greedy operator ordering over g.

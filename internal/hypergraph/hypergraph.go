@@ -307,14 +307,42 @@ func minimalHypernodes(cands []bitset.Set) []bitset.Set {
 // reached through recursive growth and validated against the DP table, as
 // described in §3 ("the algorithm therefore picks a canonical end node").
 func (g *Graph) Neighborhood(S, X bitset.Set) bitset.Set {
-	g.ensureIndex()
-	forbidden := S.Union(X)
+	return g.neighborhoodFrom(S, X, g.SimpleNeighborUnion(S), nil)
+}
 
-	var n bitset.Set
+// NeighborScratch holds the candidate buffer NeighborhoodWith reuses
+// across calls, removing the per-call allocation that dominates the
+// DPhyp neighborhood computation on hypergraph workloads. Each
+// enumeration goroutine owns its own scratch.
+type NeighborScratch struct {
+	cands []bitset.Set
+}
+
+// SimpleNeighborUnion returns the union of the simple-edge partners of
+// every node in S, before any forbidden-set filtering. DPhyp maintains
+// this union incrementally while growing subgraphs — extending S by n
+// only needs the union over n — and passes it to NeighborhoodWith,
+// replacing the O(|S|) per-call recomputation inside Neighborhood.
+func (g *Graph) SimpleNeighborUnion(S bitset.Set) bitset.Set {
+	g.ensureIndex()
+	var su bitset.Set
 	S.ForEach(func(i int) {
-		n = n.Union(g.simpleNeighbors[i])
+		su = su.Union(g.simpleNeighbors[i])
 	})
-	n = n.Minus(forbidden)
+	return su
+}
+
+// NeighborhoodWith computes N(S,X) like Neighborhood, given the
+// precomputed SimpleNeighborUnion of S and a reusable candidate
+// buffer. It is the allocation-free hot path of the DPhyp enumeration.
+func (g *Graph) NeighborhoodWith(S, X, su bitset.Set, sc *NeighborScratch) bitset.Set {
+	g.ensureIndex()
+	return g.neighborhoodFrom(S, X, su, sc)
+}
+
+func (g *Graph) neighborhoodFrom(S, X, su bitset.Set, sc *NeighborScratch) bitset.Set {
+	forbidden := S.Union(X)
+	n := su.Minus(forbidden)
 
 	if len(g.complexEdges) == 0 {
 		return n
@@ -323,6 +351,9 @@ func (g *Graph) Neighborhood(S, X bitset.Set) bitset.Set {
 	// Complex candidates, filtered against the singleton candidates and
 	// each other for ⊆-minimality.
 	var cands []bitset.Set
+	if sc != nil {
+		cands = sc.cands[:0]
+	}
 	for _, ei := range g.complexEdges {
 		e := &g.edges[ei]
 		for flip := 0; flip < 2; flip++ {
@@ -347,6 +378,9 @@ func (g *Graph) Neighborhood(S, X bitset.Set) bitset.Set {
 			}
 			cands = append(cands, cand)
 		}
+	}
+	if sc != nil {
+		sc.cands = cands[:0] // keep grown storage for the next call
 	}
 	if len(cands) > 0 {
 		for _, c := range minimalHypernodes(cands) {

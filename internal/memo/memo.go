@@ -77,6 +77,13 @@ type Stats struct {
 	AmbiguousOps  int // pairs connected by more than one non-inner edge
 	TableEntries  int // number of connected subgraphs with a plan
 
+	// Parallel-enumeration accounting, filled by the Par orchestration.
+	// Workers is the worker count the run enumerated with (0 or 1 =
+	// serial engine); WorkerPairs counts the csg-cmp-pairs each worker
+	// actually built plans for, so skew across workers is observable.
+	Workers     int
+	WorkerPairs []int
+
 	// Memo-engine accounting, filled by Final.
 	MemoCapacity int  // open-addressing slots at the end of the run
 	MemoGrows    int  // table rehashes during the run
@@ -130,7 +137,9 @@ type node struct {
 // Engine is the shared open-addressing memo: DP table, plan-node arena,
 // budget and cancellation enforcement, and counting hooks. It is not
 // safe for concurrent use; the Planner layer gives each in-flight plan
-// its own pooled engine.
+// its own pooled engine. Parallel enumeration (see Par) runs on worker
+// views — private Engines layered over a read-only parent — so the
+// engine itself never needs locks.
 type Engine struct {
 	// Stats counts the run's work. The backend increments the reject
 	// counters directly; everything else is maintained by the engine.
@@ -150,6 +159,20 @@ type Engine struct {
 	steps    int
 	abortErr error
 	warm     bool // storage was recycled from a previous run
+
+	// Worker-view state (see Par). On a worker view, parent is the main
+	// engine whose merged levels the view reads through, base offsets
+	// this view's arena handles past the parent's, and shared carries
+	// the run-wide budget and abort state. All three are nil/zero on a
+	// serial engine, which keeps the serial hot paths branch-predictable.
+	parent *Engine
+	base   int32
+	shared *parShared
+
+	// par is the reusable parallel orchestration of a main engine: the
+	// worker views (and their pooled backends) survive pool round-trips
+	// alongside the engine.
+	par *Par
 }
 
 // NewEngine returns an empty engine. Most callers obtain engines through
@@ -216,23 +239,41 @@ func (e *Engine) Aborted() error { return e.abortErr }
 // Step records one unit of enumeration work (a loop iteration or
 // recursive call) and reports whether the run may continue. The context
 // is polled every pollInterval steps; budget limits are enforced in
-// EmitPair and ChargePlan where the counted events happen.
+// EmitPair and ChargePlan where the counted events happen. On a worker
+// view the poll additionally observes the run-wide abort flag, so a
+// budget trip or cancellation seen by any worker stops the others
+// within pollInterval steps.
 func (e *Engine) Step() bool {
 	if e.abortErr != nil {
 		return false
 	}
-	if e.limits.Ctx == nil {
+	if e.limits.Ctx == nil && e.shared == nil {
 		return true
 	}
 	e.steps++
 	if e.steps%pollInterval != 0 {
 		return true
 	}
-	if err := e.limits.Ctx.Err(); err != nil {
-		e.abortErr = err
+	if sh := e.shared; sh != nil && sh.aborted.Load() {
+		e.abortErr = sh.cause()
 		return false
 	}
+	if ctx := e.limits.Ctx; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			e.abort(err)
+			return false
+		}
+	}
 	return true
+}
+
+// abort records err as this engine's abort cause and, on a worker view,
+// publishes it run-wide so sibling workers stop at their next poll.
+func (e *Engine) abort(err error) {
+	e.abortErr = err
+	if e.shared != nil {
+		e.shared.abort(err)
+	}
 }
 
 // EmitBase seeds the memo with the access plan for base relation rel
@@ -253,9 +294,7 @@ func (e *Engine) EmitPair(S1, S2 bitset.Set) {
 	if e.abortErr != nil {
 		return
 	}
-	if max := e.limits.MaxCsgCmpPairs; max > 0 && e.Stats.CsgCmpPairs >= max {
-		e.abortErr = fmt.Errorf("%w: %d csg-cmp-pairs emitted (limit %d)",
-			ErrBudgetExhausted, e.Stats.CsgCmpPairs, max)
+	if !e.chargePair() {
 		return
 	}
 	e.Stats.CsgCmpPairs++
@@ -265,11 +304,80 @@ func (e *Engine) EmitPair(S1, S2 bitset.Set) {
 	e.backend.BuildPair(S1, S2)
 }
 
+// chargePair enforces the csg-cmp-pair budget for one emission. Worker
+// views charge a run-wide atomic counter (so the budget bounds the sum
+// across workers, matching the serial semantics); serial engines keep
+// the counter in Stats with no atomics on the hot path.
+func (e *Engine) chargePair() bool {
+	max := e.limits.MaxCsgCmpPairs
+	if sh := e.shared; sh != nil {
+		if sh.aborted.Load() {
+			e.abortErr = sh.cause()
+			return false
+		}
+		if max > 0 {
+			if n := sh.pairs.Add(1); n > int64(max) {
+				e.abort(fmt.Errorf("%w: %d csg-cmp-pairs emitted (limit %d)",
+					ErrBudgetExhausted, n, max))
+				return false
+			}
+		}
+		return true
+	}
+	if max > 0 && e.Stats.CsgCmpPairs >= max {
+		e.abortErr = fmt.Errorf("%w: %d csg-cmp-pairs emitted (limit %d)",
+			ErrBudgetExhausted, e.Stats.CsgCmpPairs, max)
+		return false
+	}
+	return true
+}
+
+// EmitDeferred admits the csg-cmp-pair (S1, S2) for later pricing: it
+// enforces the pair budget and counts the emission exactly like
+// EmitPair, but does not build a plan. The parallel DPhyp/DPccp paths
+// use it while collecting pairs into level buckets; BuildDeferred
+// prices them afterwards. It reports whether the run may continue.
+func (e *Engine) EmitDeferred(S1, S2 bitset.Set) bool {
+	if e.abortErr != nil {
+		return false
+	}
+	if !e.chargePair() {
+		return false
+	}
+	e.Stats.CsgCmpPairs++
+	return true
+}
+
+// BuildDeferred prices a pair previously admitted with EmitDeferred on
+// this (worker) view. The emission was already counted, so only the
+// per-worker built-pairs counter moves; merge accounting knows not to
+// re-add it to the run total.
+func (e *Engine) BuildDeferred(S1, S2 bitset.Set) {
+	if e.abortErr != nil {
+		return
+	}
+	e.Stats.CsgCmpPairs++
+	e.backend.BuildPair(S1, S2)
+}
+
 // ChargePlan accounts for one candidate plan about to be priced and
 // reports whether the costed-plans budget allows it. On a trip the run
-// is aborted with ErrBudgetExhausted.
+// is aborted with ErrBudgetExhausted. Worker views charge the shared
+// run-wide counter so the budget bounds the sum across workers.
 func (e *Engine) ChargePlan() bool {
-	if max := e.limits.MaxCostedPlans; max > 0 && e.Stats.CostedPlans >= max {
+	max := e.limits.MaxCostedPlans
+	if sh := e.shared; sh != nil {
+		if max > 0 {
+			if n := sh.plans.Add(1); n > int64(max) {
+				e.abort(fmt.Errorf("%w: %d plans costed (limit %d)",
+					ErrBudgetExhausted, n, max))
+				return false
+			}
+		}
+		e.Stats.CostedPlans++
+		return true
+	}
+	if max > 0 && e.Stats.CostedPlans >= max {
 		e.abortErr = fmt.Errorf("%w: %d plans costed (limit %d)",
 			ErrBudgetExhausted, e.Stats.CostedPlans, max)
 		return false
@@ -280,19 +388,48 @@ func (e *Engine) ChargePlan() bool {
 
 // Contains reports whether S has a memo entry. This is the DP-table
 // connectivity test of the bottom-up enumerators ("this exploits the
-// fact that DP strategies enumerate subsets before supersets").
+// fact that DP strategies enumerate subsets before supersets"). Worker
+// views fall through to the parent's merged levels on a miss.
 func (e *Engine) Contains(S bitset.Set) bool {
-	_, ok := e.table.Get(S)
-	return ok
+	if _, ok := e.table.Get(S); ok {
+		return true
+	}
+	if e.parent != nil {
+		_, ok := e.parent.table.Get(S)
+		return ok
+	}
+	return false
 }
 
-// Lookup returns the arena handle of the best plan for S.
-func (e *Engine) Lookup(S bitset.Set) (int32, bool) { return e.table.Get(S) }
+// Lookup returns the arena handle of the best plan for S. Worker views
+// check their private level first (same-level incumbents they own),
+// then the parent's merged levels, which are read-only for the
+// duration of the level.
+func (e *Engine) Lookup(S bitset.Set) (int32, bool) {
+	if h, ok := e.table.Get(S); ok {
+		return h, true
+	}
+	if e.parent != nil {
+		return e.parent.table.Get(S)
+	}
+	return 0, false
+}
+
+// nodeAt resolves an arena handle against this view: handles below the
+// view's base live in the parent's (merged, frozen) arena, the rest in
+// the view's private one. On a serial engine base is 0 and every handle
+// is local.
+func (e *Engine) nodeAt(h int32) *node {
+	if e.parent != nil && h < e.base {
+		return &e.parent.nodes[h]
+	}
+	return &e.nodes[h-e.base]
+}
 
 // PlanInfo returns the estimated cardinality and cost of the plan at
 // arena handle h.
 func (e *Engine) PlanInfo(h int32) (card, cost float64) {
-	n := &e.nodes[h]
+	n := e.nodeAt(h)
 	return n.card, n.cost
 }
 
@@ -300,11 +437,11 @@ func (e *Engine) PlanInfo(h int32) (card, cost float64) {
 // engine applies the incumbent comparison itself inside Improve; this
 // accessor exists for tests and tooling that inspect pruning decisions.
 func (e *Engine) BestCost(S bitset.Set) (float64, bool) {
-	h, ok := e.table.Get(S)
+	h, ok := e.Lookup(S)
 	if !ok {
 		return 0, false
 	}
-	return e.nodes[h].cost, true
+	return e.nodeAt(h).cost, true
 }
 
 // Improve stores the plan "left op right" for S if it beats the
@@ -314,10 +451,21 @@ func (e *Engine) BestCost(S bitset.Set) (float64, bool) {
 // An improved entry overwrites its arena slot in place — safe because
 // every enumeration order finalizes subsets before supersets, so no
 // parent references the slot yet.
+//
+// Ties are broken order-independently: among equal-cost candidates the
+// plan with the numerically lowest (left, right) relation-set pair
+// wins, never the one that happened to arrive first. This makes the
+// winning plan a pure function of the candidate *set*, so parallel
+// enumerations — which partition candidates across workers and merge
+// per-worker bests — produce byte-identical plans to the serial engine
+// at any worker count.
 func (e *Engine) Improve(S bitset.Set, left, right int32, op algebra.Op, phys algebra.PhysOp, card, cost float64, edges []int) {
 	if h, ok := e.table.Get(S); ok {
-		n := &e.nodes[h]
-		if cost >= n.cost {
+		n := e.nodeAt(h)
+		if cost > n.cost {
+			return
+		}
+		if cost == n.cost && !e.tieBeats(left, right, n.left, n.right) {
 			return
 		}
 		off, cnt := e.storeEdges(edges, n.edgeOff, n.edgeCnt)
@@ -326,10 +474,21 @@ func (e *Engine) Improve(S bitset.Set, left, right int32, op algebra.Op, phys al
 		return
 	}
 	off, cnt := e.storeEdges(edges, 0, 0)
-	h := int32(len(e.nodes))
+	h := e.base + int32(len(e.nodes))
 	e.nodes = append(e.nodes, node{rels: S, card: card, cost: cost, left: left, right: right,
 		edgeOff: off, edgeCnt: cnt, rel: -1, op: op, phys: phys})
 	e.table.Put(S, h)
+}
+
+// tieBeats reports whether the candidate split (newL, newR) wins an
+// equal-cost tie against the incumbent split (oldL, oldR): the
+// lexicographically smaller (left rels, right rels) pair is canonical.
+func (e *Engine) tieBeats(newL, newR, oldL, oldR int32) bool {
+	nl, ol := e.nodeAt(newL).rels, e.nodeAt(oldL).rels
+	if nl != ol {
+		return nl < ol
+	}
+	return e.nodeAt(newR).rels < e.nodeAt(oldR).rels
 }
 
 // storeEdges writes edges into the flat store, reusing the span
@@ -404,7 +563,7 @@ func (e *Engine) Plan(S bitset.Set) *plan.Node {
 // based plan.Node form callers consume. The arena itself stays intact
 // (and pooled); the returned tree is freshly allocated and safe to keep.
 func (e *Engine) materialize(h int32) *plan.Node {
-	n := &e.nodes[h]
+	n := e.nodeAt(h)
 	if n.left < 0 {
 		return plan.Leaf(int(n.rel), n.card)
 	}

@@ -33,6 +33,14 @@ type Options struct {
 	OnEmit func(S1, S2 bitset.Set)
 	Limits dp.Limits
 	Pool   *memo.Pool
+
+	// Parallelism is accepted for interface parity but ignored: the
+	// top-down recursion memoizes shared subproblems mid-flight, so its
+	// partitions are not level-independent the way the bottom-up
+	// enumerations are. The planner's router sends parallel clique
+	// workloads — TopDown's serial specialty — to the level-parallel
+	// DPsub instead.
+	Parallelism int
 }
 
 // Solve runs top-down memoization over g.

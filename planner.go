@@ -55,6 +55,11 @@ type Planner struct {
 	arenaReuses     atomic.Uint64
 	memoPeakEntries atomic.Int64
 
+	// Parallel-enumeration accounting: runs that actually used worker
+	// views, and the csg-cmp-pairs those workers processed in total.
+	parallelRuns  atomic.Uint64
+	parallelPairs atomic.Uint64
+
 	// routed counts SolverAuto routing decisions per target algorithm
 	// (indexed by Algorithm; SolverAuto itself is never a target).
 	routed [int(SolverAuto) + 1]atomic.Uint64
@@ -102,6 +107,14 @@ type PlannerMetrics struct {
 	ArenaReuses     uint64
 	MemoPeakEntries int
 
+	// Parallel-enumeration counters. ParallelRuns counts enumerations
+	// that ran on worker views (Stats.Workers > 1); ParallelPairs sums
+	// the csg-cmp-pairs those workers processed (built or, in the
+	// deferred modes, collected), so average per-run fan-out is
+	// ParallelPairs / ParallelRuns.
+	ParallelRuns  uint64
+	ParallelPairs uint64
+
 	// AutoRouted counts SolverAuto routing decisions keyed by the
 	// algorithm name the topology router picked (e.g. "dpsize"). Nil
 	// when no call has been routed.
@@ -121,6 +134,8 @@ func (p *Planner) Metrics() PlannerMetrics {
 		PairsEmitted:    p.pairsEmitted.Load(),
 		ArenaReuses:     p.arenaReuses.Load(),
 		MemoPeakEntries: int(p.memoPeakEntries.Load()),
+		ParallelRuns:    p.parallelRuns.Load(),
+		ParallelPairs:   p.parallelPairs.Load(),
 	}
 	if p.cache != nil {
 		m.CacheEvictions = p.cache.evicted()
@@ -328,7 +343,7 @@ func (p *Planner) planGraph(ctx context.Context, g *Graph, o options, filter dp.
 	annotate := func(*dp.Stats) {}
 	if o.alg == SolverAuto {
 		prof := shape.Classify(g)
-		routed := routeAuto(prof)
+		routed := routeAuto(prof, o.workers(g, filter))
 		o.alg = routed
 		p.routed[int(routed)].Add(1)
 		annotate = func(st *dp.Stats) {
@@ -382,6 +397,10 @@ func (p *Planner) planGraph(ctx context.Context, g *Graph, o options, filter dp.
 		gst.MemoCapacity = max(gst.MemoCapacity, st.MemoCapacity)
 		gst.MemoGrows = max(gst.MemoGrows, st.MemoGrows)
 		gst.ArenaNodes = max(gst.ArenaNodes, st.ArenaNodes)
+		// The greedy pass is serial; keep the aborted exact pass's
+		// worker accounting so the trip is attributable.
+		gst.Workers = st.Workers
+		gst.WorkerPairs = st.WorkerPairs
 		gst.BudgetExhausted = true
 		gst.FallbackGreedy = true
 		p.fallbacks.Add(1)
@@ -393,6 +412,12 @@ func (p *Planner) planGraph(ctx context.Context, g *Graph, o options, filter dp.
 	p.pairsEmitted.Add(uint64(st.CsgCmpPairs))
 	if st.ArenaReused {
 		p.arenaReuses.Add(1)
+	}
+	if st.Workers > 1 {
+		p.parallelRuns.Add(1)
+		for _, wp := range st.WorkerPairs {
+			p.parallelPairs.Add(uint64(wp))
+		}
 	}
 	for {
 		peak := p.memoPeakEntries.Load()
@@ -423,6 +448,9 @@ func (p *Planner) fail(err error) error {
 // budget and fallback policy are part of the key because a budget trip
 // caches a Greedy plan — which must not be served to a call that could
 // afford the exact enumeration (or that asked for a hard error).
+// Parallelism is deliberately absent: the engine's order-independent
+// tie-break makes plans byte-identical at every worker count, so a
+// plan enumerated serially is interchangeable with a parallel one.
 func configKey(o options) string {
 	return fmt.Sprintf("%d/%s/%v/%t/%d:%d/%t",
 		o.alg, o.model.Name(), o.rule, o.genAndTest,

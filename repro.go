@@ -3,6 +3,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"repro/internal/algebra"
 	"repro/internal/bitset"
@@ -174,11 +175,12 @@ type options struct {
 	onEmit     func(s1, s2 bitset.Set)
 
 	// Session knobs (see Planner).
-	ctx        context.Context
-	budget     Budget
-	cacheSize  int
-	noFallback bool
-	pool       *memo.Pool
+	ctx         context.Context
+	budget      Budget
+	cacheSize   int
+	noFallback  bool
+	pool        *memo.Pool
+	parallelism int // 0 = GOMAXPROCS, 1 = serial
 }
 
 func defaultOptions() options {
@@ -229,6 +231,40 @@ func WithPlanCacheSize(n int) Option { return func(o *options) { o.cacheSize = n
 // ErrBudgetExhausted) instead of degrading to a Greedy plan.
 func WithoutGreedyFallback() Option { return func(o *options) { o.noFallback = true } }
 
+// WithParallelism bounds the workers one enumeration may use. The
+// default (0) is runtime.GOMAXPROCS; 1 pins every run to the serial
+// engine and its pooling behavior exactly as before. Parallelism never
+// changes the plan: worker results merge under an order-independent
+// tie-break, so plans are byte-identical across worker counts (and to
+// serial), which is also why the plan cache ignores this knob. Small
+// queries (fewer than ParallelMinRels relations), traced or observed
+// runs, and generate-and-test filters always plan serially — fork/join
+// overhead would dominate or ordering guarantees would be lost.
+func WithParallelism(n int) Option { return func(o *options) { o.parallelism = n } }
+
+// ParallelMinRels is the size crossover below which enumerations stay
+// serial regardless of WithParallelism: under ~10 relations a full
+// exact enumeration costs tens of microseconds, where goroutine
+// fork/join and the level barriers would be pure regression.
+const ParallelMinRels = 10
+
+// workers resolves the effective worker count for one enumeration over
+// g. Observation hooks need the serial emission order; filters carry
+// per-analysis state the worker builders must not share.
+func (o *options) workers(g *Graph, filter dp.Filter) int {
+	w := o.parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > 64 {
+		w = 64
+	}
+	if w > 1 && (filter != nil || o.trace != nil || o.onEmit != nil || g.NumRels() < ParallelMinRels) {
+		return 1
+	}
+	return w
+}
+
 // Result is the outcome of an optimization.
 type Result struct {
 	// Plan is the optimal operator tree.
@@ -260,19 +296,20 @@ func runSolver(g *Graph, o options, filter dp.Filter) (*PlanNode, Stats, error) 
 		MaxCsgCmpPairs: o.budget.MaxCsgCmpPairs,
 		MaxCostedPlans: o.budget.MaxCostedPlans,
 	}
+	par := o.workers(g, filter)
 	switch o.alg {
 	case DPhyp:
-		return core.Solve(g, core.Options{Model: o.model, Filter: filter, Trace: o.trace, OnEmit: o.onEmit, Limits: limits, Pool: o.pool})
+		return core.Solve(g, core.Options{Model: o.model, Filter: filter, Trace: o.trace, OnEmit: o.onEmit, Limits: limits, Pool: o.pool, Parallelism: par})
 	case DPsize:
-		return dpsize.Solve(g, dpsize.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool})
+		return dpsize.Solve(g, dpsize.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool, Parallelism: par})
 	case DPsub:
-		return dpsub.Solve(g, dpsub.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool})
+		return dpsub.Solve(g, dpsub.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool, Parallelism: par})
 	case DPccp:
-		return dpccp.Solve(g, dpccp.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool})
+		return dpccp.Solve(g, dpccp.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool, Parallelism: par})
 	case TopDown:
-		return topdown.Solve(g, topdown.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool})
+		return topdown.Solve(g, topdown.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool, Parallelism: par})
 	case Greedy:
-		return goo.Solve(g, goo.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool})
+		return goo.Solve(g, goo.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool, Parallelism: par})
 	case SolverAuto:
 		// The Planner resolves SolverAuto to a concrete algorithm before
 		// dispatching; reaching this point is a programming error.

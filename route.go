@@ -43,7 +43,16 @@ const (
 // Every routed exact solver explores the same bushy cross-product-free
 // space, so routing never changes the cost of the returned plan — only
 // the time to find it.
-func routeAuto(p shape.Profile) Algorithm {
+//
+// workers is the effective parallelism of the call. It only matters in
+// one place: cliques at or above the parallel crossover route to the
+// level-parallel DPsub instead of the serial TopDown — on a clique
+// every subset is connected, so DPsub's Θ(3ⁿ) partition loops carry no
+// failing connectivity tests either, and unlike the memoizing
+// recursion they split level-by-level across cores. Below the
+// crossover (and at workers == 1) the serial routing is unchanged, so
+// small queries never pay fork/join overhead.
+func routeAuto(p shape.Profile, workers int) Algorithm {
 	limit := autoMaxDenseRels
 	switch p.Class {
 	case shape.Clique:
@@ -65,6 +74,9 @@ func routeAuto(p shape.Profile) Algorithm {
 	case shape.Cycle:
 		return DPccp
 	case shape.Clique:
+		if workers > 1 && p.Rels >= ParallelMinRels {
+			return DPsub
+		}
 		return TopDown
 	default: // Star, Grid, Mixed
 		return DPhyp

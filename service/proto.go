@@ -80,6 +80,10 @@ type StatsJSON struct {
 	FallbackGreedy  bool   `json:"fallback_greedy,omitempty"`
 	Shape           string `json:"shape,omitempty"`
 	RoutedAlgorithm string `json:"routed_algorithm,omitempty"`
+	// Workers is the worker count the enumeration ran with; absent for
+	// serial runs. Cache hits report the original enumeration's count
+	// (alongside cache_hit), like every other stat in this block.
+	Workers int `json:"workers,omitempty"`
 }
 
 // PlanNodeJSON is the wire form of an optimized operator tree. Leaves
@@ -199,6 +203,7 @@ func planResponse(res *repro.Result, coalesced bool, elapsedMS float64) *PlanRes
 			FallbackGreedy:  st.FallbackGreedy,
 			Shape:           st.Shape,
 			RoutedAlgorithm: st.RoutedAlgorithm,
+			Workers:         st.Workers,
 		},
 		Coalesced: coalesced,
 		ElapsedMS: elapsedMS,

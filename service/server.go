@@ -421,6 +421,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE planner_fallbacks_total counter\nplanner_fallbacks_total %d\n", pm.Fallbacks)
 	fmt.Fprintf(w, "# TYPE planner_failures_total counter\nplanner_failures_total %d\n", pm.Failures)
 	writeMemoMetrics(w, pm.PairsEmitted, pm.ArenaReuses, pm.MemoPeakEntries)
+	writeParallelMetrics(w, pm.ParallelRuns, pm.ParallelPairs)
 	if len(pm.AutoRouted) > 0 {
 		algs := make([]string, 0, len(pm.AutoRouted))
 		for alg := range pm.AutoRouted {
