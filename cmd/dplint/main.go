@@ -1,0 +1,160 @@
+// Command dplint runs the repository's invariant analyzers (see
+// internal/lint) over the module and reports findings in a
+// vet-compatible file:line:col format.
+//
+// Usage:
+//
+//	dplint [flags] [dir]
+//
+// The single optional argument is the module root (default "."); the
+// conventional invocation `dplint ./...` is accepted and means the
+// module rooted at the current directory — the analyzers are
+// whole-program and always cover every package.
+//
+// Flags:
+//
+//	-json     emit a machine-readable summary (per-analyzer active and
+//	          suppressed finding counts) instead of the finding list;
+//	          CI diffs this output against LINT_BASELINE.json
+//	-list     list the registered analyzers and exit
+//	-v        also print suppressed findings with their justifications
+//
+// Exit status: 0 when no active findings, 1 when at least one active
+// finding, 2 on load/usage errors. Suppressed findings never affect
+// the exit status — but they stay visible in -json so tracked
+// worklists (bitsetwidth, ROADMAP item 1) cannot silently grow.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/atomicbudget"
+	"repro/internal/lint/bitsetwidth"
+	"repro/internal/lint/ctxpoll"
+	"repro/internal/lint/hotpathalloc"
+)
+
+var analyzers = []*analysis.Analyzer{
+	atomicbudget.Analyzer,
+	bitsetwidth.Analyzer,
+	ctxpoll.Analyzer,
+	hotpathalloc.Analyzer,
+}
+
+// Summary is the -json output shape, also the schema of
+// LINT_BASELINE.json. Counts are keyed by analyzer name ("nolint"
+// counts malformed suppression directives). Only counts are recorded —
+// positions would churn with every unrelated edit.
+type Summary struct {
+	Analyzers map[string]Counts `json:"analyzers"`
+}
+
+// Counts splits one analyzer's findings by suppression state.
+type Counts struct {
+	Active     int `json:"active"`
+	Suppressed int `json:"suppressed"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit per-analyzer finding counts as JSON")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	verbose := flag.Bool("v", false, "also print suppressed findings")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	dir := "."
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		if arg := flag.Arg(0); arg != "./..." {
+			dir = arg
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: dplint [flags] [module-dir | ./...]")
+		return 2
+	}
+
+	prog, err := analysis.LoadModule(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dplint:", err)
+		return 2
+	}
+	diags, err := analysis.Run(prog, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dplint:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		return emitJSON(diags)
+	}
+
+	active := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			if *verbose {
+				fmt.Printf("%s: [%s] suppressed: %s (reason: %s)\n",
+					d.Position, d.Analyzer, d.Message, d.Reason)
+			}
+			continue
+		}
+		active++
+		fmt.Printf("%s: [%s] %s\n", d.Position, d.Analyzer, d.Message)
+	}
+	if active > 0 {
+		fmt.Fprintf(os.Stderr, "dplint: %d finding(s)\n", active)
+		return 1
+	}
+	return 0
+}
+
+func emitJSON(diags []analysis.Diagnostic) int {
+	sum := Summary{Analyzers: make(map[string]Counts)}
+	for _, a := range analyzers {
+		sum.Analyzers[a.Name] = Counts{}
+	}
+	active := 0
+	for _, d := range diags {
+		c := sum.Analyzers[d.Analyzer]
+		if d.Suppressed {
+			c.Suppressed++
+		} else {
+			c.Active++
+			active++
+		}
+		sum.Analyzers[d.Analyzer] = c
+	}
+	// Drop analyzers with no findings at all? No: a zero entry proves
+	// the analyzer ran. Keep every registered analyzer plus any extra
+	// keys (nolint) that produced findings, sorted by the encoder.
+	keys := make([]string, 0, len(sum.Analyzers))
+	for k := range sum.Analyzers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		fmt.Fprintln(os.Stderr, "dplint:", err)
+		return 2
+	}
+	if active > 0 {
+		return 1
+	}
+	return 0
+}

@@ -164,6 +164,41 @@
 // ParallelPairs (exported at /metrics as planner_parallel_runs_total
 // and planner_parallel_pairs_total) aggregate it per session.
 //
+// # Invariants
+//
+// Three contracts underpin the performance and liveness claims above,
+// and all three are machine-checked by the repo's own static analysis
+// suite (internal/lint, driven by cmd/dplint and gating in CI):
+//
+//   - Hot paths do not allocate. Functions on the per-pair path —
+//     memo Step/EmitPair/Lookup/Improve, the solvers' enumeration
+//     loops, the plan builder's BuildPair — are annotated //dp:hotpath;
+//     the hotpathalloc analyzer walks their static call closure and
+//     rejects slice/map literals, make/new, closure captures, fmt
+//     calls, interface boxing, and appends that are not visibly backed
+//     by a presized arena. Deliberate slow paths (table growth, abort,
+//     trace capture) are annotated //dp:coldpath <reason>, which stops
+//     the walk and requires a written justification.
+//   - Emission loops poll for cancellation. Every loop in a solver or
+//     engine package that emits csg-cmp-pairs must call Step or
+//     Aborted each iteration (directly, or through a callee that polls
+//     at entry); the ctxpoll analyzer enforces it, which is what makes
+//     the "a deadline interrupts even the Θ(3ⁿ) inner loops" promise
+//     above a checked property rather than a convention.
+//   - Shared counters are atomic. The run-wide budget counters and the
+//     planner/service metrics are annotated //dp:atomic; the
+//     atomicbudget analyzer rejects any access that is not a
+//     sync/atomic method call or an &field argument to a sync/atomic
+//     function — the race class the GOMAXPROCS matrix in CI hunts
+//     dynamically is also excluded statically.
+//
+// A fourth analyzer, bitsetwidth, quarantines the knowledge that
+// bitset.Set is one machine word inside internal/bitset itself (no
+// conversions, ordering operators, or shifts on Set elsewhere), which
+// keeps the planned multi-word widening a one-package change.
+// Suppressions use //nolint:<analyzer> // <reason> with the reason
+// mandatory; per-analyzer counts are pinned in LINT_BASELINE.json.
+//
 // # Serving
 //
 // The repro/service package and the cmd/dpserved daemon put a Planner

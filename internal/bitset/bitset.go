@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"iter"
 	"math/bits"
+	"strconv"
 	"strings"
 )
 
@@ -97,6 +98,35 @@ func (s Set) SubsetOf(t Set) bool { return s&^t == 0 }
 
 // ProperSubsetOf reports whether s ⊂ t (subset and not equal).
 func (s Set) ProperSubsetOf(t Set) bool { return s&^t == 0 && s != t }
+
+// Less reports whether s precedes t in the canonical total order on
+// sets: numeric order of the packed word, which enumeration relies on
+// (Vance–Maier subset enumeration yields subsets in exactly this
+// order). All code outside this package must compare sets with Less /
+// == rather than the raw word so that the ordering survives a wider
+// representation (ROADMAP: >64 relations).
+func (s Set) Less(t Set) bool { return s < t }
+
+// NextSameSize returns the successor of s in Less order among sets of
+// the same cardinality (Gosper's hack). Iterating from Full(k) yields
+// every k-subset in canonical order; the result exceeds any universe
+// that has been exhausted, which callers detect with Less. It panics
+// on the empty set (the hack divides by the lowest set bit).
+func (s Set) NextSameSize() Set {
+	if s == 0 {
+		panic("bitset: NextSameSize on empty set")
+	}
+	c := s & -s
+	r := s + c
+	return r | ((s^r)>>2)>>uint(bits.TrailingZeros64(uint64(c)))
+}
+
+// AppendHex appends the set's canonical hexadecimal form to b and
+// returns the extended slice, for fingerprint/cache-key construction
+// without exposing the word width at call sites.
+func (s Set) AppendHex(b []byte) []byte {
+	return strconv.AppendUint(b, uint64(s), 16)
+}
 
 // Disjoint reports whether s ∩ t = ∅.
 func (s Set) Disjoint(t Set) bool { return s&t == 0 }
@@ -228,6 +258,7 @@ func (s Set) NextSubset(m Set) Set {
 // The iterator is allocation-free and supports early break. An empty m
 // yields nothing.
 func (m Set) SubsetsOf() iter.Seq[Set] {
+	//nolint:hotpathalloc // one iterator closure per enumeration loop, amortized over its 2^|m| yields
 	return func(yield func(Set) bool) {
 		if m == 0 {
 			return

@@ -152,6 +152,8 @@ func (s *Solver) Run() (*plan.Node, error) {
 }
 
 // enumerate drives the §3.1 outer loop, feeding pairs to s.emit.
+//
+//dp:hotpath
 func (s *Solver) enumerate(n int) {
 	// "for each v ∈ V descending according to ≺: EmitCsg({v});
 	// EnumerateCsgRec({v}, B_v)"
@@ -197,6 +199,8 @@ func (s *Solver) runParallel(n int) (*plan.Node, error) {
 // of forbidden nodes; every node the function will consider itself is
 // forbidden in recursive calls to avoid duplicate enumeration. su is
 // the incrementally maintained SimpleNeighborUnion of S1.
+//
+//dp:hotpath
 func (s *Solver) enumerateCsgRec(S1, X, su bitset.Set) {
 	if !s.e.Step() {
 		return
@@ -235,6 +239,8 @@ func (s *Solver) enumerateCsgRec(S1, X, su bitset.Set) {
 
 // emitCsg generates the seeds of all complements of the connected
 // subgraph S1 (§3.3). su is the SimpleNeighborUnion of S1.
+//
+//dp:hotpath
 func (s *Solver) emitCsg(S1, su bitset.Set) {
 	if !s.e.Step() {
 		return
@@ -262,6 +268,8 @@ func (s *Solver) emitCsg(S1, su bitset.Set) {
 }
 
 // prevElem returns the largest element of N strictly below v, or -1.
+//
+//dp:hotpath
 func prevElem(N bitset.Set, v int) int {
 	below := N.Intersect(bitset.Below(v))
 	if below.IsEmpty() {
@@ -272,6 +280,8 @@ func prevElem(N bitset.Set, v int) int {
 
 // enumerateCmpRec grows the complement S2 of S1 (§3.4). su is the
 // SimpleNeighborUnion of S2.
+//
+//dp:hotpath
 func (s *Solver) enumerateCmpRec(S1, S2, X, su bitset.Set) {
 	if !s.e.Step() {
 		return

@@ -46,6 +46,7 @@ type Trace struct {
 	n     int
 }
 
+//dp:coldpath trace capture is a debugging mode, never enabled on production runs
 func (t *Trace) init(n int) {
 	if t == nil {
 		return
@@ -54,6 +55,7 @@ func (t *Trace) init(n int) {
 	t.n = n
 }
 
+//dp:coldpath trace capture is a debugging mode, never enabled on production runs
 func (t *Trace) add(kind StepKind, s1, s2 bitset.Set) {
 	if t == nil {
 		return

@@ -61,9 +61,9 @@ func CsgCmpPairs(g *hypergraph.Graph) []Pair {
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].S1 != out[j].S1 {
-			return out[i].S1 < out[j].S1
+			return out[i].S1.Less(out[j].S1)
 		}
-		return out[i].S2 < out[j].S2
+		return out[i].S2.Less(out[j].S2)
 	})
 	return out
 }

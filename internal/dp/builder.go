@@ -219,9 +219,17 @@ func (b *Builder) Release() {
 }
 
 // Init seeds the DP table with access plans for single relations
-// ("dpTable[{v}] = plan for v").
+// ("dpTable[{v}] = plan for v"). A session arriving with its context
+// already canceled (or its budget already spent by an earlier solver
+// on the same engine) must not seed fresh entries, so the loop polls
+// like every other emission loop.
+//
+//dp:hotpath
 func (b *Builder) Init() {
 	for i := 0; i < b.G.NumRels(); i++ {
+		if !b.Engine.Step() {
+			return
+		}
 		b.Engine.EmitBase(i, b.G.Relation(i).Card)
 	}
 }
@@ -242,8 +250,11 @@ func (b *Builder) Final() (*plan.Node, error) {
 // prices one orientation for non-commutative operators or both for
 // commutative ones. Budget and emission bookkeeping has already happened
 // in Engine.EmitPair.
+//
+//dp:hotpath
 func (b *Builder) BuildPair(S1, S2 bitset.Set) {
 	conn := b.connBuf[:0]
+	//nolint:hotpathalloc // EachConnectingEdge does not retain the callback, so it stays on the stack
 	b.G.EachConnectingEdge(S1, S2, func(idx int, flipped bool) {
 		conn = append(conn, EdgeRef{Idx: idx, Flipped: flipped})
 	})

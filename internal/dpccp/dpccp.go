@@ -156,6 +156,8 @@ func solveParallel(g *hypergraph.Graph, b *dp.Builder, n, workers int) {
 // enumerateCsgRec grows connected subgraphs along the adjacency
 // structure. On simple graphs S1 ∪ N' is connected for every non-empty
 // N' ⊆ N(S1), so no membership test is required.
+//
+//dp:hotpath
 func (s *solver) enumerateCsgRec(S1, X bitset.Set) {
 	if !s.e.Step() {
 		return
@@ -179,6 +181,8 @@ func (s *solver) enumerateCsgRec(S1, X bitset.Set) {
 // emitCmp enumerates all connected complements of the csg S1. Nodes
 // ordered before min(S1) are excluded to avoid duplicate pairs; each
 // complement is grown from its ≺-minimal neighbor.
+//
+//dp:hotpath
 func (s *solver) emitCmp(S1 bitset.Set) {
 	if !s.e.Step() {
 		return
@@ -197,6 +201,8 @@ func (s *solver) emitCmp(S1 bitset.Set) {
 
 // growCmp extends the complement S2; every grown set remains connected
 // and adjacent to S1, so every subset is emitted unconditionally.
+//
+//dp:hotpath
 func (s *solver) growCmp(S1, S2, X bitset.Set) {
 	if !s.e.Step() {
 		return
@@ -217,6 +223,7 @@ func (s *solver) growCmp(S1, S2, X bitset.Set) {
 	}
 }
 
+//dp:hotpath
 func prevElem(N bitset.Set, v int) int {
 	below := N.Intersect(bitset.Below(v))
 	if below.IsEmpty() {

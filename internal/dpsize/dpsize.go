@@ -80,7 +80,18 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 		return p, e.Stats, err
 	}
 
-enumerate:
+	enumerate(g, e, bySize, n)
+	p, err := b.Final()
+	return p, e.Stats, err
+}
+
+// enumerate is the serial DPsize loop nest of Fig. 3: all (S1, S2)
+// candidate pairs by ascending plan size, dominated by the failing (*)
+// tests.
+//
+//dp:hotpath
+func enumerate(g *hypergraph.Graph, e *memo.Engine, bySize [][]bitset.Set, n int) {
+sizes:
 	for s := 2; s <= n; s++ { // "for ∀ 1 < s ≤ n ascending: size of plan"
 		for s1 := 1; s1 < s; s1++ { // "size of left subplan"
 			s2 := s - s1
@@ -89,7 +100,7 @@ enumerate:
 					// The failing (*) tests dominate the run time, so the
 					// cancellation poll sits in the innermost loop.
 					if !e.Step() {
-						break enumerate
+						break sizes
 					}
 					if !S1.Disjoint(S2) { // (*) "if S1 ∩ S2 ≠ ∅ continue"
 						continue
@@ -106,14 +117,20 @@ enumerate:
 				}
 			}
 		}
-		e.ForEach(func(S bitset.Set) {
-			if S.Len() == s {
-				bySize[s] = append(bySize[s], S)
-			}
-		})
+		collectSize(e, bySize, s)
 	}
-	p, err := b.Final()
-	return p, e.Stats, err
+}
+
+// collectSize gathers the connected subgraphs of size s the round just
+// created, completing bySize[s] before the next plan size reads it.
+//
+//dp:coldpath runs once per plan-size level, not per candidate pair
+func collectSize(e *memo.Engine, bySize [][]bitset.Set, s int) {
+	e.ForEach(func(S bitset.Set) {
+		if S.Len() == s {
+			bySize[s] = append(bySize[s], S)
+		}
+	})
 }
 
 // sizeChunk is one unit of parallel work within a plan-size level: a

@@ -17,7 +17,6 @@
 package dpsub
 
 import (
-	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -74,10 +73,18 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 		return p, e.Stats, err
 	}
 
-	// Vance–Maier order is ascending integer order, so every proper
-	// subset of S is enumerated before S itself and the DP order is
-	// respected.
-enumerate:
+	enumerate(g, e, all)
+	p, err := b.Final()
+	return p, e.Stats, err
+}
+
+// enumerate is the serial DPsub loop nest (§4.1): Vance–Maier order is
+// ascending integer order, so every proper subset of S is enumerated
+// before S itself and the DP order is respected.
+//
+//dp:hotpath
+func enumerate(g *hypergraph.Graph, e *memo.Engine, all bitset.Set) {
+outer:
 	for S := range all.SubsetsOf() {
 		if S.Len() < 2 {
 			continue
@@ -91,7 +98,7 @@ enumerate:
 			// DPsub spends Θ(3^n) iterations mostly on failing subset
 			// tests; poll cancellation in the innermost loop.
 			if !e.Step() {
-				break enumerate
+				break outer
 			}
 			S2 := S.Minus(S1)
 			if !e.Contains(S1) || !e.Contains(S2) {
@@ -108,8 +115,6 @@ enumerate:
 			}
 		}
 	}
-	p, err := b.Final()
-	return p, e.Stats, err
 }
 
 // chunkSets bounds the relation sets per parallel work unit. Each set
@@ -129,7 +134,7 @@ func solveParallel(g *hypergraph.Graph, b *dp.Builder, all bitset.Set, n, worker
 	var sets []bitset.Set
 	for s := 2; s <= n; s++ {
 		sets = sets[:0]
-		for S := bitset.Full(s); S <= all; S = nextSameSize(S) {
+		for S := bitset.Full(s); !all.Less(S); S = S.NextSameSize() {
 			sets = append(sets, S)
 		}
 		pr.Par.StartLevel()
@@ -177,14 +182,6 @@ func solveParallel(g *hypergraph.Graph, b *dp.Builder, all bitset.Set, n, worker
 			return
 		}
 	}
-}
-
-// nextSameSize returns the next set with the same cardinality in
-// ascending numeric order (Gosper's hack).
-func nextSameSize(S bitset.Set) bitset.Set {
-	c := S & -S
-	r := S + c
-	return r | ((S^r)>>2)>>uint(bits.TrailingZeros64(uint64(c)))
 }
 
 type solverError string

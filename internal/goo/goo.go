@@ -57,14 +57,29 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 	for i := 0; i < n; i++ {
 		comps[i] = bitset.Single(i)
 	}
+	if err := greedy(g, e, comps); err != nil {
+		return nil, e.Stats, err
+	}
+	p, err := b.Final()
+	return p, e.Stats, err
+}
 
+// greedy repeatedly merges the component pair with the smallest
+// estimated join cardinality until one component covers the graph. The
+// O(n³) pair scan is the entire cost of a GOO fallback run, which the
+// planner invokes precisely when an exact enumeration already spent its
+// budget — so the scan itself must not add allocation or miss
+// cancellation.
+//
+//dp:hotpath
+func greedy(g *hypergraph.Graph, e *memo.Engine, comps []bitset.Set) error {
 	for len(comps) > 1 {
 		bestI, bestJ := -1, -1
 		bestCard := 0.0
 		for i := 0; i < len(comps); i++ {
 			for j := i + 1; j < len(comps); j++ {
 				if !e.Step() {
-					return nil, e.Stats, e.Aborted()
+					return e.Aborted()
 				}
 				if !g.ConnectsTo(comps[i], comps[j]) {
 					continue
@@ -86,7 +101,7 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 			}
 		}
 		if bestI < 0 {
-			return nil, e.Stats, errDisconnected
+			return errDisconnected
 		}
 		s1, s2 := comps[bestI], comps[bestJ]
 		if s1.Min() < s2.Min() {
@@ -97,17 +112,16 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 		merged := s1.Union(s2)
 		if !e.Contains(merged) {
 			if err := e.Aborted(); err != nil {
-				return nil, e.Stats, err
+				return err
 			}
 			// The only candidate pair was rejected (dependency or
 			// filter); greedy has no alternative to fall back to.
-			return nil, e.Stats, errRejected
+			return errRejected
 		}
 		comps[bestI] = merged
 		comps = append(comps[:bestJ], comps[bestJ+1:]...)
 	}
-	p, err := b.Final()
-	return p, e.Stats, err
+	return nil
 }
 
 type solverError string

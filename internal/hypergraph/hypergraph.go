@@ -169,9 +169,9 @@ func (g *Graph) SetFree(rel int, free bitset.Set) {
 // argument of an enclosing dependent join (§5.6).
 func (g *Graph) FreeTables(S bitset.Set) bitset.Set {
 	var ft bitset.Set
-	S.ForEach(func(i int) {
+	for i := S.NextElem(0); i >= 0; i = S.NextElem(i + 1) {
 		ft = ft.Union(g.rels[i].Free)
-	})
+	}
 	return ft.Minus(S)
 }
 
@@ -208,6 +208,7 @@ func (g *Graph) Freeze() {
 	g.mu.Unlock()
 }
 
+//dp:coldpath index rebuild runs once per graph mutation, guarded by g.dirty
 func (g *Graph) ensureIndex() {
 	if !g.dirty && g.simpleNeighbors != nil {
 		return
@@ -268,6 +269,15 @@ func (g *Graph) CandidateHypernodes(S, X bitset.Set) []bitset.Set {
 	return minimalHypernodes(cands)
 }
 
+// candLess orders candidate hypernodes by cardinality, then canonically.
+func candLess(a, b bitset.Set) bool {
+	la, lb := a.Len(), b.Len()
+	if la != lb {
+		return la < lb
+	}
+	return a.Less(b)
+}
+
 // minimalHypernodes removes duplicates and any hypernode that is a strict
 // superset of another candidate ("Define E↓(S,X) to be the minimal set of
 // hypernodes such that for all v ∈ E↓'(S,X) there exists a hypernode v'
@@ -277,14 +287,16 @@ func minimalHypernodes(cands []bitset.Set) []bitset.Set {
 		return cands
 	}
 	// Sorting by cardinality lets each candidate be checked only against
-	// smaller ones.
-	sort.Slice(cands, func(i, j int) bool {
-		li, lj := cands[i].Len(), cands[j].Len()
-		if li != lj {
-			return li < lj
+	// smaller ones. Candidate lists are bounded by the edge count and
+	// typically tiny, so an insertion sort beats sort.Slice here — and
+	// unlike sort.Slice it neither boxes the slice nor allocates the
+	// comparison closure (this runs on the DPhyp/DPccp neighborhood hot
+	// path).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && candLess(cands[j], cands[j-1]); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
 		}
-		return cands[i] < cands[j]
-	})
+	}
 	out := cands[:0]
 	for _, c := range cands {
 		subsumed := false
@@ -326,9 +338,9 @@ type NeighborScratch struct {
 func (g *Graph) SimpleNeighborUnion(S bitset.Set) bitset.Set {
 	g.ensureIndex()
 	var su bitset.Set
-	S.ForEach(func(i int) {
+	for i := S.NextElem(0); i >= 0; i = S.NextElem(i + 1) {
 		su = su.Union(g.simpleNeighbors[i])
-	})
+	}
 	return su
 }
 
@@ -447,6 +459,7 @@ func (g *Graph) EachConnectingEdge(S1, S2 bitset.Set, f func(idx int, flipped bo
 // join order.
 func (g *Graph) SelectivityBetween(S1, S2 bitset.Set) float64 {
 	sel := 1.0
+	//nolint:hotpathalloc // EachConnectingEdge does not retain the callback, so it stays on the stack
 	g.EachConnectingEdge(S1, S2, func(idx int, _ bool) {
 		sel *= g.edges[idx].Sel
 	})
@@ -632,17 +645,17 @@ func (g *Graph) Fingerprint() string {
 		b = strconv.AppendFloat(b, r.Card, 'b', -1, 64)
 		if !r.Free.IsEmpty() {
 			b = append(b, '~')
-			b = strconv.AppendUint(b, uint64(r.Free), 16)
+			b = r.Free.AppendHex(b)
 		}
 	}
 	for i := range g.edges {
 		e := &g.edges[i]
 		b = append(b, ';')
-		b = strconv.AppendUint(b, uint64(e.U), 16)
+		b = e.U.AppendHex(b)
 		b = append(b, ',')
-		b = strconv.AppendUint(b, uint64(e.V), 16)
+		b = e.V.AppendHex(b)
 		b = append(b, ',')
-		b = strconv.AppendUint(b, uint64(e.W), 16)
+		b = e.W.AppendHex(b)
 		b = append(b, ':')
 		b = strconv.AppendFloat(b, e.Sel, 'b', -1, 64)
 		b = append(b, ':')

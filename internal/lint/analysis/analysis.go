@@ -1,0 +1,301 @@
+// Package analysis is the minimal static-analysis framework behind the
+// dplint invariant suite (cmd/dplint). It mirrors the shape of
+// golang.org/x/tools/go/analysis — an Analyzer owns a name, a doc
+// string, and a Run function over a type-checked program — but is built
+// entirely on the standard library (go/parser, go/types, go/importer)
+// so the repository stays dependency-free.
+//
+// Differences from x/tools worth knowing:
+//
+//   - An Analyzer runs over the whole Program at once, not one package
+//     at a time. The dplint analyzers are inherently whole-program
+//     (call-graph closures from //dp:hotpath roots, field-access scans
+//     for //dp:atomic), so program granularity replaces the Facts
+//     machinery.
+//   - Suppression is handled by the driver, not the analyzers: a
+//     finding on a line carrying (or directly below a line carrying)
+//     a `//nolint:dplint // reason` or `//nolint:<analyzer> // reason`
+//     comment is downgraded to Suppressed. The justification after the
+//     second `//` is mandatory; a bare nolint is itself a finding.
+//
+// The directive comments recognized across the repository are:
+//
+//	//dp:hotpath            this function and everything it statically
+//	                        calls inside the module must not allocate
+//	//dp:coldpath <reason>  stop the hotpath closure here (mandatory
+//	                        justification: amortized growth, abort path)
+//	//dp:atomic             this struct field may only be accessed
+//	                        through sync/atomic
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked package of a loaded Program.
+type Package struct {
+	// Path is the import path ("repro/internal/memo").
+	Path string
+	// Dir is the directory the files were read from.
+	Dir string
+	// Files are the parsed non-test source files, with comments.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checking results for Files.
+	Info *types.Info
+}
+
+// A Program is a load of every package the analyzers see, in
+// dependency order (imports precede importers).
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (p *Program) Package(path string) *Package {
+	for _, pkg := range p.Pkgs {
+		if pkg.Path == path {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// A Pass carries one analyzer invocation over a program. Findings are
+// reported through Reportf; the driver attaches the analyzer name and
+// applies nolint suppression afterwards.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// An Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //nolint:<name> suppressions.
+	Name string
+	// Doc is the one-paragraph description shown by `dplint -help`.
+	Doc string
+	// Run reports the analyzer's findings for the program.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, resolved to a file position by the
+// driver.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+
+	// Position is Pos resolved against the program's FileSet.
+	Position token.Position
+	// Suppressed marks a finding silenced by a nolint comment; Reason
+	// carries the mandatory justification from that comment.
+	Suppressed bool
+	Reason     string
+}
+
+// Run executes every analyzer over prog, resolves positions, applies
+// nolint suppression, and returns all diagnostics sorted by position.
+// Analyzer errors (not findings) are returned as the error.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Prog: prog}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+		all = append(all, pass.diags...)
+	}
+	sup := newSuppressions(prog)
+	all = append(all, sup.malformed...)
+	for i := range all {
+		all[i].Position = prog.Fset.Position(all[i].Pos)
+		if reason, ok := sup.lookup(all[i].Analyzer, all[i].Position); ok {
+			all[i].Suppressed = true
+			all[i].Reason = reason
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		pi, pj := all[i].Position, all[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}
+
+// suppressions indexes the nolint comments of a program by file and
+// line. A nolint comment silences findings on its own line and — when
+// it is the only thing on its line — on the following line.
+type suppressions struct {
+	// byLine maps file -> line -> (analyzer set, reason).
+	byLine    map[string]map[int]nolintEntry
+	malformed []Diagnostic
+}
+
+type nolintEntry struct {
+	names  map[string]bool // nil means all dplint analyzers
+	reason string
+}
+
+const nolintPrefix = "//nolint:"
+
+func newSuppressions(prog *Program) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int]nolintEntry)}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					s.add(prog.Fset, c)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) add(fset *token.FileSet, c *ast.Comment) {
+	text := c.Text
+	if !strings.HasPrefix(text, nolintPrefix) {
+		return
+	}
+	pos := fset.Position(c.Pos())
+	rest := text[len(nolintPrefix):]
+	spec, reason, ok := strings.Cut(rest, "//")
+	reason = strings.TrimSpace(reason)
+	if !ok || reason == "" {
+		s.malformed = append(s.malformed, Diagnostic{
+			Analyzer: "nolint",
+			Pos:      c.Pos(),
+			Message:  "nolint directive without a justification: write //nolint:" + strings.TrimSpace(spec) + " // <reason>",
+		})
+		// Malformed suppressions still suppress: the missing reason is
+		// already its own finding, and double-reporting the underlying
+		// diagnostic would drown it out.
+	}
+	entry := nolintEntry{reason: reason}
+	names := strings.TrimSpace(spec)
+	if names != "dplint" && names != "all" {
+		entry.names = make(map[string]bool)
+		for _, n := range strings.Split(names, ",") {
+			entry.names[strings.TrimSpace(n)] = true
+		}
+	}
+	m := s.byLine[pos.Filename]
+	if m == nil {
+		m = make(map[int]nolintEntry)
+		s.byLine[pos.Filename] = m
+	}
+	// The comment silences findings on its own line (trailing form) and
+	// on the following line (standalone form). Distinguishing the two
+	// would need raw line text; covering both is harmless and keeps the
+	// rule simple.
+	m[pos.Line] = entry
+	m[pos.Line+1] = entry
+}
+
+func (s *suppressions) lookup(analyzer string, pos token.Position) (string, bool) {
+	m := s.byLine[pos.Filename]
+	if m == nil {
+		return "", false
+	}
+	e, ok := m[pos.Line]
+	if !ok {
+		return "", false
+	}
+	if e.names != nil && !e.names[analyzer] {
+		return "", false
+	}
+	return e.reason, true
+}
+
+// --- directive helpers -------------------------------------------------
+
+// HasDirective reports whether the doc comment group contains the given
+// //dp: directive (exact word match on the first token of a line).
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	_, ok := Directive(doc, name)
+	return ok
+}
+
+// Directive returns the argument text following the named //dp:
+// directive in doc ("//dp:coldpath amortized growth" -> "amortized
+// growth"), and whether the directive is present.
+func Directive(doc *ast.CommentGroup, name string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	prefix := "//dp:" + name
+	for _, c := range doc.List {
+		if c.Text == prefix {
+			return "", true
+		}
+		if strings.HasPrefix(c.Text, prefix+" ") {
+			return strings.TrimSpace(c.Text[len(prefix)+1:]), true
+		}
+	}
+	return "", false
+}
+
+// FieldDirective reports whether a struct field carries the directive in
+// either its doc comment or its trailing line comment.
+func FieldDirective(f *ast.Field, name string) bool {
+	return HasDirective(f.Doc, name) || HasDirective(f.Comment, name)
+}
+
+// FuncForCall resolves a call expression to the *types.Func it will
+// invoke, when that can be decided statically: plain function calls,
+// method calls on concrete receivers, and qualified package calls.
+// Calls through interfaces, function-typed values, and built-ins return
+// nil.
+func FuncForCall(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			if fn == nil {
+				return nil
+			}
+			// Interface dispatch cannot be resolved statically.
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			return fn
+		}
+		// Qualified identifier: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

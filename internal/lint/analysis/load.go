@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadModule loads every package of the Go module rooted at dir: the
+// module path is read from go.mod, each directory containing non-test
+// .go files becomes a package, and the packages are parsed and
+// type-checked in dependency order. Standard-library imports resolve
+// through the toolchain's export data (no network, no module cache).
+func LoadModule(dir string) (*Program, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", dir)
+	}
+	dirs := make(map[string]string)
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			rel, err := filepath.Rel(dir, path)
+			if err != nil {
+				return err
+			}
+			imp := modPath
+			if rel != "." {
+				imp = modPath + "/" + filepath.ToSlash(rel)
+			}
+			dirs[imp] = path
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return load(dirs)
+}
+
+// LoadTree loads the GOPATH-style source tree under srcRoot: every
+// directory with .go files becomes a package whose import path is its
+// path relative to srcRoot. The analyzer tests use this to type-check
+// golden testdata packages (testdata/src/...).
+func LoadTree(srcRoot string) (*Program, error) {
+	dirs := make(map[string]string)
+	err := filepath.WalkDir(srcRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() || strings.HasPrefix(d.Name(), ".") {
+			if d.IsDir() {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if hasGoFiles(path) {
+			rel, err := filepath.Rel(srcRoot, path)
+			if err != nil {
+				return err
+			}
+			dirs[filepath.ToSlash(rel)] = path
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("lint: no Go packages under %s", srcRoot)
+	}
+	return load(dirs)
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if goSource(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func goSource(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".")
+}
+
+// load parses and type-checks the packages in dirs (import path ->
+// directory), resolving imports among them and delegating the rest to
+// the compiler's export data.
+func load(dirs map[string]string) (*Program, error) {
+	fset := token.NewFileSet()
+	parsed := make(map[string]*Package, len(dirs))
+	for imp, dir := range dirs {
+		pkg, err := parseDir(fset, imp, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			parsed[imp] = pkg
+		}
+	}
+
+	// Topologically order by intra-load imports so dependencies
+	// type-check first.
+	order := make([]string, 0, len(parsed))
+	state := make(map[string]int, len(parsed)) // 0 new, 1 visiting, 2 done
+	var visit func(string) error
+	visit = func(imp string) error {
+		switch state[imp] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", imp)
+		case 2:
+			return nil
+		}
+		state[imp] = 1
+		for _, dep := range importsOf(parsed[imp]) {
+			if _, ok := parsed[dep]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[imp] = 2
+		order = append(order, imp)
+		return nil
+	}
+	roots := make([]string, 0, len(parsed))
+	for imp := range parsed {
+		roots = append(roots, imp)
+	}
+	sort.Strings(roots)
+	for _, imp := range roots {
+		if err := visit(imp); err != nil {
+			return nil, err
+		}
+	}
+
+	imp := &chainImporter{
+		loaded: make(map[string]*types.Package, len(parsed)),
+		std:    importer.ForCompiler(fset, "gc", nil),
+		fset:   fset,
+	}
+	prog := &Program{Fset: fset}
+	for _, path := range order {
+		pkg := parsed[path]
+		var typeErrs []error
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		pkg.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		tpkg, err := conf.Check(path, fset, pkg.Files, pkg.Info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %v", path, typeErrs[0])
+		}
+		pkg.Types = tpkg
+		imp.loaded[path] = tpkg
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	return prog, nil
+}
+
+func parseDir(fset *token.FileSet, imp, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: imp, Dir: dir}
+	for _, e := range ents {
+		if !goSource(e) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+func importsOf(pkg *Package) []string {
+	var out []string
+	for _, f := range pkg.Files {
+		for _, spec := range f.Imports {
+			out = append(out, strings.Trim(spec.Path.Value, `"`))
+		}
+	}
+	return out
+}
+
+// chainImporter resolves imports of loaded packages from the in-memory
+// type-check results and everything else (the standard library) from
+// the compiler's export data, falling back to type-checking the
+// dependency from GOROOT source when no export data is installed.
+type chainImporter struct {
+	loaded map[string]*types.Package
+	std    types.Importer
+	src    types.Importer
+	fset   *token.FileSet
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := c.loaded[path]; ok {
+		return pkg, nil
+	}
+	pkg, err := c.std.Import(path)
+	if err == nil {
+		return pkg, nil
+	}
+	if c.src == nil {
+		c.src = importer.ForCompiler(c.fset, "source", nil)
+	}
+	return c.src.Import(path)
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WithStack walks the subtree rooted at n, calling fn for every node
+// with the stack of enclosing nodes (outermost first, not including the
+// node itself). Returning false skips the node's children.
+func WithStack(n ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(n, func(node ast.Node) bool {
+		if node == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(node, stack)
+		if keep {
+			stack = append(stack, node)
+		}
+		return keep
+	})
+}
+
+// FuncIndex maps every function and method declared across the program
+// to its declaration, so analyzers can chase static calls from a
+// *types.Func back to a body.
+func FuncIndex(prog *Program) map[*types.Func]*ast.FuncDecl {
+	idx := make(map[*types.Func]*ast.FuncDecl)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					idx[fn] = fd
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// PackageOf returns the loaded package that declares pos's file, found
+// by matching the declaring object's package path.
+func PackageOf(prog *Program, obj types.Object) *Package {
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	return prog.Package(obj.Pkg().Path())
+}
+
+// CallSignature returns the signature of a (non-conversion) call
+// expression, or nil.
+func CallSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// IsPkgCall reports whether the call invokes a function belonging to
+// the package with the given import path (e.g. "fmt" or "sync/atomic").
+func IsPkgCall(info *types.Info, call *ast.CallExpr, pkgPath string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	if _, isSel := info.Selections[sel]; isSel {
+		return false // method call, not a package-qualified call
+	}
+	return obj.Pkg().Path() == pkgPath
+}
+
+// NamedPathSuffix reports whether t (or the type it points to) is a
+// defined type with the given name whose package path equals suffix or
+// ends with "/"+suffix. Aliases are resolved: `type mySet = bitset.Set`
+// is still Set.
+func NamedPathSuffix(t types.Type, name, suffix string) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return PathHasSuffix(obj.Pkg().Path(), suffix)
+}
+
+// PathHasSuffix reports whether an import path equals suffix or ends
+// with "/"+suffix.
+func PathHasSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	n := len(path) - len(suffix)
+	return n > 0 && path[n-1] == '/' && path[n:] == suffix
+}

@@ -1,0 +1,142 @@
+// Package analysistest runs a dplint analyzer over a golden source
+// tree and compares its findings against expectations embedded in the
+// sources, mirroring golang.org/x/tools/go/analysis/analysistest on
+// top of the repository's stdlib-only framework.
+//
+// Expectations are `// want` comments at the end of the line a finding
+// is reported on:
+//
+//	x := bitset.Set(7) // want `integer converted to bitset\.Set`
+//
+// Each backquoted or double-quoted string after `want` is a regular
+// expression; the line must produce exactly that many active findings,
+// each matching a distinct pattern. Lines without a want comment must
+// produce no active findings. Suppressed findings are not matched
+// against want comments — tests covering the //nolint escape hatch
+// assert on the Diagnostic slice directly (see RunFull).
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// Run loads the GOPATH-style tree under srcRoot (testdata/src), runs
+// the analyzer, and checks its active findings against the tree's
+// `// want` comments.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer) {
+	t.Helper()
+	RunFull(t, srcRoot, a)
+}
+
+// RunFull is Run but returns every diagnostic — suppressed included —
+// for additional assertions.
+func RunFull(t *testing.T, srcRoot string, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	prog, err := analysis.LoadTree(srcRoot)
+	if err != nil {
+		t.Fatalf("loading %s: %v", srcRoot, err)
+	}
+	diags, err := analysis.Run(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants := collectWants(t, prog)
+
+	type key struct {
+		file string
+		line int
+	}
+	unmatched := make(map[key][]*want)
+	for i := range wants {
+		w := &wants[i]
+		unmatched[key{w.file, w.line}] = append(unmatched[key{w.file, w.line}], w)
+	}
+	for _, d := range diags {
+		if d.Suppressed || d.Analyzer == "nolint" {
+			continue
+		}
+		k := key{d.Position.Filename, d.Position.Line}
+		matched := false
+		for _, w := range unmatched[k] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding: [%s] %s", d.Position, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.rx)
+		}
+	}
+	return diags
+}
+
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// collectWants extracts the `// want` expectations from every comment
+// in the program.
+func collectWants(t *testing.T, prog *analysis.Program) []want {
+	t.Helper()
+	var out []want
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					rxs, err := parseWant(c.Text[idx+len("// want "):])
+					if err != nil {
+						t.Fatalf("%s: %v", pos, err)
+					}
+					for _, rx := range rxs {
+						out = append(out, want{file: pos.Filename, line: pos.Line, rx: rx})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseWant parses a sequence of backquoted or double-quoted regexps.
+func parseWant(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		q := s[0]
+		if q != '`' && q != '"' {
+			return nil, fmt.Errorf("want: expected quoted regexp, got %q", s)
+		}
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			return nil, fmt.Errorf("want: unterminated %q", s)
+		}
+		rx, err := regexp.Compile(s[1 : 1+end])
+		if err != nil {
+			return nil, fmt.Errorf("want: %v", err)
+		}
+		out = append(out, rx)
+		s = s[2+end:]
+	}
+}

@@ -1,0 +1,12 @@
+package atomicbudget_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/atomicbudget"
+)
+
+func TestAtomicBudget(t *testing.T) {
+	analysistest.Run(t, "testdata/src", atomicbudget.Analyzer)
+}

@@ -1,0 +1,63 @@
+// Package counters exercises every //dp:atomic field shape the
+// analyzer accepts, plus the accesses it must reject.
+package counters
+
+import "sync/atomic"
+
+type budget struct {
+	pairs atomic.Uint64    //dp:atomic
+	spill int64            //dp:atomic
+	perOp [4]atomic.Uint64 //dp:atomic
+	name  string           //dp:atomic // want `//dp:atomic field name has type string`
+	free  uint64
+}
+
+func wrapperOK(b *budget) uint64 {
+	b.pairs.Add(1)
+	p := &b.pairs
+	return p.Load()
+}
+
+func wrapperCopy(b *budget) atomic.Uint64 {
+	return b.pairs // want `field pairs is //dp:atomic: access it only through its atomic methods`
+}
+
+func plainOK(b *budget) int64 {
+	atomic.AddInt64(&b.spill, 1)
+	return atomic.LoadInt64(&b.spill)
+}
+
+func plainDirect(b *budget) int64 {
+	b.spill++      // want `field spill is //dp:atomic: access it only via sync/atomic functions on its address`
+	return b.spill // want `field spill is //dp:atomic: access it only via sync/atomic functions on its address`
+}
+
+func plainAddr(b *budget) *int64 {
+	return &b.spill // want `field spill is //dp:atomic: access it only via sync/atomic functions on its address`
+}
+
+func arrayOK(b *budget, i int) uint64 {
+	b.perOp[i].Add(1)
+	n := uint64(len(b.perOp))
+	for j := range b.perOp {
+		n += b.perOp[j].Load()
+	}
+	return n
+}
+
+func arrayCopy(b *budget, i int) atomic.Uint64 {
+	return b.perOp[i] // want `field perOp is //dp:atomic: access it only through its atomic methods`
+}
+
+func arrayRangeValue(b *budget) uint64 {
+	var n uint64
+	for _, c := range b.perOp { // want `field perOp is //dp:atomic: access it only through its atomic methods`
+		n += c.Load()
+	}
+	return n
+}
+
+func unannotated(b *budget) uint64 {
+	b.free++
+	return b.free
+}

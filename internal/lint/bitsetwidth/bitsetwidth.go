@@ -1,0 +1,138 @@
+// Package bitsetwidth flags expressions outside internal/bitset that
+// treat bitset.Set as a raw uint64: conversions between Set and integer
+// types, integer literals becoming Sets, and word-level operators
+// (shifts, masks, arithmetic, ordering comparisons) applied to Set
+// operands.
+//
+// bitset.Set is a single machine word today, which caps queries at 64
+// relations (ROADMAP item 1). Every site this analyzer reports is a
+// place that would break silently if Set became a multi-word struct —
+// the analyzer's output is the mechanical worklist for that refactor,
+// tracked in LINT_BASELINE.json. Equality comparisons (==, !=) are
+// allowed: they survive any representation change that keeps Set
+// comparable.
+//
+// Suppress individual sites with //nolint:bitsetwidth // <reason>; the
+// suppressed count is still reported by `dplint -json` so the worklist
+// stays visible.
+package bitsetwidth
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the bitsetwidth invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "bitsetwidth",
+	Doc:  "flag code outside internal/bitset that assumes bitset.Set is a raw uint64",
+	Run:  run,
+}
+
+// bitsetPkg is the package (matched by import-path suffix) that owns
+// the Set representation and is therefore exempt.
+const bitsetPkg = "internal/bitset"
+
+func run(pass *analysis.Pass) error {
+	for _, pkg := range pass.Prog.Pkgs {
+		if analysis.PathHasSuffix(pkg.Path, bitsetPkg) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			checkFile(pass, pkg, f)
+		}
+	}
+	return nil
+}
+
+func checkFile(pass *analysis.Pass, pkg *analysis.Package, f *ast.File) {
+	info := pkg.Info
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkConversion(pass, info, n)
+		case *ast.BinaryExpr:
+			checkBinary(pass, info, n)
+		case *ast.UnaryExpr:
+			if wordOp(n.Op) && isSet(info, n.X) {
+				pass.Reportf(n.Pos(), "unary %s on bitset.Set assumes the single-word representation; add a bitset method instead", n.Op)
+			}
+		}
+		return true
+	})
+}
+
+// checkConversion flags T(x) where exactly one of T and x's type is
+// bitset.Set and the other is an integer.
+func checkConversion(pass *analysis.Pass, info *types.Info, call *ast.CallExpr) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dst := tv.Type
+	arg := call.Args[0]
+	src := info.Types[arg].Type
+	if src == nil {
+		return
+	}
+	switch {
+	case setType(dst):
+		// For an untyped constant operand go/types records the converted
+		// type, so Set(1) shows src == Set: test constant-ness first.
+		if isUntypedConst(info, arg) || (!setType(src) && isInteger(src)) {
+			pass.Reportf(call.Pos(), "integer converted to bitset.Set; construct sets through the bitset API")
+		}
+	case setType(src) && !setType(dst) && isInteger(dst):
+		pass.Reportf(call.Pos(), "bitset.Set converted to %s exposes the single-word representation", dst)
+	}
+}
+
+func checkBinary(pass *analysis.Pass, info *types.Info, b *ast.BinaryExpr) {
+	if !wordOp(b.Op) {
+		return
+	}
+	if isSet(info, b.X) || isSet(info, b.Y) {
+		what := "operator"
+		switch b.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			what = "ordering comparison"
+		case token.SHL, token.SHR:
+			what = "shift"
+		}
+		pass.Reportf(b.OpPos, "%s %s on bitset.Set assumes the single-word representation; use a bitset method", what, b.Op)
+	}
+}
+
+// wordOp reports whether op only makes sense on the raw machine word.
+// Equality survives any comparable representation and is allowed.
+func wordOp(op token.Token) bool {
+	switch op {
+	case token.SHL, token.SHR, token.AND, token.OR, token.XOR, token.AND_NOT,
+		token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+func isSet(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	return t != nil && setType(t)
+}
+
+func setType(t types.Type) bool {
+	return analysis.NamedPathSuffix(t, "Set", bitsetPkg)
+}
+
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isUntypedConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,37 @@
+package bitsetwidth_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/bitsetwidth"
+)
+
+func TestBitsetWidth(t *testing.T) {
+	diags := analysistest.RunFull(t, "testdata/src", bitsetwidth.Analyzer)
+
+	// The suppressed() block: three findings silenced by nolint (one per
+	// line), one of which lacks a justification and is itself reported.
+	var suppressed, malformed int
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+			if d.Analyzer == "bitsetwidth" && d.Reason != "" && !strings.Contains(d.Reason, "worklist") && !strings.Contains(d.Reason, "reason") {
+				t.Errorf("%s: unexpected suppression reason %q", d.Position, d.Reason)
+			}
+		}
+		if d.Analyzer == "nolint" {
+			malformed++
+			if !strings.Contains(d.Message, "without a justification") {
+				t.Errorf("%s: unexpected nolint message %q", d.Position, d.Message)
+			}
+		}
+	}
+	if suppressed != 3 {
+		t.Errorf("suppressed findings = %d, want 3", suppressed)
+	}
+	if malformed != 1 {
+		t.Errorf("malformed nolint findings = %d, want 1", malformed)
+	}
+}

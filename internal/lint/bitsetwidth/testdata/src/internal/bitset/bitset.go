@@ -1,0 +1,13 @@
+// Package bitset is a minimal stand-in for repro/internal/bitset: the
+// analyzer matches the package by import-path suffix, so this stub
+// exercises both the Set-type detection and the own-package exemption.
+package bitset
+
+type Set uint64
+
+// Less lives inside the owning package: raw word operations here must
+// not be reported.
+func (s Set) Less(t Set) bool { return s < t }
+
+// Word does arbitrary word math, all exempt in this package.
+func Word(s Set) Set { return (s << 1) & (s - 1) }

@@ -1,0 +1,37 @@
+// Package use exercises bitsetwidth outside the owning package.
+package use
+
+import "internal/bitset"
+
+type mySet = bitset.Set
+
+func conversions(s bitset.Set, n uint64) {
+	_ = bitset.Set(1)       // want `integer converted to bitset\.Set`
+	_ = bitset.Set(n)       // want `integer converted to bitset\.Set`
+	_ = uint64(s)           // want `bitset\.Set converted to uint64`
+	_ = int(s)              // want `bitset\.Set converted to int`
+	_ = mySet(n)            // want `integer converted to bitset\.Set`
+	_ = bitset.Set(s)       // identity conversion: no finding
+	_ = float64(len(elems)) // unrelated conversion: no finding
+	_ = bitset.Word(s)      // plain call, not a conversion
+}
+
+var elems []int
+
+func operators(s, t bitset.Set) {
+	_ = s < t  // want `ordering comparison < on bitset\.Set`
+	_ = s >= t // want `ordering comparison >= on bitset\.Set`
+	_ = s << 3 // want `shift << on bitset\.Set`
+	_ = s & t  // want `operator & on bitset\.Set`
+	_ = s + 1  // want `operator \+ on bitset\.Set`
+	_ = -s     // want `unary - on bitset\.Set`
+	_ = s == t // equality survives representation changes: no finding
+	_ = s != t
+	_ = s.Less(t) // the sanctioned form
+}
+
+func suppressed(s bitset.Set) {
+	_ = uint64(s) //nolint:bitsetwidth // fibonacci hashing worklist, tracked in LINT_BASELINE.json
+	_ = uint64(s) //nolint:bitsetwidth
+	_ = s < 0     //nolint:dplint // reason covering every analyzer
+}

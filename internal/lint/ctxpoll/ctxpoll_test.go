@@ -1,0 +1,12 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/ctxpoll"
+)
+
+func TestCtxPoll(t *testing.T) {
+	analysistest.Run(t, "testdata/src", ctxpoll.Analyzer)
+}

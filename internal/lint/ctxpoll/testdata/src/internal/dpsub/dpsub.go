@@ -1,0 +1,101 @@
+// Package dpsub exercises ctxpoll's loop checks inside a target
+// package (matched by the internal/dpsub path suffix).
+package dpsub
+
+import "internal/memo"
+
+type solver struct {
+	e    *memo.Engine
+	emit func(s1, s2 uint64)
+}
+
+func polled(e *memo.Engine, sets []uint64) {
+	for _, s := range sets {
+		if !e.Step() {
+			return
+		}
+		e.EmitPair(s, s)
+	}
+}
+
+func unpolled(e *memo.Engine, sets []uint64) {
+	for _, s := range sets { // want `loop emits plan pairs but never polls`
+		e.EmitPair(s, s)
+	}
+}
+
+func condPolled(e *memo.Engine, n uint64) {
+	for i := uint64(0); i < n && e.Aborted() == nil; i++ {
+		e.EmitPair(i, i)
+	}
+}
+
+// fieldEmitUnpolled emits through a function-typed field: resolvable by
+// name only, which is exactly why emitters are name-matched.
+func (s *solver) fieldEmitUnpolled(sets []uint64) {
+	for _, x := range sets { // want `loop emits plan pairs but never polls`
+		s.emit(x, x)
+	}
+}
+
+// rec polls at entry, so every call is itself a poll.
+func (s *solver) rec(x uint64) {
+	if !s.e.Step() {
+		return
+	}
+	s.e.EmitPair(x, x)
+	s.rec(x + 1)
+}
+
+// viaPollAtEntry's loop emits only through rec, which polls at entry:
+// one poll per iteration, no finding.
+func (s *solver) viaPollAtEntry(sets []uint64) {
+	for _, x := range sets {
+		s.rec(x)
+	}
+}
+
+// helper emits without polling; callers inherit the obligation.
+func helper(e *memo.Engine, x uint64) {
+	e.EmitPair(x, x)
+}
+
+func viaHelperUnpolled(e *memo.Engine, sets []uint64) {
+	for _, x := range sets { // want `loop emits plan pairs but never polls`
+		helper(e, x)
+	}
+}
+
+func viaHelperPolled(e *memo.Engine, sets []uint64) {
+	for _, x := range sets {
+		if !e.Step() {
+			return
+		}
+		helper(e, x)
+	}
+}
+
+// spawner's loop only starts goroutines; the emitting loop lives in the
+// literal, which polls. The outer loop itself must not be flagged.
+func spawner(e *memo.Engine, sets []uint64) {
+	for range [4]int{} {
+		go func() {
+			for _, x := range sets {
+				if !e.Step() {
+					return
+				}
+				e.EmitPair(x, x)
+			}
+		}()
+	}
+}
+
+// unpolledLit: the literal's own loop emits without polling and is
+// scanned as its own function body.
+func unpolledLit(e *memo.Engine, sets []uint64) func() {
+	return func() {
+		for _, x := range sets { // want `loop emits plan pairs but never polls`
+			e.EmitPair(x, x)
+		}
+	}
+}

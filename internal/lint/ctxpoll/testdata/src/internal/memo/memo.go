@@ -1,0 +1,11 @@
+// Package memo is a minimal engine stand-in: ctxpoll matches emitters
+// and polls by name, so only the method set matters.
+package memo
+
+type Engine struct{ aborted bool }
+
+func (e *Engine) Step() bool     { return !e.aborted }
+func (e *Engine) Aborted() error { return nil }
+
+func (e *Engine) EmitPair(s1, s2 uint64) {}
+func (e *Engine) EmitBase(rel int)       {}

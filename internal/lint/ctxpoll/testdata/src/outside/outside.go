@@ -1,0 +1,11 @@
+// Package outside is not in ctxpoll's target-package list: identical
+// unpolled loops must not be reported here.
+package outside
+
+import "internal/memo"
+
+func unpolledButExempt(e *memo.Engine, sets []uint64) {
+	for _, s := range sets {
+		e.EmitPair(s, s)
+	}
+}

@@ -1,0 +1,318 @@
+// Package hotpathalloc enforces the //dp:hotpath directive: a function
+// so annotated — and every module function it statically calls — must
+// not contain allocating constructs. The DP enumerators emit hundreds
+// of millions of pairs per plan; a single hidden allocation on that
+// path shows up directly in the paper's table-6 throughput numbers and,
+// worse, as GC pauses that skew the dpserved latency histograms.
+//
+// Flagged inside the hotpath closure:
+//
+//   - composite literals of slice or map type (and & of any composite
+//     literal), map/slice/chan make, and new
+//   - append calls that can grow their backing array — append is
+//     allowed only when the destination is visibly a reslice
+//     (append(buf[:0], ...) or an ident previously assigned from a
+//     reslice or make in the same function), the arena-reuse idiom
+//     used throughout internal/memo
+//   - conversions, arguments, and assignments that box a concrete
+//     value into an interface (including fmt argument lists)
+//   - calls into the fmt package (always allocate)
+//   - function literals and go statements (closure capture + stack)
+//
+// The closure stops at functions annotated //dp:coldpath <reason> —
+// the slow path reached once per table growth or per abort, where
+// allocation is deliberate. The reason is mandatory. Calls that cannot
+// be resolved statically (interface methods, function-typed fields)
+// are not followed; the seams that matter here (memo backend,
+// hypergraph callbacks) are annotated on the concrete implementations.
+//
+// Arguments to panic(...) are exempt: constructing the panic message
+// allocates, and that path is by definition not hot.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the hotpathalloc invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "functions annotated //dp:hotpath (and their static callees) must not allocate",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	idx := analysis.FuncIndex(pass.Prog)
+
+	// Invert the index so we can find each decl's package info.
+	pkgOf := make(map[*ast.FuncDecl]*analysis.Package)
+	for fn, decl := range idx {
+		if p := analysis.PackageOf(pass.Prog, fn); p != nil {
+			pkgOf[decl] = p
+		}
+	}
+
+	// Roots: every //dp:hotpath function. Also validate //dp:coldpath
+	// reasons while scanning declarations.
+	var worklist []*types.Func
+	cold := make(map[*types.Func]bool)
+	for fn, decl := range idx {
+		if reason, ok := analysis.Directive(decl.Doc, "coldpath"); ok {
+			cold[fn] = true
+			if reason == "" {
+				pass.Reportf(decl.Pos(), "//dp:coldpath requires a justification: //dp:coldpath <reason>")
+			}
+		}
+		if analysis.HasDirective(decl.Doc, "hotpath") {
+			if cold[fn] {
+				pass.Reportf(decl.Pos(), "function is marked both //dp:hotpath and //dp:coldpath")
+				continue
+			}
+			worklist = append(worklist, fn)
+		}
+	}
+
+	// BFS over static calls from the roots.
+	seen := make(map[*types.Func]bool, len(worklist))
+	for _, fn := range worklist {
+		seen[fn] = true
+	}
+	for len(worklist) > 0 {
+		fn := worklist[0]
+		worklist = worklist[1:]
+		decl := idx[fn]
+		if decl == nil || decl.Body == nil {
+			continue
+		}
+		pkg := pkgOf[decl]
+		if pkg == nil {
+			continue
+		}
+		for _, callee := range checkFunc(pass, pkg, decl) {
+			if seen[callee] || cold[callee] {
+				continue
+			}
+			if idx[callee] == nil {
+				continue // outside the module (stdlib); fmt is flagged at the call site
+			}
+			seen[callee] = true
+			worklist = append(worklist, callee)
+		}
+	}
+	return nil
+}
+
+// checkFunc reports allocation findings inside one hotpath function and
+// returns its statically resolvable callees.
+func checkFunc(pass *analysis.Pass, pkg *analysis.Package, decl *ast.FuncDecl) []*types.Func {
+	info := pkg.Info
+	resliced := reslicedIdents(info, decl.Body)
+	var callees []*types.Func
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			t := info.Types[n].Type
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates on a //dp:hotpath function")
+				return false
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates on a //dp:hotpath function")
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal escapes to the heap on a //dp:hotpath function")
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "function literal allocates a closure on a //dp:hotpath function")
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement on a //dp:hotpath function")
+			return false
+		case *ast.CallExpr:
+			stop, cs := checkCall(pass, info, n, resliced)
+			callees = append(callees, cs...)
+			if stop {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Walk statements, skipping panic(...) argument subtrees entirely.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isPanic(info, call) {
+			return false
+		}
+		if n == nil {
+			return true
+		}
+		return visit(n)
+	})
+	return callees
+}
+
+// checkCall handles the call-shaped findings: builtin allocators,
+// append growth, fmt calls, interface-boxing arguments. It returns
+// whether the walk should skip the call's children and any resolved
+// module callees.
+func checkCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr, resliced map[types.Object]bool) (stop bool, callees []*types.Func) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates on a //dp:hotpath function")
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates on a //dp:hotpath function")
+			case "append":
+				if !appendAllowed(info, call, resliced) {
+					pass.Reportf(call.Pos(), "append may grow its backing array on a //dp:hotpath function; reuse a presized buffer")
+				}
+			}
+			return false, nil
+		}
+	}
+	if analysis.IsPkgCall(info, call, "fmt") {
+		pass.Reportf(call.Pos(), "fmt call allocates on a //dp:hotpath function")
+		return true, nil // arguments box into ...any; one finding is enough
+	}
+	// Interface boxing through argument passing.
+	if sig := analysis.CallSignature(info, call); sig != nil {
+		checkBoxedArgs(pass, info, call, sig)
+	}
+	if fn := analysis.FuncForCall(info, call); fn != nil {
+		callees = append(callees, fn)
+	}
+	return false, callees
+}
+
+// checkBoxedArgs flags concrete-typed arguments passed to interface
+// parameters: each such call boxes the value on the heap.
+func checkBoxedArgs(pass *analysis.Pass, info *types.Info, call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || types.IsInterface(at) || isNil(info, arg) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes %s into %s on a //dp:hotpath function", at, pt)
+	}
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// appendAllowed implements the arena idiom: append is fine when its
+// destination is visibly a reslice (append(x[:n], ...)) or an ident
+// that was assigned from a reslice or make earlier in the function —
+// capacity was provisioned; steady-state appends don't grow.
+func appendAllowed(info *types.Info, call *ast.CallExpr, resliced map[types.Object]bool) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	switch dst := ast.Unparen(call.Args[0]).(type) {
+	case *ast.SliceExpr:
+		return true
+	case *ast.Ident:
+		if obj := info.Uses[dst]; obj != nil && resliced[obj] {
+			return true
+		}
+	case *ast.SelectorExpr:
+		// Arena fields (e.arena = append(e.arena, ...)) grow amortized;
+		// those sites carry explicit nolint comments instead.
+		return false
+	}
+	return false
+}
+
+// reslicedIdents collects local identifiers assigned from a reslice or
+// make anywhere in the function body (order is not tracked; the idiom
+// is `buf := s.buf[:0]` at function entry).
+func reslicedIdents(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if !provisioned(info, as.Rhs[i]) {
+				continue
+			}
+			if obj := info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// provisioned reports whether e visibly provides capacity: a reslice, a
+// make call, or an append chain rooted at one.
+func provisioned(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SliceExpr:
+		return true
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				if b.Name() == "make" {
+					return true
+				}
+				if b.Name() == "append" && len(e.Args) > 0 {
+					return provisioned(info, e.Args[0])
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

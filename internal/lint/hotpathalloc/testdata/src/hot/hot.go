@@ -1,0 +1,103 @@
+// Package hot exercises every construct hotpathalloc flags and the
+// arena idioms it must allow.
+package hot
+
+import "fmt"
+
+type enum struct {
+	buf   []uint64
+	pairs int
+}
+
+func noop() {}
+
+func sink(v any)            {}
+func variadic(vs ...any)    {}
+func sinkErr(err error) int { return 0 }
+
+//dp:hotpath
+func allocs(n int) {
+	_ = []int{1, 2}          // want `slice literal allocates on a //dp:hotpath function`
+	_ = map[int]int{}        // want `map literal allocates on a //dp:hotpath function`
+	_ = &enum{}              // want `&composite literal escapes to the heap on a //dp:hotpath function`
+	_ = make([]byte, n)      // want `make allocates on a //dp:hotpath function`
+	_ = new(enum)            // want `new allocates on a //dp:hotpath function`
+	_ = func() {}            // want `function literal allocates a closure on a //dp:hotpath function`
+	go noop()                // want `go statement on a //dp:hotpath function`
+	_ = fmt.Sprintf("%d", n) // want `fmt call allocates on a //dp:hotpath function`
+	_ = enum{}               // stack value, no finding
+}
+
+//dp:hotpath
+func boxing(n int, sl []any, e error) {
+	sink(n)         // want `argument boxes int into`
+	variadic(n, n)  // want `argument boxes int into` `argument boxes int into`
+	variadic(sl...) // forwarding a slice, no boxing
+	sink(nil)       // nil never boxes
+	sink(e)         // already an interface
+	_ = sinkErr(nil)
+}
+
+// panicPath: panic arguments are by definition cold, the whole subtree
+// is exempt.
+//
+//dp:hotpath
+func panicPath(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad %d", n))
+	}
+}
+
+// arena is the reuse idiom: reslice to zero length, append within the
+// provisioned capacity.
+//
+//dp:hotpath
+func arena(e *enum, xs []uint64) {
+	buf := e.buf[:0]
+	for _, x := range xs {
+		buf = append(buf, x)
+	}
+	e.buf = append(e.buf[:0], buf...)
+}
+
+//dp:hotpath
+func growingAppend(e *enum, x uint64) {
+	e.buf = append(e.buf, x) // want `append may grow its backing array on a //dp:hotpath function`
+	var out []uint64
+	out = append(out, x) // want `append may grow its backing array on a //dp:hotpath function`
+	_ = out
+}
+
+// root has no allocation itself; the finding surfaces in its
+// unannotated static callee, pulled in by the closure walk.
+//
+//dp:hotpath
+func root(e *enum) {
+	callee(e)
+	coldGrow(e)
+}
+
+func callee(e *enum) {
+	e.buf = append(e.buf, 1) // want `append may grow its backing array on a //dp:hotpath function`
+}
+
+// coldGrow is the annotated slow path: the closure walk stops here, so
+// its allocations are deliberate and unreported.
+//
+//dp:coldpath doubling growth is amortized over the enumeration
+func coldGrow(e *enum) {
+	next := make([]uint64, 0, 2*cap(e.buf)+16)
+	e.buf = append(next, e.buf...)
+}
+
+//dp:coldpath
+func badCold() {} // want `//dp:coldpath requires a justification: //dp:coldpath <reason>`
+
+//dp:hotpath
+//dp:coldpath it cannot be both
+func conflicted() {} // want `function is marked both //dp:hotpath and //dp:coldpath`
+
+// notHot is unannotated and unreachable from any root: allocate freely.
+func notHot() []int {
+	return []int{1, 2, 3}
+}

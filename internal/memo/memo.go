@@ -243,6 +243,8 @@ func (e *Engine) Aborted() error { return e.abortErr }
 // view the poll additionally observes the run-wide abort flag, so a
 // budget trip or cancellation seen by any worker stops the others
 // within pollInterval steps.
+//
+//dp:hotpath
 func (e *Engine) Step() bool {
 	if e.abortErr != nil {
 		return false
@@ -269,6 +271,8 @@ func (e *Engine) Step() bool {
 
 // abort records err as this engine's abort cause and, on a worker view,
 // publishes it run-wide so sibling workers stop at their next poll.
+//
+//dp:coldpath abort runs once per enumeration, after which every Step returns false
 func (e *Engine) abort(err error) {
 	e.abortErr = err
 	if e.shared != nil {
@@ -278,10 +282,12 @@ func (e *Engine) abort(err error) {
 
 // EmitBase seeds the memo with the access plan for base relation rel
 // ("dpTable[{v}] = plan for v").
+//
+//dp:hotpath
 func (e *Engine) EmitBase(rel int, card float64) {
 	S := bitset.Single(rel)
 	idx := int32(len(e.nodes))
-	e.nodes = append(e.nodes, node{rels: S, card: card, left: -1, right: -1, rel: int32(rel)})
+	e.nodes = append(e.nodes, node{rels: S, card: card, left: -1, right: -1, rel: int32(rel)}) //nolint:hotpathalloc // arena growth is amortized; pooled runs reuse capacity
 	e.table.Put(S, idx)
 }
 
@@ -290,6 +296,8 @@ func (e *Engine) EmitBase(rel int, card float64) {
 // pair to the backend for plan construction. Solvers must only emit
 // pairs whose sides already have memo entries (subsets before supersets)
 // and which are connected by at least one edge.
+//
+//dp:hotpath
 func (e *Engine) EmitPair(S1, S2 bitset.Set) {
 	if e.abortErr != nil {
 		return
@@ -317,19 +325,25 @@ func (e *Engine) chargePair() bool {
 		}
 		if max > 0 {
 			if n := sh.pairs.Add(1); n > int64(max) {
-				e.abort(fmt.Errorf("%w: %d csg-cmp-pairs emitted (limit %d)",
-					ErrBudgetExhausted, n, max))
+				e.abort(pairBudgetErr(int(n), max))
 				return false
 			}
 		}
 		return true
 	}
 	if max > 0 && e.Stats.CsgCmpPairs >= max {
-		e.abortErr = fmt.Errorf("%w: %d csg-cmp-pairs emitted (limit %d)",
-			ErrBudgetExhausted, e.Stats.CsgCmpPairs, max)
+		e.abortErr = pairBudgetErr(e.Stats.CsgCmpPairs, max)
 		return false
 	}
 	return true
+}
+
+// pairBudgetErr builds the csg-cmp-pair budget-trip error. Split out of
+// chargePair so the fmt machinery stays off the emission hot path.
+//
+//dp:coldpath runs at most once per enumeration, when the pair budget trips
+func pairBudgetErr(n, max int) error {
+	return fmt.Errorf("%w: %d csg-cmp-pairs emitted (limit %d)", ErrBudgetExhausted, n, max)
 }
 
 // EmitDeferred admits the csg-cmp-pair (S1, S2) for later pricing: it
@@ -337,6 +351,8 @@ func (e *Engine) chargePair() bool {
 // EmitPair, but does not build a plan. The parallel DPhyp/DPccp paths
 // use it while collecting pairs into level buckets; BuildDeferred
 // prices them afterwards. It reports whether the run may continue.
+//
+//dp:hotpath
 func (e *Engine) EmitDeferred(S1, S2 bitset.Set) bool {
 	if e.abortErr != nil {
 		return false
@@ -352,6 +368,8 @@ func (e *Engine) EmitDeferred(S1, S2 bitset.Set) bool {
 // this (worker) view. The emission was already counted, so only the
 // per-worker built-pairs counter moves; merge accounting knows not to
 // re-add it to the run total.
+//
+//dp:hotpath
 func (e *Engine) BuildDeferred(S1, S2 bitset.Set) {
 	if e.abortErr != nil {
 		return
@@ -364,13 +382,14 @@ func (e *Engine) BuildDeferred(S1, S2 bitset.Set) {
 // reports whether the costed-plans budget allows it. On a trip the run
 // is aborted with ErrBudgetExhausted. Worker views charge the shared
 // run-wide counter so the budget bounds the sum across workers.
+//
+//dp:hotpath
 func (e *Engine) ChargePlan() bool {
 	max := e.limits.MaxCostedPlans
 	if sh := e.shared; sh != nil {
 		if max > 0 {
 			if n := sh.plans.Add(1); n > int64(max) {
-				e.abort(fmt.Errorf("%w: %d plans costed (limit %d)",
-					ErrBudgetExhausted, n, max))
+				e.abort(planBudgetErr(int(n), max))
 				return false
 			}
 		}
@@ -378,18 +397,27 @@ func (e *Engine) ChargePlan() bool {
 		return true
 	}
 	if max > 0 && e.Stats.CostedPlans >= max {
-		e.abortErr = fmt.Errorf("%w: %d plans costed (limit %d)",
-			ErrBudgetExhausted, e.Stats.CostedPlans, max)
+		e.abortErr = planBudgetErr(e.Stats.CostedPlans, max)
 		return false
 	}
 	e.Stats.CostedPlans++
 	return true
 }
 
+// planBudgetErr builds the costed-plan budget-trip error off the hot
+// path, like pairBudgetErr.
+//
+//dp:coldpath runs at most once per enumeration, when the plan budget trips
+func planBudgetErr(n, max int) error {
+	return fmt.Errorf("%w: %d plans costed (limit %d)", ErrBudgetExhausted, n, max)
+}
+
 // Contains reports whether S has a memo entry. This is the DP-table
 // connectivity test of the bottom-up enumerators ("this exploits the
 // fact that DP strategies enumerate subsets before supersets"). Worker
 // views fall through to the parent's merged levels on a miss.
+//
+//dp:hotpath
 func (e *Engine) Contains(S bitset.Set) bool {
 	if _, ok := e.table.Get(S); ok {
 		return true
@@ -405,6 +433,8 @@ func (e *Engine) Contains(S bitset.Set) bool {
 // check their private level first (same-level incumbents they own),
 // then the parent's merged levels, which are read-only for the
 // duration of the level.
+//
+//dp:hotpath
 func (e *Engine) Lookup(S bitset.Set) (int32, bool) {
 	if h, ok := e.table.Get(S); ok {
 		return h, true
@@ -428,6 +458,8 @@ func (e *Engine) nodeAt(h int32) *node {
 
 // PlanInfo returns the estimated cardinality and cost of the plan at
 // arena handle h.
+//
+//dp:hotpath
 func (e *Engine) PlanInfo(h int32) (card, cost float64) {
 	n := e.nodeAt(h)
 	return n.card, n.cost
@@ -459,6 +491,8 @@ func (e *Engine) BestCost(S bitset.Set) (float64, bool) {
 // enumerations — which partition candidates across workers and merge
 // per-worker bests — produce byte-identical plans to the serial engine
 // at any worker count.
+//
+//dp:hotpath
 func (e *Engine) Improve(S bitset.Set, left, right int32, op algebra.Op, phys algebra.PhysOp, card, cost float64, edges []int) {
 	if h, ok := e.table.Get(S); ok {
 		n := e.nodeAt(h)
@@ -475,6 +509,7 @@ func (e *Engine) Improve(S bitset.Set, left, right int32, op algebra.Op, phys al
 	}
 	off, cnt := e.storeEdges(edges, 0, 0)
 	h := e.base + int32(len(e.nodes))
+	//nolint:hotpathalloc // arena growth is amortized; pooled runs reuse capacity
 	e.nodes = append(e.nodes, node{rels: S, card: card, cost: cost, left: left, right: right,
 		edgeOff: off, edgeCnt: cnt, rel: -1, op: op, phys: phys})
 	e.table.Put(S, h)
@@ -486,9 +521,9 @@ func (e *Engine) Improve(S bitset.Set, left, right int32, op algebra.Op, phys al
 func (e *Engine) tieBeats(newL, newR, oldL, oldR int32) bool {
 	nl, ol := e.nodeAt(newL).rels, e.nodeAt(oldL).rels
 	if nl != ol {
-		return nl < ol
+		return nl.Less(ol)
 	}
-	return e.nodeAt(newR).rels < e.nodeAt(oldR).rels
+	return e.nodeAt(newR).rels.Less(e.nodeAt(oldR).rels)
 }
 
 // storeEdges writes edges into the flat store, reusing the span
@@ -507,7 +542,7 @@ func (e *Engine) storeEdges(edges []int, oldOff, oldCnt int32) (off, cnt int32) 
 	}
 	off = int32(len(e.edges))
 	for _, idx := range edges {
-		e.edges = append(e.edges, int32(idx))
+		e.edges = append(e.edges, int32(idx)) //nolint:hotpathalloc // edge-store growth is amortized; pooled runs reuse capacity
 	}
 	return off, cnt
 }

@@ -13,9 +13,9 @@ import (
 // cause (cancellation or budget trip), published so sibling workers
 // stop at their next poll.
 type parShared struct {
-	pairs   atomic.Int64
-	plans   atomic.Int64
-	aborted atomic.Bool
+	pairs   atomic.Int64 //dp:atomic
+	plans   atomic.Int64 //dp:atomic
+	aborted atomic.Bool  //dp:atomic
 
 	mu  sync.Mutex
 	err error
@@ -175,7 +175,7 @@ func (p *Par) FinishLevel(kind LevelKind) []bitset.Set {
 		m.Stats.AmbiguousOps += st.AmbiguousOps
 		*st = Stats{}
 	}
-	sort.Slice(ents, func(i, j int) bool { return ents[i].S < ents[j].S })
+	sort.Slice(ents, func(i, j int) bool { return ents[i].S.Less(ents[j].S) })
 
 	newSets := make([]bitset.Set, 0, len(ents))
 	for i := 0; i < len(ents); {

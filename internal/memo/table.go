@@ -57,6 +57,8 @@ const shrinkFactor = 8
 // is a memclr; otherwise they are reallocated at the next power of two
 // above hint/maxLoad. The return value reports whether existing storage
 // was kept.
+//
+//dp:coldpath runs once per enumeration at setup (Put's empty-table lazy init included)
 func (t *Table) Reset(hint int) (kept bool) {
 	slots := minSlots
 	for slots*maxLoadNum < hint*maxLoadDen {
@@ -87,12 +89,14 @@ func (t *Table) Grows() int { return t.grows }
 // Get returns the value stored for k. The empty set is never stored
 // (Put panics on it) and always misses — without the explicit guard it
 // would match the free-slot sentinel and return a stale value.
+//
+//dp:hotpath
 func (t *Table) Get(k bitset.Set) (int32, bool) {
 	if len(t.keys) == 0 || k == bitset.Empty {
 		return 0, false
 	}
 	mask := uint(len(t.keys) - 1)
-	i := uint(uint64(k)*fibMul>>t.shift) & mask
+	i := uint(uint64(k)*fibMul>>t.shift) & mask //nolint:bitsetwidth // fibonacci hashing of the packed word; multi-word Set needs a real hash (ROADMAP item 1)
 	for {
 		switch t.keys[i] {
 		case k:
@@ -106,6 +110,8 @@ func (t *Table) Get(k bitset.Set) (int32, bool) {
 
 // Put stores v for k, overwriting any existing entry. It panics on the
 // empty set, which is reserved as the free-slot sentinel.
+//
+//dp:hotpath
 func (t *Table) Put(k bitset.Set, v int32) {
 	if k == bitset.Empty {
 		panic("memo: empty relation set used as table key")
@@ -117,7 +123,7 @@ func (t *Table) Put(k bitset.Set, v int32) {
 		t.grow()
 	}
 	mask := uint(len(t.keys) - 1)
-	i := uint(uint64(k)*fibMul>>t.shift) & mask
+	i := uint(uint64(k)*fibMul>>t.shift) & mask //nolint:bitsetwidth // fibonacci hashing of the packed word; multi-word Set needs a real hash (ROADMAP item 1)
 	for {
 		switch t.keys[i] {
 		case k:
@@ -134,6 +140,8 @@ func (t *Table) Put(k bitset.Set, v int32) {
 }
 
 // grow doubles the table and reinserts every entry.
+//
+//dp:coldpath doubling growth runs O(log n) times per enumeration; the copy is amortized
 func (t *Table) grow() {
 	oldKeys, oldVals := t.keys, t.vals
 	slots := 2 * len(oldKeys)
@@ -146,7 +154,7 @@ func (t *Table) grow() {
 		if k == bitset.Empty {
 			continue
 		}
-		i := uint(uint64(k)*fibMul>>t.shift) & mask
+		i := uint(uint64(k)*fibMul>>t.shift) & mask //nolint:bitsetwidth // fibonacci hashing of the packed word; multi-word Set needs a real hash (ROADMAP item 1)
 		for t.keys[i] != bitset.Empty {
 			i = (i + 1) & mask
 		}

@@ -60,47 +60,56 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 	// not a plan was found (failure memoization matters: disconnected
 	// sets are re-encountered exponentially often otherwise). It lives in
 	// the engine's scratch table so its storage is pooled across runs.
-	done := e.Scratch(1 << uint(min(n, 12)))
-
-	// solve reports whether a plan for S exists in the memo after
-	// exploring S's partitions.
-	var solve func(S bitset.Set) bool
-	solve = func(S bitset.Set) bool {
-		if S.IsSingleton() {
-			return true // seeded by Init
-		}
-		if _, ok := done.Get(S); ok {
-			return e.Contains(S)
-		}
-		done.Put(S, 1)
-		// Generate-and-test over all partitions with min(S) ∈ S1,
-		// recursing first so subplans are final before pricing.
-		lo := S.MinSet()
-		rest := S.MinusMin()
-		for a := bitset.Empty; ; a = a.NextSubset(rest) {
-			// The partition generate-and-test loop is where this
-			// enumerator spends its time; poll cancellation here.
-			if !e.Step() {
-				return false
-			}
-			S1 := lo.Union(a)
-			S2 := S.Minus(S1)
-			if S2.IsEmpty() {
-				break // a == rest: S1 == S
-			}
-			if g.ConnectsTo(S1, S2) && solve(S1) && solve(S2) {
-				e.EmitPair(S1, S2)
-			}
-			if a == rest {
-				break
-			}
-		}
-		return e.Contains(S)
-	}
-
-	solve(g.AllNodes())
+	s := solver{g: g, e: e, done: e.Scratch(1 << uint(min(n, 12)))}
+	s.solve(g.AllNodes())
 	p, err := b.Final()
 	return p, e.Stats, err
+}
+
+// solver carries the recursion state of one top-down run, so the
+// recursive partition search is a named method rather than a closure
+// (closures allocate and cannot carry directives).
+type solver struct {
+	g    *hypergraph.Graph
+	e    *memo.Engine
+	done *memo.Table
+}
+
+// solve reports whether a plan for S exists in the memo after
+// exploring S's partitions.
+//
+//dp:hotpath
+func (s *solver) solve(S bitset.Set) bool {
+	if S.IsSingleton() {
+		return true // seeded by Init
+	}
+	if _, ok := s.done.Get(S); ok {
+		return s.e.Contains(S)
+	}
+	s.done.Put(S, 1)
+	// Generate-and-test over all partitions with min(S) ∈ S1,
+	// recursing first so subplans are final before pricing.
+	lo := S.MinSet()
+	rest := S.MinusMin()
+	for a := bitset.Empty; ; a = a.NextSubset(rest) {
+		// The partition generate-and-test loop is where this
+		// enumerator spends its time; poll cancellation here.
+		if !s.e.Step() {
+			return false
+		}
+		S1 := lo.Union(a)
+		S2 := S.Minus(S1)
+		if S2.IsEmpty() {
+			break // a == rest: S1 == S
+		}
+		if s.g.ConnectsTo(S1, S2) && s.solve(S1) && s.solve(S2) {
+			s.e.EmitPair(S1, S2)
+		}
+		if a == rest {
+			break
+		}
+	}
+	return s.e.Contains(S)
 }
 
 func min(a, b int) int {

@@ -43,26 +43,26 @@ type Planner struct {
 	pool  *memo.Pool
 	cache *planCache
 
-	plans       atomic.Uint64
-	cacheHits   atomic.Uint64
-	cacheMisses atomic.Uint64
-	fallbacks   atomic.Uint64
-	failures    atomic.Uint64
+	plans       atomic.Uint64 //dp:atomic
+	cacheHits   atomic.Uint64 //dp:atomic
+	cacheMisses atomic.Uint64 //dp:atomic
+	fallbacks   atomic.Uint64 //dp:atomic
+	failures    atomic.Uint64 //dp:atomic
 
 	// Memo-engine accounting, aggregated from the per-run Stats of every
 	// enumeration (cache hits excluded — they do no memo work).
-	pairsEmitted    atomic.Uint64
-	arenaReuses     atomic.Uint64
-	memoPeakEntries atomic.Int64
+	pairsEmitted    atomic.Uint64 //dp:atomic
+	arenaReuses     atomic.Uint64 //dp:atomic
+	memoPeakEntries atomic.Int64  //dp:atomic
 
 	// Parallel-enumeration accounting: runs that actually used worker
 	// views, and the csg-cmp-pairs those workers processed in total.
-	parallelRuns  atomic.Uint64
-	parallelPairs atomic.Uint64
+	parallelRuns  atomic.Uint64 //dp:atomic
+	parallelPairs atomic.Uint64 //dp:atomic
 
 	// routed counts SolverAuto routing decisions per target algorithm
 	// (indexed by Algorithm; SolverAuto itself is never a target).
-	routed [int(SolverAuto) + 1]atomic.Uint64
+	routed [int(SolverAuto) + 1]atomic.Uint64 //dp:atomic
 }
 
 // NewPlanner returns a Planner with the given configuration. With no

@@ -15,8 +15,8 @@ import (
 type histogram struct {
 	bounds  []float64
 	buckets []atomic.Uint64 // buckets[i] counts observations ≤ bounds[i] (non-cumulative; summed at render)
-	count   atomic.Uint64
-	sumNs   atomic.Uint64
+	count   atomic.Uint64   //dp:atomic
+	sumNs   atomic.Uint64   //dp:atomic
 }
 
 // defaultLatencyBounds spans 100µs..10s — cached star-query hits sit in
@@ -78,8 +78,8 @@ type metrics struct {
 
 	latency *histogram // /plan and /batch handler latency
 
-	timeouts atomic.Uint64 // requests that ended in 504
-	panics   atomic.Uint64 // handler panics converted to 500
+	timeouts atomic.Uint64 // requests that ended in 504 //dp:atomic
+	panics   atomic.Uint64 // handler panics converted to 500 //dp:atomic
 }
 
 // writeMemoMetrics renders the planner's memo-engine counters: csg-cmp
