@@ -198,9 +198,9 @@ func BenchmarkMemo(b *testing.B) {
 	b.Run("insert/map", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			m := make(map[bitset.Set]*plan.Node, 64)
+			m := make(map[string]*plan.Node, 64)
 			for _, k := range keys {
-				m[k] = leaf
+				m[k.Key()] = leaf
 			}
 			if len(m) != len(keys) {
 				b.Fatal("bad size")
@@ -221,11 +221,11 @@ func BenchmarkMemo(b *testing.B) {
 		}
 	})
 
-	mm := make(map[bitset.Set]*plan.Node, len(keys))
+	mm := make(map[string]*plan.Node, len(keys))
 	var tb memo.Table
 	tb.Reset(len(keys))
 	for j, k := range keys {
-		mm[k] = leaf
+		mm[k.Key()] = leaf
 		tb.Put(k, int32(j))
 	}
 	b.Run("lookup/map", func(b *testing.B) {
@@ -233,7 +233,7 @@ func BenchmarkMemo(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			hits := 0
 			for _, k := range keys {
-				if mm[k] != nil {
+				if mm[k.Key()] != nil {
 					hits++
 				}
 			}
@@ -260,12 +260,12 @@ func BenchmarkMemo(b *testing.B) {
 	// arena-reset measures the steady-state cycle a pooled engine lives
 	// in: clear storage that is already sized, then re-fill it.
 	b.Run("arena-reset/map", func(b *testing.B) {
-		m := make(map[bitset.Set]*plan.Node, len(keys))
+		m := make(map[string]*plan.Node, len(keys))
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			clear(m)
 			for _, k := range keys {
-				m[k] = leaf
+				m[k.Key()] = leaf
 			}
 		}
 	})

@@ -120,7 +120,7 @@ func main() {
 		reps    = flag.Int("reps", 3, "repetitions per measurement (median is reported)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of tables")
 		timeout = flag.Duration("cell-timeout", 0, "per-cell deadline, 0 = none (cancellation is checked inside the enumeration loops)")
-		solver  = flag.String("solver", "", "run the §4 shape sweep with this solver (auto | dphyp | dpsize | dpsub | dpccp | topdown | greedy) instead of the experiment suite")
+		solver  = flag.String("solver", "", "run the §4 shape sweep with this solver (auto | dphyp | dpsize | dpsub | dpccp | topdown | greedy | iterdp) instead of the experiment suite")
 		costMod = flag.String("cost", "cout", "cost model for the -solver sweep: cout | cmm | nlj | hash | physical")
 		sweepN  = flag.Int("sweep-max-n", 12, "largest relation count per family in the -solver sweep")
 		par     = flag.Int("parallel", 1, "enumeration workers for the -solver sweep (0 = GOMAXPROCS, 1 = serial)")
@@ -322,10 +322,21 @@ func runShapeSweep(solverName, costName string, maxN, reps, parallel int, csv bo
 		repro.WithPlanCacheSize(0),
 		repro.WithParallelism(parallel),
 	)
-	cfg := workload.DefaultConfig()
+	// Up to the historical 64-relation ceiling the sweep keeps the
+	// DefaultConfig cells comparable with earlier BENCH_PR*.json records;
+	// beyond it the LargeConfig regime applies — DefaultConfig's ~10x
+	// per-join growth overflows float64 cardinalities near 100 joins,
+	// while LargeConfig's PK-FK-style selectivities keep every cell's
+	// cost finite for the iterdp tier.
+	cfgFor := func(n int) workload.Config {
+		if n > 64 {
+			return workload.LargeConfig()
+		}
+		return workload.DefaultConfig()
+	}
 
 	cliqueMax := maxN
-	if alg != repro.SolverAuto && alg != repro.Greedy && cliqueMax > 12 {
+	if alg != repro.SolverAuto && alg != repro.Greedy && alg != repro.IterDP && cliqueMax > 12 {
 		cliqueMax = 12
 	}
 	families := []struct {
@@ -333,10 +344,10 @@ func runShapeSweep(solverName, costName string, maxN, reps, parallel int, csv bo
 		make func(n int) *repro.Graph
 		maxN int
 	}{
-		{"chain", func(n int) *repro.Graph { return workload.Chain(n, cfg) }, maxN},
-		{"cycle", func(n int) *repro.Graph { return workload.Cycle(n, cfg) }, maxN},
-		{"star", func(n int) *repro.Graph { return workload.Star(n, cfg) }, maxN},
-		{"clique", func(n int) *repro.Graph { return workload.Clique(n, cfg) }, cliqueMax},
+		{"chain", func(n int) *repro.Graph { return workload.Chain(n, cfgFor(n)) }, maxN},
+		{"cycle", func(n int) *repro.Graph { return workload.Cycle(n, cfgFor(n)) }, maxN},
+		{"star", func(n int) *repro.Graph { return workload.Star(n, cfgFor(n)) }, maxN},
+		{"clique", func(n int) *repro.Graph { return workload.Clique(n, cfgFor(n)) }, cliqueMax},
 	}
 
 	if csv {

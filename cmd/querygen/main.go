@@ -36,11 +36,15 @@ func main() {
 		splits = flag.Int("splits", 0, "hyperedge splits for *-hyper families")
 		k      = flag.Int("k", 0, "non-inner operators for tree families")
 		seed   = flag.Int64("seed", 2008, "seed for cardinalities/selectivities")
+		large  = flag.Bool("large", false, "use the large-query workload config (PK-FK-style selectivities keep 100+-relation estimates finite)")
 		check  = flag.Bool("check", false, "verify the emitted query is plannable (budgeted, 5s deadline) before printing")
 	)
 	flag.Parse()
 
 	cfg := workload.DefaultConfig()
+	if *large {
+		cfg = workload.LargeConfig()
+	}
 	cfg.Seed = *seed
 
 	var doc *repro.QueryJSON

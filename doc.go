@@ -192,10 +192,15 @@
 //     function — the race class the GOMAXPROCS matrix in CI hunts
 //     dynamically is also excluded statically.
 //
-// A fourth analyzer, bitsetwidth, quarantines the knowledge that
-// bitset.Set is one machine word inside internal/bitset itself (no
-// conversions, ordering operators, or shifts on Set elsewhere), which
-// keeps the planned multi-word widening a one-package change.
+// A fourth analyzer, bitsetwidth, quarantines the knowledge of
+// bitset.Set's representation inside internal/bitset itself. Since the
+// multi-word widening (a single-word fast path plus a []uint64 tail
+// beyond 64 relations) the guarded invariant is opacity: no code
+// elsewhere may convert Set to or from integers, apply word operators
+// or ordering comparisons, use == / != (Set is deliberately not
+// comparable — Equal/IsEmpty/Less are the sanctioned forms), or key a
+// map by Set (Set.Key() exists for that). That one-package quarantine
+// is what let the widening land without touching solver logic.
 // Suppressions use //nolint:<analyzer> // <reason> with the reason
 // mandatory; per-analyzer counts are pinned in LINT_BASELINE.json.
 //
@@ -283,6 +288,8 @@
 //   - beyond per-shape size cutoffs → Greedy up front (cliques emit
 //     Θ(3ⁿ) csg-cmp-pairs, stars Θ(n·2ⁿ); exact enumeration leaves the
 //     interactive regime in the mid-teens)
+//   - beyond 64 relations → IterDP, the large-query simplification
+//     tier (see "Large queries" below)
 //
 // The decision is observable: Stats.Shape and Stats.RoutedAlgorithm
 // record what the router saw and picked, and Result.Algorithm reports
@@ -291,6 +298,37 @@
 // returned plan's cost among the exact solvers — they explore the same
 // bushy cross-product-free space — so SolverAuto trades only time,
 // never quality, until a size cutoff or budget degrades to Greedy.
+//
+// # Large queries
+//
+// The historical 64-relation ceiling — bitset.Set was one machine word
+// — is gone: Set is multi-word (up to bitset.MaxElems = 1024 elements)
+// behind the same value-semantics API, with the single-word fast path
+// intact, so every solver, the memo table, and the wire format accept
+// queries of hundreds of relations. What remains exponential is exact
+// enumeration itself, so above 64 relations SolverAuto routes to a
+// dedicated tier, IterDP (internal/iterdp): iterative dynamic
+// programming by graph simplification. The tier greedily merges the
+// cheapest-joined neighboring vertices into clusters of at most
+// WithClusterSize relations (default DefaultClusterSize), solves each
+// cluster EXACTLY with the existing engine, collapses it to a compound
+// vertex carrying its subplan's cardinality, and repeats until the
+// compressed graph fits one final exact enumeration; the stitched plan
+// is then re-costed bottom-up against the original graph.
+//
+// The optimality caveat is inherent: the plan is optimal within every
+// exactly-solved subproblem but only heuristically good across cluster
+// boundaries — the greedy clustering decides which relations may never
+// be interleaved. That is the iterative-DP trade; the alternative at
+// 100–1000 relations is a purely greedy plan with no optimal
+// substructure at all. The differential suite pins the contract: every
+// subproblem the tier hands to the engine matches a brute-force oracle
+// optimum, plans are deterministic across serial, parallel, and cached
+// runs, and Stats.Subproblems/Stats.Rounds expose the tier's work.
+// Graphs the tier cannot represent (non-inner operators, dependent
+// relations, hyperedge-only connectivity) degrade through the standard
+// budget-exhaustion path to the Greedy fallback. The tier is also
+// directly selectable with WithAlgorithm(IterDP).
 //
 // # Cost models
 //

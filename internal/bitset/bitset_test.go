@@ -7,6 +7,18 @@ import (
 	"testing/quick"
 )
 
+// fromBits builds a Set from a word-0 bit pattern. Tests use it where
+// they previously converted raw integers to Set.
+func fromBits(raw uint64) Set {
+	var s Set
+	for e := 0; e < 64; e++ {
+		if raw&(1<<uint(e)) != 0 {
+			s = s.Add(e)
+		}
+	}
+	return s
+}
+
 func TestNewAndMembership(t *testing.T) {
 	s := New(0, 3, 5)
 	for e := 0; e < MaxElems; e++ {
@@ -31,10 +43,13 @@ func TestHasOutOfRange(t *testing.T) {
 	if !s.Has(63) {
 		t.Error("Has(63) must be true")
 	}
+	if s.Has(MaxElems) {
+		t.Error("Has(MaxElems) must be false")
+	}
 }
 
 func TestSingletonPanics(t *testing.T) {
-	for _, e := range []int{-1, 64, 1000} {
+	for _, e := range []int{-1, MaxElems, MaxElems + 1000} {
 		func() {
 			defer func() {
 				if recover() == nil {
@@ -47,13 +62,13 @@ func TestSingletonPanics(t *testing.T) {
 }
 
 func TestRange(t *testing.T) {
-	if got := Range(2, 5); got != New(2, 3, 4) {
+	if got := Range(2, 5); !got.Equal(New(2, 3, 4)) {
 		t.Errorf("Range(2,5) = %v", got)
 	}
 	if got := Range(3, 3); !got.IsEmpty() {
 		t.Errorf("Range(3,3) = %v, want empty", got)
 	}
-	if got := Full(4); got != New(0, 1, 2, 3) {
+	if got := Full(4); !got.Equal(New(0, 1, 2, 3)) {
 		t.Errorf("Full(4) = %v", got)
 	}
 }
@@ -61,13 +76,13 @@ func TestRange(t *testing.T) {
 func TestSetAlgebra(t *testing.T) {
 	a := New(0, 1, 2)
 	b := New(2, 3)
-	if got := a.Union(b); got != New(0, 1, 2, 3) {
+	if got := a.Union(b); !got.Equal(New(0, 1, 2, 3)) {
 		t.Errorf("Union = %v", got)
 	}
-	if got := a.Intersect(b); got != New(2) {
+	if got := a.Intersect(b); !got.Equal(New(2)) {
 		t.Errorf("Intersect = %v", got)
 	}
-	if got := a.Minus(b); got != New(0, 1) {
+	if got := a.Minus(b); !got.Equal(New(0, 1)) {
 		t.Errorf("Minus = %v", got)
 	}
 	if !a.Overlaps(b) || a.Disjoint(b) {
@@ -89,10 +104,10 @@ func TestMinMaxRepresentative(t *testing.T) {
 	if s.Max() != 9 {
 		t.Errorf("Max = %d", s.Max())
 	}
-	if s.MinSet() != New(3) {
+	if !s.MinSet().Equal(New(3)) {
 		t.Errorf("MinSet = %v", s.MinSet())
 	}
-	if s.MinusMin() != New(5, 9) {
+	if !s.MinusMin().Equal(New(5, 9)) {
 		t.Errorf("MinusMin = %v", s.MinusMin())
 	}
 	if !Empty.MinSet().IsEmpty() {
@@ -117,10 +132,10 @@ func TestBelow(t *testing.T) {
 	if got := Below(0); !got.IsEmpty() {
 		t.Errorf("Below(0) = %v", got)
 	}
-	if got := Below(3); got != New(0, 1, 2) {
+	if got := Below(3); !got.Equal(New(0, 1, 2)) {
 		t.Errorf("Below(3) = %v", got)
 	}
-	if got := BelowEq(3); got != New(0, 1, 2, 3) {
+	if got := BelowEq(3); !got.Equal(New(0, 1, 2, 3)) {
 		t.Errorf("BelowEq(3) = %v", got)
 	}
 }
@@ -181,11 +196,11 @@ func TestSubsetsExhaustive(t *testing.T) {
 		if !s.SubsetOf(m) || s.IsEmpty() {
 			t.Errorf("subset %v invalid", s)
 		}
-		if i > 0 && got[i-1] >= s {
+		if i > 0 && !got[i-1].Less(s) {
 			t.Errorf("not ascending at %d: %v >= %v", i, got[i-1], s)
 		}
 	}
-	if got[len(got)-1] != m {
+	if !got[len(got)-1].Equal(m) {
 		t.Errorf("last subset %v, want %v", got[len(got)-1], m)
 	}
 }
@@ -197,18 +212,15 @@ func TestProperSubsets(t *testing.T) {
 		t.Fatalf("ProperSubsets = %v", got)
 	}
 	for _, s := range got {
-		if s == m {
+		if s.Equal(m) {
 			t.Errorf("proper subsets must exclude m")
 		}
 	}
 	if ProperSubsets(Empty) != nil {
 		t.Error("ProperSubsets(∅) must be nil")
 	}
-	if ProperSubsets(New(5)) == nil || len(ProperSubsets(New(5))) != 0 {
-		// The only non-empty subset of a singleton is itself.
-		if len(ProperSubsets(New(5))) != 0 {
-			t.Error("singleton has no proper non-empty subsets")
-		}
+	if len(ProperSubsets(New(5))) != 0 {
+		t.Error("singleton has no proper non-empty subsets")
 	}
 }
 
@@ -216,20 +228,20 @@ func TestProperSubsets(t *testing.T) {
 // distinct non-empty subsets of m for arbitrary masks.
 func TestSubsetEnumerationProperty(t *testing.T) {
 	f := func(raw uint16) bool {
-		m := Set(raw)
-		if m == 0 {
+		m := fromBits(uint64(raw))
+		if m.IsEmpty() {
 			return len(Subsets(m)) == 0
 		}
 		subs := Subsets(m)
 		if len(subs) != 1<<uint(m.Len())-1 {
 			return false
 		}
-		seen := map[Set]bool{}
+		seen := map[string]bool{}
 		for _, s := range subs {
-			if seen[s] || !s.SubsetOf(m) || s.IsEmpty() {
+			if seen[s.Key()] || !s.SubsetOf(m) || s.IsEmpty() {
 				return false
 			}
-			seen[s] = true
+			seen[s.Key()] = true
 		}
 		return true
 	}
@@ -241,14 +253,15 @@ func TestSubsetEnumerationProperty(t *testing.T) {
 // Property: set algebra satisfies De Morgan-ish laws within a universe.
 func TestAlgebraProperties(t *testing.T) {
 	f := func(a, b, u uint32) bool {
-		A, B := Set(a)&Set(u), Set(b)&Set(u)
+		U := fromBits(uint64(u))
+		A, B := fromBits(uint64(a)).Intersect(U), fromBits(uint64(b)).Intersect(U)
 		if A.Union(B).Len() != A.Len()+B.Len()-A.Intersect(B).Len() {
 			return false // inclusion-exclusion
 		}
 		if !A.Minus(B).Disjoint(B) {
 			return false
 		}
-		if A.Minus(B).Union(A.Intersect(B)) != A {
+		if !A.Minus(B).Union(A.Intersect(B)).Equal(A) {
 			return false
 		}
 		return true
@@ -261,11 +274,11 @@ func TestAlgebraProperties(t *testing.T) {
 // Property: MinSet/MinusMin partition the set.
 func TestMinPartitionProperty(t *testing.T) {
 	f := func(raw uint64) bool {
-		s := Set(raw)
+		s := fromBits(raw)
 		if s.IsEmpty() {
 			return s.MinSet().IsEmpty() && s.MinusMin().IsEmpty()
 		}
-		return s.MinSet().Union(s.MinusMin()) == s &&
+		return s.MinSet().Union(s.MinusMin()).Equal(s) &&
 			s.MinSet().Disjoint(s.MinusMin()) &&
 			s.MinSet().IsSingleton() &&
 			s.MinSet().Min() == s.Min()
@@ -278,12 +291,12 @@ func TestMinPartitionProperty(t *testing.T) {
 // Property: Elems is sorted ascending and round-trips through New.
 func TestElemsRoundTrip(t *testing.T) {
 	f := func(raw uint64) bool {
-		s := Set(raw)
+		s := fromBits(raw)
 		es := s.Elems()
 		if !sort.IntsAreSorted(es) {
 			return false
 		}
-		return New(es...) == s
+		return New(es...).Equal(s)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
 		t.Error(err)
@@ -302,6 +315,12 @@ func TestIsSingleton(t *testing.T) {
 	if New(1, 2).IsSingleton() {
 		t.Error("{1,2} is not a singleton")
 	}
+	if New(1, 99).IsSingleton() {
+		t.Error("{1,99} is not a singleton")
+	}
+	if New(70, 99).IsSingleton() {
+		t.Error("{70,99} is not a singleton")
+	}
 }
 
 func BenchmarkSubsetEnumeration(b *testing.B) {
@@ -311,7 +330,7 @@ func BenchmarkSubsetEnumeration(b *testing.B) {
 		var count int
 		for n := Empty.NextSubset(m); ; n = n.NextSubset(m) {
 			count++
-			if n == m {
+			if n.Equal(m) {
 				break
 			}
 		}
@@ -325,13 +344,13 @@ func BenchmarkSetOps(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	xs := make([]Set, 1024)
 	for i := range xs {
-		xs[i] = Set(rng.Uint64())
+		xs[i] = fromBits(rng.Uint64())
 	}
 	b.ResetTimer()
 	var acc Set
 	for i := 0; i < b.N; i++ {
 		s := xs[i%len(xs)]
-		acc ^= s.Union(acc).Intersect(s).MinSet()
+		acc = acc.Xor(s.Union(acc).Intersect(s).MinSet())
 	}
 	_ = acc
 }
@@ -350,18 +369,18 @@ func TestSubsetsOfMatchesSubsets(t *testing.T) {
 			t.Fatalf("mask %v: %d subsets, want %d", m, len(got), len(want))
 		}
 		for i := range want {
-			if got[i] != want[i] {
+			if !got[i].Equal(want[i]) {
 				t.Fatalf("mask %v: subset %d = %v, want %v", m, i, got[i], want[i])
 			}
 		}
 	}
-	for m := Set(0); m < 1<<10; m++ {
-		check(m)
+	for m := uint64(0); m < 1<<10; m++ {
+		check(fromBits(m))
 	}
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 200; i++ {
 		// Sparse masks exercise the non-contiguous wrap-around carries.
-		check(Set(rng.Uint64() & rng.Uint64() & rng.Uint64()))
+		check(fromBits(rng.Uint64() & rng.Uint64() & rng.Uint64()))
 	}
 }
 
@@ -371,7 +390,7 @@ func TestSubsetsOfMatchesSubsets(t *testing.T) {
 func TestSubsetsOfProperties(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for i := 0; i < 500; i++ {
-		m := Set(rng.Uint64()) & Full(14) // bounded popcount keeps 2^|m| small
+		m := fromBits(rng.Uint64()).Intersect(Full(14)) // bounded popcount keeps 2^|m| small
 		count := 0
 		prev := Empty
 		last := Empty
@@ -383,7 +402,7 @@ func TestSubsetsOfProperties(t *testing.T) {
 			if !s.SubsetOf(m) {
 				t.Fatalf("mask %v yielded non-subset %v", m, s)
 			}
-			if count > 1 && s <= prev {
+			if count > 1 && !prev.Less(s) {
 				t.Fatalf("mask %v: order not ascending (%v after %v)", m, s, prev)
 			}
 			prev, last = s, s
@@ -391,7 +410,7 @@ func TestSubsetsOfProperties(t *testing.T) {
 		if want := 1<<uint(m.Len()) - 1; count != want {
 			t.Fatalf("mask %v: %d subsets, want %d", m, count, want)
 		}
-		if m != Empty && last != m {
+		if !m.IsEmpty() && !last.Equal(m) {
 			t.Fatalf("mask %v: last subset %v, want the mask itself", m, last)
 		}
 	}

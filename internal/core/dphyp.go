@@ -221,7 +221,7 @@ func (s *Solver) enumerateCsgRec(S1, X, su bitset.Set) {
 			s.opts.Trace.add(StepCsg, next, bitset.Empty)
 			s.emitCsg(next, su.Union(s.g.SimpleNeighborUnion(n)))
 		}
-		if n == N {
+		if n.Equal(N) {
 			break
 		}
 	}
@@ -231,7 +231,7 @@ func (s *Solver) enumerateCsgRec(S1, X, su bitset.Set) {
 	newX := X.Union(N)
 	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
 		s.enumerateCsgRec(S1.Union(n), newX, su.Union(s.g.SimpleNeighborUnion(n)))
-		if n == N {
+		if n.Equal(N) {
 			break
 		}
 	}
@@ -300,7 +300,7 @@ func (s *Solver) enumerateCmpRec(S1, S2, X, su bitset.Set) {
 			s.opts.Trace.add(StepCmp, S1, next)
 			s.emit(S1, next)
 		}
-		if n == N {
+		if n.Equal(N) {
 			break
 		}
 	}
@@ -308,7 +308,7 @@ func (s *Solver) enumerateCmpRec(S1, S2, X, su bitset.Set) {
 	newX := X.Union(N)
 	for n := bitset.Empty.NextSubset(N); ; n = n.NextSubset(N) {
 		s.enumerateCmpRec(S1, S2.Union(n), newX, su.Union(s.g.SimpleNeighborUnion(n)))
-		if n == N {
+		if n.Equal(N) {
 			break
 		}
 	}

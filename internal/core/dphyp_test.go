@@ -68,29 +68,29 @@ func assertExactCcps(t *testing.T, g *hypergraph.Graph) {
 	got := collectPairs(t, g)
 	want := counting.CsgCmpPairs(g)
 
-	seen := map[counting.Pair]int{}
+	seen := map[string]int{}
 	for i, p := range got {
 		if p.S1.Min() >= p.S2.Min() {
 			t.Errorf("pair %d: %v|%v not normalized (min(S1) must precede min(S2))", i, p.S1, p.S2)
 		}
-		if prev, dup := seen[p]; dup {
+		if prev, dup := seen[p.Key()]; dup {
 			t.Errorf("pair %v|%v emitted twice (at %d and %d)", p.S1, p.S2, prev, i)
 		}
-		seen[p] = i
+		seen[p.Key()] = i
 	}
 	if len(got) != len(want) {
 		t.Errorf("emitted %d pairs, oracle says %d", len(got), len(want))
 	}
 	for _, p := range want {
-		if _, ok := seen[p]; !ok {
+		if _, ok := seen[p.Key()]; !ok {
 			t.Errorf("missing csg-cmp-pair %v|%v", p.S1, p.S2)
 		}
 	}
 	// DP order: every (S1',S2') with S1'⊆S1, S2'⊆S2 must appear before
 	// (S1,S2) (§2.2).
-	for p, i := range seen {
-		for q, j := range seen {
-			if p == q {
+	for i, p := range got {
+		for j, q := range got {
+			if i == j {
 				continue
 			}
 			if q.S1.SubsetOf(p.S1) && q.S2.SubsetOf(p.S2) && j > i {
@@ -125,7 +125,7 @@ func TestPaperExampleStats(t *testing.T) {
 	if stats.CsgCmpPairs != 9 {
 		t.Errorf("csg-cmp-pairs = %d, want 9", stats.CsgCmpPairs)
 	}
-	if p.Rels != g.AllNodes() {
+	if !p.Rels.Equal(g.AllNodes()) {
 		t.Errorf("plan covers %v", p.Rels)
 	}
 	if err := p.Validate(); err != nil {
@@ -135,7 +135,7 @@ func TestPaperExampleStats(t *testing.T) {
 	// root must join exactly these two sides.
 	left, right := p.Left.Rels, p.Right.Rels
 	want1, want2 := bitset.New(0, 1, 2), bitset.New(3, 4, 5)
-	if !(left == want1 && right == want2 || left == want2 && right == want1) {
+	if !(left.Equal(want1) && right.Equal(want2) || left.Equal(want2) && right.Equal(want1)) {
 		t.Errorf("root joins %v and %v, want the hyperedge sides", left, right)
 	}
 }
@@ -248,7 +248,7 @@ func TestTracePaperExample(t *testing.T) {
 		t.Fatalf("trace has %d pairs, want 9:\n%s", len(pairs), tr)
 	}
 	last := pairs[len(pairs)-1]
-	if last.S1 != bitset.New(0, 1, 2) || last.S2 != bitset.New(3, 4, 5) {
+	if !last.S1.Equal(bitset.New(0, 1, 2)) || !last.S2.Equal(bitset.New(3, 4, 5)) {
 		t.Errorf("last pair %v|%v, want {R1,R2,R3}|{R4,R5,R6}", last.S1, last.S2)
 	}
 	if tr.String() == "" {
@@ -339,14 +339,14 @@ func TestGeneralizedHyperedge(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
-	if p.Rels != g.AllNodes() {
+	if !p.Rels.Equal(g.AllNodes()) {
 		t.Errorf("plan covers %v", p.Rels)
 	}
 	if err := p.Validate(); err != nil {
 		t.Error(err)
 	}
 	l, r := p.Left.Rels, p.Right.Rels
-	if !(l == bitset.New(0, 1) && r == bitset.New(2) || l == bitset.New(2) && r == bitset.New(0, 1)) {
+	if !(l.Equal(bitset.New(0, 1)) && r.Equal(bitset.New(2)) || l.Equal(bitset.New(2)) && r.Equal(bitset.New(0, 1))) {
 		t.Errorf("root joins %v and %v, want {R0,R1} with {R2}", l, r)
 	}
 	assertExactCcps(t, g)

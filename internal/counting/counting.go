@@ -24,6 +24,13 @@ type Pair struct {
 	S1, S2 bitset.Set
 }
 
+// Key returns a canonical string for use as a Go map key (Pair itself is
+// not comparable because bitset.Set carries a word slice).
+func (p Pair) Key() string { return p.S1.Key() + "|" + p.S2.Key() }
+
+// Equal reports componentwise equality.
+func (p Pair) Equal(q Pair) bool { return p.S1.Equal(q.S1) && p.S2.Equal(q.S2) }
+
 // ConnectedSubgraphs returns every node set that induces a connected
 // subgraph (Definition 3), in ascending bit-pattern order.
 func ConnectedSubgraphs(g *hypergraph.Graph) []bitset.Set {
@@ -33,7 +40,7 @@ func ConnectedSubgraphs(g *hypergraph.Graph) []bitset.Set {
 		if g.IsConnected(s) {
 			out = append(out, s)
 		}
-		if s == all {
+		if s.Equal(all) {
 			break
 		}
 	}
@@ -54,13 +61,13 @@ func CsgCmpPairs(g *hypergraph.Graph) []Pair {
 			if s1.Min() < s2.Min() && g.IsConnected(s2) && g.ConnectsTo(s1, s2) {
 				out = append(out, Pair{S1: s1, S2: s2})
 			}
-			if s2 == rest {
+			if s2.Equal(rest) {
 				break
 			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].S1 != out[j].S1 {
+		if !out[i].S1.Equal(out[j].S1) {
 			return out[i].S1.Less(out[j].S1)
 		}
 		return out[i].S2.Less(out[j].S2)
@@ -103,10 +110,11 @@ func BruteForceCout(g *hypergraph.Graph) (float64, bool) {
 	// card(S) for inner joins is partition independent: the product of
 	// base cardinalities and of the selectivities of all edges internal
 	// to S (each predicate applied exactly once).
-	cardMemo := map[bitset.Set]float64{}
+	cardMemo := map[string]float64{} // keyed by Set.Key
 	var card func(S bitset.Set) float64
 	card = func(S bitset.Set) float64 {
-		if c, ok := cardMemo[S]; ok {
+		key := S.Key()
+		if c, ok := cardMemo[key]; ok {
 			return c
 		}
 		c := 1.0
@@ -118,18 +126,19 @@ func BruteForceCout(g *hypergraph.Graph) (float64, bool) {
 				c *= e.Sel
 			}
 		}
-		cardMemo[S] = c
+		cardMemo[key] = c
 		return c
 	}
 
 	const inf = 1e308
-	memo := map[bitset.Set]float64{}
+	memo := map[string]float64{} // keyed by Set.Key
 	var best func(S bitset.Set) float64
 	best = func(S bitset.Set) float64 {
 		if S.IsSingleton() {
 			return 0
 		}
-		if c, ok := memo[S]; ok {
+		key := S.Key()
+		if c, ok := memo[key]; ok {
 			return c
 		}
 		res := inf
@@ -146,11 +155,11 @@ func BruteForceCout(g *hypergraph.Graph) (float64, bool) {
 					}
 				}
 			}
-			if a == rest {
+			if a.Equal(rest) {
 				break
 			}
 		}
-		memo[S] = res
+		memo[key] = res
 		return res
 	}
 

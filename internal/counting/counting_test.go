@@ -93,7 +93,7 @@ func pow3(n int) int {
 
 func TestPairsNormalized(t *testing.T) {
 	pairs := CsgCmpPairs(cycleGraph(5))
-	seen := map[Pair]bool{}
+	seen := map[string]bool{}
 	for _, p := range pairs {
 		if p.S1.Min() >= p.S2.Min() {
 			t.Errorf("pair %v|%v not normalized", p.S1, p.S2)
@@ -101,21 +101,21 @@ func TestPairsNormalized(t *testing.T) {
 		if !p.S1.Disjoint(p.S2) {
 			t.Errorf("pair %v|%v overlaps", p.S1, p.S2)
 		}
-		if seen[p] {
+		if seen[p.Key()] {
 			t.Errorf("duplicate pair %v|%v", p.S1, p.S2)
 		}
-		seen[p] = true
+		seen[p.Key()] = true
 	}
 }
 
 func TestNormalize(t *testing.T) {
 	a, b := bitset.New(2, 3), bitset.New(0, 1)
 	p := Normalize(a, b)
-	if p.S1 != b || p.S2 != a {
+	if !p.S1.Equal(b) || !p.S2.Equal(a) {
 		t.Errorf("Normalize = %v", p)
 	}
 	p2 := Normalize(b, a)
-	if p2 != p {
+	if !p2.Equal(p) {
 		t.Error("Normalize must be orientation independent")
 	}
 }
@@ -141,7 +141,7 @@ func TestPaperExampleSearchSpace(t *testing.T) {
 	}
 	found := false
 	for _, p := range pairs {
-		if p.S1 == bitset.New(0, 1, 2) && p.S2 == bitset.New(3, 4, 5) {
+		if p.S1.Equal(bitset.New(0, 1, 2)) && p.S2.Equal(bitset.New(3, 4, 5)) {
 			found = true
 		}
 	}

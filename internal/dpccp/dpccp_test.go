@@ -47,7 +47,7 @@ func TestIdenticalSequenceToDPhyp(t *testing.T) {
 			t.Fatalf("trial %d: %d pairs vs %d", trial, len(ccp), len(hyp))
 		}
 		for i := range ccp {
-			if ccp[i] != hyp[i] {
+			if !ccp[i].Equal(hyp[i]) {
 				t.Fatalf("trial %d: sequence diverges at %d: %v|%v vs %v|%v",
 					trial, i, ccp[i].S1, ccp[i].S2, hyp[i].S1, hyp[i].S2)
 			}
@@ -72,12 +72,12 @@ func TestMeetsLowerBound(t *testing.T) {
 		} else if want := counting.CountCsgCmpPairs(g); stats.CsgCmpPairs != want {
 			t.Errorf("trial %d: emitted %d, lower bound %d", trial, stats.CsgCmpPairs, want)
 		}
-		seen := map[counting.Pair]bool{}
+		seen := map[string]bool{}
 		for _, p := range got {
-			if seen[p] {
+			if seen[p.Key()] {
 				t.Errorf("duplicate %v|%v", p.S1, p.S2)
 			}
-			seen[p] = true
+			seen[p.Key()] = true
 		}
 	}
 }

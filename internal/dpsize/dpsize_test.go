@@ -74,18 +74,18 @@ func TestEmitsExactPairSet(t *testing.T) {
 			t.Fatal(err)
 		}
 		want := counting.CsgCmpPairs(g)
-		seen := map[counting.Pair]bool{}
+		seen := map[string]bool{}
 		for _, p := range got {
-			if seen[p] {
+			if seen[p.Key()] {
 				t.Errorf("duplicate pair %v|%v", p.S1, p.S2)
 			}
-			seen[p] = true
+			seen[p.Key()] = true
 		}
 		if len(got) != len(want) {
 			t.Errorf("emitted %d pairs, want %d", len(got), len(want))
 		}
 		for _, p := range want {
-			if !seen[p] {
+			if !seen[p.Key()] {
 				t.Errorf("missing pair %v|%v", p.S1, p.S2)
 			}
 		}

@@ -92,7 +92,7 @@ outer:
 		// "DPsub generates all subsets S1 ⊂ S and joins the best plans
 		// for S1 and S2 = S ∖ S1."
 		for S1 := range S.SubsetsOf() {
-			if S1 == S {
+			if S1.Equal(S) {
 				break // proper subsets only
 			}
 			// DPsub spends Θ(3^n) iterations mostly on failing subset
@@ -155,7 +155,7 @@ func solveParallel(g *hypergraph.Graph, b *dp.Builder, all bitset.Set, n, worker
 					}
 					for _, S := range sets[lo:min(lo+chunkSets, len(sets))] {
 						for S1 := range S.SubsetsOf() {
-							if S1 == S {
+							if S1.Equal(S) {
 								break
 							}
 							if !we.Step() {

@@ -56,18 +56,18 @@ func TestEmitsExactPairSet(t *testing.T) {
 			t.Fatal(err)
 		}
 		want := counting.CsgCmpPairs(g)
-		seen := map[counting.Pair]bool{}
+		seen := map[string]bool{}
 		for _, p := range got {
-			if seen[p] {
+			if seen[p.Key()] {
 				t.Errorf("duplicate pair %v|%v", p.S1, p.S2)
 			}
-			seen[p] = true
+			seen[p.Key()] = true
 		}
 		if len(got) != len(want) {
 			t.Errorf("emitted %d pairs, want %d", len(got), len(want))
 		}
 		for _, p := range want {
-			if !seen[p] {
+			if !seen[p.Key()] {
 				t.Errorf("missing pair %v|%v", p.S1, p.S2)
 			}
 		}
@@ -84,13 +84,13 @@ func TestDPOrder(t *testing.T) {
 	}}); err != nil {
 		t.Fatal(err)
 	}
-	lastCompose := map[bitset.Set]int{}
+	lastCompose := map[string]int{}
 	for i, p := range pairs {
-		lastCompose[p.S1.Union(p.S2)] = i
+		lastCompose[p.S1.Union(p.S2).Key()] = i
 	}
 	for i, p := range pairs {
 		for _, side := range []bitset.Set{p.S1, p.S2} {
-			if last, ok := lastCompose[side]; ok && last > i {
+			if last, ok := lastCompose[side.Key()]; ok && last > i {
 				t.Errorf("pair %d uses %v before its last composition at %d", i, side, last)
 			}
 		}

@@ -22,7 +22,7 @@ func TestGreedyFindsValidPlans(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if p.Rels != g.AllNodes() {
+		if !p.Rels.Equal(g.AllNodes()) {
 			t.Error("incomplete plan")
 		}
 		if err := p.Validate(); err != nil {

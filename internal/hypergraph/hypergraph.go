@@ -91,7 +91,8 @@ type Graph struct {
 	complexEdges    []int        // indices of non-simple edges
 
 	// Definition-3 connectivity memo, invalidated on mutation.
-	connMemo map[bitset.Set]bool
+	// Keyed by Set.Key (Set itself is not a valid map key).
+	connMemo map[string]bool
 }
 
 // New returns an empty graph.
@@ -482,9 +483,10 @@ func (g *Graph) IsConnected(S bitset.Set) bool {
 	}
 	g.mu.Lock()
 	if g.connMemo == nil {
-		g.connMemo = make(map[bitset.Set]bool)
+		g.connMemo = make(map[string]bool)
 	}
-	v, ok := g.connMemo[S]
+	key := S.Key()
+	v, ok := g.connMemo[key]
 	g.mu.Unlock()
 	if ok {
 		return v
@@ -503,12 +505,12 @@ func (g *Graph) IsConnected(S bitset.Set) bool {
 			res = true
 			break
 		}
-		if a == rest {
+		if a.Equal(rest) {
 			break
 		}
 	}
 	g.mu.Lock()
-	g.connMemo[S] = res
+	g.connMemo[key] = res
 	g.mu.Unlock()
 	return res
 }

@@ -10,6 +10,18 @@ import (
 	"repro/internal/bitset"
 )
 
+// fromBits builds a Set from a word-0 bit pattern, for quick.Check
+// properties that generate random masks as integers.
+func fromBits(raw uint64) bitset.Set {
+	var s bitset.Set
+	for e := 0; e < 64; e++ {
+		if raw&(1<<uint(e)) != 0 {
+			s = s.Add(e)
+		}
+	}
+	return s
+}
+
 func chain(n int) *Graph {
 	g := New()
 	g.AddRelations(n, "R", 100)
@@ -90,24 +102,24 @@ func TestNeighborhoodPaperExample(t *testing.T) {
 	// E↓(S,X) = {{R4,R5,R6}}."
 	S := bitset.New(0, 1, 2)
 	cands := g.CandidateHypernodes(S, S)
-	if len(cands) != 1 || cands[0] != bitset.New(3, 4, 5) {
+	if len(cands) != 1 || !cands[0].Equal(bitset.New(3, 4, 5)) {
 		t.Fatalf("E↓ = %v, want [{R4,R5,R6}]", cands)
 	}
 
 	// "...we have N(S,X) = {R4}."
-	if n := g.Neighborhood(S, S); n != bitset.New(3) {
+	if n := g.Neighborhood(S, S); !n.Equal(bitset.New(3)) {
 		t.Errorf("N(S,X) = %v, want {R4} (node 3)", n)
 	}
 
 	// From the trace discussion in §3.2: for S1 = {R2} with R1 forbidden,
 	// the neighborhood consists only of {R3}.
-	if n := g.Neighborhood(bitset.New(1), bitset.New(0, 1)); n != bitset.New(2) {
+	if n := g.Neighborhood(bitset.New(1), bitset.New(0, 1)); !n.Equal(bitset.New(2)) {
 		t.Errorf("N({R2}, {R1,R2}) = %v, want {R3}", n)
 	}
 
 	// From §3.4: for S2 = {R4} with X = {R1,R2,R3} ∪ B_{R1}, the
 	// neighborhood is {R5}.
-	if n := g.Neighborhood(bitset.New(3), bitset.New(0, 1, 2)); n != bitset.New(4) {
+	if n := g.Neighborhood(bitset.New(3), bitset.New(0, 1, 2)); !n.Equal(bitset.New(4)) {
 		t.Errorf("N({R4}, ...) = %v, want {R5}", n)
 	}
 }
@@ -115,10 +127,10 @@ func TestNeighborhoodPaperExample(t *testing.T) {
 func TestMinRepresentativePaperExample(t *testing.T) {
 	// §2.3: with S = {R4,R5,R6}: min(S) = {R4}, min̄(S) = {R5,R6}.
 	S := bitset.New(3, 4, 5)
-	if S.MinSet() != bitset.New(3) {
+	if !S.MinSet().Equal(bitset.New(3)) {
 		t.Errorf("min(S) = %v", S.MinSet())
 	}
-	if S.MinusMin() != bitset.New(4, 5) {
+	if !S.MinusMin().Equal(bitset.New(4, 5)) {
 		t.Errorf("min̄(S) = %v", S.MinusMin())
 	}
 }
@@ -132,17 +144,17 @@ func TestNeighborhoodSubsumption(t *testing.T) {
 	g.AddEdge(Edge{U: bitset.New(0), V: bitset.New(1, 2), Sel: 0.5}) // subsumed by {R1}
 	g.AddEdge(Edge{U: bitset.New(0), V: bitset.New(2, 3), Sel: 0.5}) // minimal
 	cands := g.CandidateHypernodes(bitset.New(0), bitset.New(0))
-	want := map[bitset.Set]bool{bitset.New(1): true, bitset.New(2, 3): true}
+	want := map[string]bool{bitset.New(1).Key(): true, bitset.New(2, 3).Key(): true}
 	if len(cands) != 2 {
 		t.Fatalf("E↓ = %v", cands)
 	}
 	for _, c := range cands {
-		if !want[c] {
+		if !want[c.Key()] {
 			t.Errorf("unexpected candidate %v", c)
 		}
 	}
 	// Neighborhood picks representatives: R1 and min({R2,R3}) = R2.
-	if n := g.Neighborhood(bitset.New(0), bitset.New(0)); n != bitset.New(1, 2) {
+	if n := g.Neighborhood(bitset.New(0), bitset.New(0)); !n.Equal(bitset.New(1, 2)) {
 		t.Errorf("N = %v, want {R1,R2}", n)
 	}
 }
@@ -153,7 +165,7 @@ func TestNeighborhoodSubsumptionAmongComplex(t *testing.T) {
 	g.AddEdge(Edge{U: bitset.New(0), V: bitset.New(1, 2, 3), Sel: 0.5})
 	g.AddEdge(Edge{U: bitset.New(0), V: bitset.New(1, 2), Sel: 0.5})
 	cands := g.CandidateHypernodes(bitset.New(0), bitset.New(0))
-	if len(cands) != 1 || cands[0] != bitset.New(1, 2) {
+	if len(cands) != 1 || !cands[0].Equal(bitset.New(1, 2)) {
 		t.Fatalf("E↓ = %v, want [{R2,R3}]", cands)
 	}
 }
@@ -175,7 +187,7 @@ func TestNeighborhoodDisconnectedSet(t *testing.T) {
 	g := chain(5)
 	S := bitset.New(0, 2) // not adjacent
 	n := g.Neighborhood(S, S)
-	if n != bitset.New(1, 3) {
+	if !n.Equal(bitset.New(1, 3)) {
 		t.Errorf("N = %v, want {R1,R3}", n)
 	}
 }
@@ -230,19 +242,19 @@ func TestGeneralizedEdgeNeighborhood(t *testing.T) {
 
 	// Nothing of w in S: candidate {R1,R2,R3}, representative R1.
 	cands := g.CandidateHypernodes(bitset.New(0), bitset.New(0))
-	if len(cands) != 1 || cands[0] != bitset.New(1, 2, 3) {
+	if len(cands) != 1 || !cands[0].Equal(bitset.New(1, 2, 3)) {
 		t.Fatalf("E↓ = %v", cands)
 	}
 
 	// Part of w already in S: candidate shrinks to v ∪ (w ∖ S).
 	cands = g.CandidateHypernodes(bitset.New(0, 2), bitset.New(0, 2))
-	if len(cands) != 1 || cands[0] != bitset.New(1, 3) {
+	if len(cands) != 1 || !cands[0].Equal(bitset.New(1, 3)) {
 		t.Fatalf("E↓ = %v, want [{R1,R3}]", cands)
 	}
 
 	// All of w in S: candidate is exactly v.
 	cands = g.CandidateHypernodes(bitset.New(0, 2, 3), bitset.New(0, 2, 3))
-	if len(cands) != 1 || cands[0] != bitset.New(1) {
+	if len(cands) != 1 || !cands[0].Equal(bitset.New(1)) {
 		t.Fatalf("E↓ = %v, want [{R1}]", cands)
 	}
 }
@@ -372,11 +384,11 @@ func TestNeighborhoodProperty(t *testing.T) {
 	g := randomGraph(rng, 10, 14)
 	f := func(sRaw, xRaw uint16) bool {
 		all := g.AllNodes()
-		S := bitset.Set(sRaw) & all
+		S := fromBits(uint64(sRaw)).Intersect(all)
 		if S.IsEmpty() {
 			return true
 		}
-		X := bitset.Set(xRaw) & all
+		X := fromBits(uint64(xRaw)).Intersect(all)
 		n := g.Neighborhood(S, X)
 		if n.Overlaps(S) || n.Overlaps(X) {
 			return false
@@ -388,7 +400,7 @@ func TestNeighborhoodProperty(t *testing.T) {
 		for _, c := range cands {
 			want = want.Union(c.MinSet())
 		}
-		return n == want
+		return n.Equal(want)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
@@ -401,8 +413,8 @@ func TestConnectsToSymmetric(t *testing.T) {
 	g := randomGraph(rng, 9, 12)
 	f := func(aRaw, bRaw uint16) bool {
 		all := g.AllNodes()
-		a := bitset.Set(aRaw) & all
-		b := bitset.Set(bRaw) & all &^ a
+		a := fromBits(uint64(aRaw)).Intersect(all)
+		b := fromBits(uint64(bRaw)).Intersect(all).Minus(a)
 		if a.IsEmpty() || b.IsEmpty() {
 			return true
 		}

@@ -1,20 +1,25 @@
-// Package bitsetwidth flags expressions outside internal/bitset that
-// treat bitset.Set as a raw uint64: conversions between Set and integer
-// types, integer literals becoming Sets, and word-level operators
-// (shifts, masks, arithmetic, ordering comparisons) applied to Set
-// operands.
+// Package bitsetwidth enforces the opacity of bitset.Set outside its
+// owning package: no code elsewhere may assume the word count, index
+// into words, or otherwise touch the representation. Since the
+// multi-word widening (a single-word fast path plus a []uint64 tail for
+// elements ≥ 64), Set is a non-comparable struct, so the guarded
+// invariant moved with it:
 //
-// bitset.Set is a single machine word today, which caps queries at 64
-// relations (ROADMAP item 1). Every site this analyzer reports is a
-// place that would break silently if Set became a multi-word struct —
-// the analyzer's output is the mechanical worklist for that refactor,
-// tracked in LINT_BASELINE.json. Equality comparisons (==, !=) are
-// allowed: they survive any representation change that keeps Set
-// comparable.
+//   - conversions between Set and integer types, and integer literals
+//     becoming Sets, are flagged (the representation is not a number);
+//   - word-level operators (shifts, masks, arithmetic, ordering
+//     comparisons) on Set operands are flagged;
+//   - equality operators (==, !=) on Set are now flagged too: the
+//     compiler rejects them on the slice-bearing struct, but the
+//     analyzer reports them first with a clearer message (use
+//     Equal/IsEmpty), and it also catches the interface-boxed form the
+//     compiler accepts and the runtime panics on;
+//   - map types keyed by Set are flagged: key by Set.Key() instead.
 //
-// Suppress individual sites with //nolint:bitsetwidth // <reason>; the
-// suppressed count is still reported by `dplint -json` so the worklist
-// stays visible.
+// Every diagnostic is a site that silently assumed the historical
+// single-word representation. Suppress individual sites with
+// //nolint:bitsetwidth // <reason>; the suppressed count is still
+// reported by `dplint -json` so the worklist stays visible.
 package bitsetwidth
 
 import (
@@ -28,7 +33,7 @@ import (
 // Analyzer is the bitsetwidth invariant checker.
 var Analyzer = &analysis.Analyzer{
 	Name: "bitsetwidth",
-	Doc:  "flag code outside internal/bitset that assumes bitset.Set is a raw uint64",
+	Doc:  "flag code outside internal/bitset that assumes the Set representation (word math, comparability, map keys)",
 	Run:  run,
 }
 
@@ -59,6 +64,14 @@ func checkFile(pass *analysis.Pass, pkg *analysis.Package, f *ast.File) {
 		case *ast.UnaryExpr:
 			if wordOp(n.Op) && isSet(info, n.X) {
 				pass.Reportf(n.Pos(), "unary %s on bitset.Set assumes the single-word representation; add a bitset method instead", n.Op)
+			}
+		case *ast.MapType:
+			if tv, ok := info.Types[n.Key]; ok && tv.Type != nil && setType(tv.Type) {
+				pass.Reportf(n.Key.Pos(), "bitset.Set is not comparable and cannot key a map; key by Set.Key()")
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil && isSet(info, n.Tag) {
+				pass.Reportf(n.Tag.Pos(), "switch on bitset.Set requires comparability; compare cases with Equal")
 			}
 		}
 		return true
@@ -91,6 +104,12 @@ func checkConversion(pass *analysis.Pass, info *types.Info, call *ast.CallExpr) 
 }
 
 func checkBinary(pass *analysis.Pass, info *types.Info, b *ast.BinaryExpr) {
+	if b.Op == token.EQL || b.Op == token.NEQ {
+		if isSet(info, b.X) || isSet(info, b.Y) {
+			pass.Reportf(b.OpPos, "equality %s on bitset.Set; the multi-word Set is not comparable — use Equal (or IsEmpty)", b.Op)
+		}
+		return
+	}
 	if !wordOp(b.Op) {
 		return
 	}
@@ -107,7 +126,7 @@ func checkBinary(pass *analysis.Pass, info *types.Info, b *ast.BinaryExpr) {
 }
 
 // wordOp reports whether op only makes sense on the raw machine word.
-// Equality survives any comparable representation and is allowed.
+// Equality is handled separately (it gets its own diagnostic).
 func wordOp(op token.Token) bool {
 	switch op {
 	case token.SHL, token.SHR, token.AND, token.OR, token.XOR, token.AND_NOT,

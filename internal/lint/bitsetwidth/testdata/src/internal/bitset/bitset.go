@@ -11,3 +11,9 @@ func (s Set) Less(t Set) bool { return s < t }
 
 // Word does arbitrary word math, all exempt in this package.
 func Word(s Set) Set { return (s << 1) & (s - 1) }
+
+// Equal is the sanctioned comparison of the real multi-word Set.
+func (s Set) Equal(t Set) bool { return s == t }
+
+// Key is the sanctioned map key of the real multi-word Set.
+func (s Set) Key() string { return "" }

@@ -19,15 +19,33 @@ func conversions(s bitset.Set, n uint64) {
 var elems []int
 
 func operators(s, t bitset.Set) {
-	_ = s < t  // want `ordering comparison < on bitset\.Set`
-	_ = s >= t // want `ordering comparison >= on bitset\.Set`
-	_ = s << 3 // want `shift << on bitset\.Set`
-	_ = s & t  // want `operator & on bitset\.Set`
-	_ = s + 1  // want `operator \+ on bitset\.Set`
-	_ = -s     // want `unary - on bitset\.Set`
-	_ = s == t // equality survives representation changes: no finding
-	_ = s != t
-	_ = s.Less(t) // the sanctioned form
+	_ = s < t      // want `ordering comparison < on bitset\.Set`
+	_ = s >= t     // want `ordering comparison >= on bitset\.Set`
+	_ = s << 3     // want `shift << on bitset\.Set`
+	_ = s & t      // want `operator & on bitset\.Set`
+	_ = s + 1      // want `operator \+ on bitset\.Set`
+	_ = -s         // want `unary - on bitset\.Set`
+	_ = s == t     // want `equality == on bitset\.Set`
+	_ = s != t     // want `equality != on bitset\.Set`
+	_ = s.Less(t)  // the sanctioned forms
+	_ = s.Equal(t) // (the stub's Set is comparable so the compiler is silent;
+	// the real multi-word Set makes == a compile error — the analyzer
+	// reports it first, with the migration hint)
+}
+
+// comparability exercises the representation-independence checks that
+// replaced the old ==/!= allowance.
+func comparability(s, t bitset.Set) {
+	var seen map[bitset.Set]int // want `bitset\.Set is not comparable and cannot key a map`
+	_ = seen
+	type pair struct{ a, b bitset.Set }
+	byPair := map[mySet][]pair{} // want `bitset\.Set is not comparable and cannot key a map`
+	_ = byPair
+	good := map[string]pair{} // keyed by Set.Key(): no finding
+	_ = good
+	switch s { // want `switch on bitset\.Set requires comparability`
+	case t:
+	}
 }
 
 func suppressed(s bitset.Set) {

@@ -90,6 +90,14 @@ type Stats struct {
 	ArenaNodes   int  // arena slots used (≈ TableEntries; leaves included)
 	ArenaReused  bool // the run started on recycled table/arena storage
 
+	// Large-query tier accounting, filled by the iterative-DP driver
+	// (internal/iterdp). Subproblems counts the exactly-solved
+	// compressed subproblems (the final enumeration included); Rounds
+	// counts the compression rounds the graph went through. Both are
+	// zero for runs the exact solvers handled directly.
+	Subproblems int
+	Rounds      int
+
 	// Session-level accounting, filled by the Planner layer.
 	BudgetExhausted bool // exact enumeration stopped at its Limits
 	FallbackGreedy  bool // a GOO plan was substituted after the budget trip
@@ -520,7 +528,7 @@ func (e *Engine) Improve(S bitset.Set, left, right int32, op algebra.Op, phys al
 // lexicographically smaller (left rels, right rels) pair is canonical.
 func (e *Engine) tieBeats(newL, newR, oldL, oldR int32) bool {
 	nl, ol := e.nodeAt(newL).rels, e.nodeAt(oldL).rels
-	if nl != ol {
+	if !nl.Equal(ol) {
 		return nl.Less(ol)
 	}
 	return e.nodeAt(newR).rels.Less(e.nodeAt(oldR).rels)

@@ -182,7 +182,7 @@ func (p *Par) FinishLevel(kind LevelKind) []bitset.Set {
 		j := i + 1
 		best := ents[i]
 		bn := &best.w.nodes[best.h]
-		for ; j < len(ents) && ents[j].S == best.S; j++ {
+		for ; j < len(ents) && ents[j].S.Equal(best.S); j++ {
 			cand := ents[j]
 			cn := &cand.w.nodes[cand.h]
 			if cn.cost < bn.cost ||

@@ -35,6 +35,10 @@ type levelEntry struct {
 	left, right bitset.Set
 }
 
+func (a levelEntry) equal(b levelEntry) bool {
+	return a.S.Equal(b.S) && a.cost == b.cost && a.left.Equal(b.left) && a.right.Equal(b.right)
+}
+
 // runMergeScenario seeds singletons {0..3}, then emits the size-4
 // partitions of {0,1,2,3} across nw workers in the given per-worker
 // arrangement, merges, and returns the entry for the full set.
@@ -74,7 +78,7 @@ func runMergeScenario(t *testing.T, nw int, assign [][][2]bitset.Set, cost func(
 	}
 	wg.Wait()
 	newSets := p.FinishLevel(LevelBuilt)
-	if len(newSets) != 1 || newSets[0] != bitset.Full(4) {
+	if len(newSets) != 1 || !newSets[0].Equal(bitset.Full(4)) {
 		t.Fatalf("merge produced %v, want [%v]", newSets, bitset.Full(4))
 	}
 	h, ok := e.Lookup(bitset.Full(4))
@@ -109,7 +113,7 @@ func TestParallelMergeTieBreakOrderIndependent(t *testing.T) {
 	}
 	for i, a := range arrangements {
 		got := runMergeScenario(t, 2, a, flat)
-		if got != want {
+		if !got.equal(want) {
 			t.Errorf("arrangement %d: got %+v, want %+v", i, got, want)
 		}
 	}
@@ -118,7 +122,7 @@ func TestParallelMergeTieBreakOrderIndependent(t *testing.T) {
 // TestParallelMergePrefersCheaper: cost still dominates the tie-break.
 func TestParallelMergePrefersCheaper(t *testing.T) {
 	cheaperHigh := func(S1, S2 bitset.Set) float64 {
-		if S1 == bitset.New(0, 2) {
+		if S1.Equal(bitset.New(0, 2)) {
 			return 50 // the lexicographically larger split is cheaper
 		}
 		return 100
@@ -126,7 +130,7 @@ func TestParallelMergePrefersCheaper(t *testing.T) {
 	got := runMergeScenario(t, 2,
 		[][][2]bitset.Set{{{bitset.New(0, 1), bitset.New(2, 3)}}, {{bitset.New(0, 2), bitset.New(1, 3)}}},
 		cheaperHigh)
-	if got.cost != 50 || got.left != bitset.New(0, 2) {
+	if got.cost != 50 || !got.left.Equal(bitset.New(0, 2)) {
 		t.Errorf("got %+v, want the cheaper {0,2}x{1,3} split at cost 50", got)
 	}
 }
@@ -160,7 +164,7 @@ func TestSerialImproveTieBreakMatchesMerge(t *testing.T) {
 			t.Fatal("no entry")
 		}
 		n := e.nodeAt(h)
-		if e.nodeAt(n.left).rels != bitset.New(0, 1) {
+		if !e.nodeAt(n.left).rels.Equal(bitset.New(0, 1)) {
 			t.Errorf("order %v: winner left = %v, want {0,1}", order, e.nodeAt(n.left).rels)
 		}
 	}

@@ -6,13 +6,6 @@ import (
 	"repro/internal/bitset"
 )
 
-// fibMul is the 64-bit Fibonacci-hashing multiplier (2^64 divided by the
-// golden ratio, rounded to odd). Relation-set keys are heavily clustered
-// in their low bits — enumeration visits {R0}, {R0,R1}, {R0,R1,R2}, … —
-// and multiplying by this constant spreads that low-bit entropy across
-// the high bits, which slotOf then shifts down to index the table.
-const fibMul = 0x9E3779B97F4A7C15
-
 // minSlots is the smallest table allocation. Power of two, large enough
 // that the tiny queries dominating served traffic never grow the table.
 const minSlots = 64
@@ -26,18 +19,21 @@ const (
 )
 
 // Table is an open-addressing hash table from non-empty bitset.Set keys
-// to int32 values, specialized for the join-enumeration memo: keys are
-// single machine words, the empty set is never a valid key (every memoed
-// relation set contains at least one relation) and doubles as the
-// free-slot sentinel, and deletion is not supported — DP tables only
-// ever grow within a run and are cleared wholesale between runs.
+// to int32 values, specialized for the join-enumeration memo: the empty
+// set is never a valid key (every memoed relation set contains at least
+// one relation) and doubles as the free-slot sentinel, and deletion is
+// not supported — DP tables only ever grow within a run and are cleared
+// wholesale between runs. Keys hash through bitset.Hash, whose
+// single-word path is one multiply, so the ≤64-relation slot sequence
+// is identical to the historical packed-word Fibonacci hash; wide keys
+// fold their tail words into the same 64-bit hash before slotting.
 //
-// Compared to a Go map[bitset.Set]T this removes interface hashing,
-// per-bucket overflow pointers, and tophash bookkeeping from the hottest
-// lookup path of the enumeration loops. The zero Table is empty and
-// ready to use.
+// Compared to a Go map this removes interface hashing, per-bucket
+// overflow pointers, and tophash bookkeeping from the hottest lookup
+// path of the enumeration loops. The zero Table is empty and ready to
+// use.
 type Table struct {
-	keys  []bitset.Set // power-of-two length; 0 marks a free slot
+	keys  []bitset.Set // power-of-two length; the empty set marks a free slot
 	vals  []int32
 	used  int
 	shift uint // 64 - log2(len(keys))
@@ -92,16 +88,16 @@ func (t *Table) Grows() int { return t.grows }
 //
 //dp:hotpath
 func (t *Table) Get(k bitset.Set) (int32, bool) {
-	if len(t.keys) == 0 || k == bitset.Empty {
+	if len(t.keys) == 0 || k.IsEmpty() {
 		return 0, false
 	}
 	mask := uint(len(t.keys) - 1)
-	i := uint(uint64(k)*fibMul>>t.shift) & mask //nolint:bitsetwidth // fibonacci hashing of the packed word; multi-word Set needs a real hash (ROADMAP item 1)
+	i := uint(k.Hash()>>t.shift) & mask
 	for {
-		switch t.keys[i] {
-		case k:
+		if t.keys[i].Equal(k) {
 			return t.vals[i], true
-		case bitset.Empty:
+		}
+		if t.keys[i].IsEmpty() {
 			return 0, false
 		}
 		i = (i + 1) & mask
@@ -113,7 +109,7 @@ func (t *Table) Get(k bitset.Set) (int32, bool) {
 //
 //dp:hotpath
 func (t *Table) Put(k bitset.Set, v int32) {
-	if k == bitset.Empty {
+	if k.IsEmpty() {
 		panic("memo: empty relation set used as table key")
 	}
 	if len(t.keys) == 0 {
@@ -123,13 +119,13 @@ func (t *Table) Put(k bitset.Set, v int32) {
 		t.grow()
 	}
 	mask := uint(len(t.keys) - 1)
-	i := uint(uint64(k)*fibMul>>t.shift) & mask //nolint:bitsetwidth // fibonacci hashing of the packed word; multi-word Set needs a real hash (ROADMAP item 1)
+	i := uint(k.Hash()>>t.shift) & mask
 	for {
-		switch t.keys[i] {
-		case k:
+		if t.keys[i].Equal(k) {
 			t.vals[i] = v
 			return
-		case bitset.Empty:
+		}
+		if t.keys[i].IsEmpty() {
 			t.keys[i] = k
 			t.vals[i] = v
 			t.used++
@@ -151,11 +147,11 @@ func (t *Table) grow() {
 	t.grows++
 	mask := uint(slots - 1)
 	for j, k := range oldKeys {
-		if k == bitset.Empty {
+		if k.IsEmpty() {
 			continue
 		}
-		i := uint(uint64(k)*fibMul>>t.shift) & mask //nolint:bitsetwidth // fibonacci hashing of the packed word; multi-word Set needs a real hash (ROADMAP item 1)
-		for t.keys[i] != bitset.Empty {
+		i := uint(k.Hash()>>t.shift) & mask
+		for !t.keys[i].IsEmpty() {
 			i = (i + 1) & mask
 		}
 		t.keys[i] = k
@@ -167,7 +163,7 @@ func (t *Table) grow() {
 // Go map the order is deterministic for a given insertion history.
 func (t *Table) ForEach(f func(k bitset.Set, v int32)) {
 	for i, k := range t.keys {
-		if k != bitset.Empty {
+		if !k.IsEmpty() {
 			f(k, t.vals[i])
 		}
 	}

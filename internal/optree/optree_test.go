@@ -105,7 +105,7 @@ func TestSESIsPredicateTables(t *testing.T) {
 	tr := mustAnalyze(t, root, rels, Conservative)
 	for i, o := range tr.Ops() {
 		want := bitset.New(0, i+1)
-		if o.SES() != want {
+		if !o.SES().Equal(want) {
 			t.Errorf("op %d: SES = %v, want %v", i, o.SES(), want)
 		}
 	}
@@ -118,7 +118,7 @@ func TestInnerJoinStarNoConflicts(t *testing.T) {
 	for _, rule := range []ConflictRule{Conservative, Published} {
 		tr := mustAnalyze(t, root, rels, rule)
 		for i, o := range tr.Ops() {
-			if o.TES() != o.SES() {
+			if !o.TES().Equal(o.SES()) {
 				t.Errorf("rule %v op %d: TES %v != SES %v", rule, i, o.TES(), o.SES())
 			}
 		}
@@ -144,7 +144,7 @@ func TestAntijoinStarConservativePrefixTES(t *testing.T) {
 	tr := mustAnalyze(t, root, rels, Conservative)
 	for i, o := range tr.Ops() {
 		want := bitset.Range(0, i+2) // {R0..R_{i+1}}
-		if o.TES() != want {
+		if !o.TES().Equal(want) {
 			t.Errorf("op %d: TES = %v, want prefix %v", i, o.TES(), want)
 		}
 	}
@@ -163,7 +163,7 @@ func TestAntijoinStarPublishedStaysStar(t *testing.T) {
 	root, rels := leftDeepStar(ops(algebra.AntiJoin, 4))
 	tr := mustAnalyze(t, root, rels, Published)
 	for i, o := range tr.Ops() {
-		if o.TES() != o.SES() {
+		if !o.TES().Equal(o.SES()) {
 			t.Errorf("op %d: TES = %v, want SES %v", i, o.TES(), o.SES())
 		}
 	}
@@ -178,7 +178,7 @@ func TestOuterJoinCycleTES(t *testing.T) {
 		root, rels := leftDeepCycle(ops(algebra.LeftOuter, 5))
 		tr := mustAnalyze(t, root, rels, rule)
 		for i, o := range tr.Ops() {
-			if o.TES() != o.SES() {
+			if !o.TES().Equal(o.SES()) {
 				t.Errorf("rule %v op %d: outer joins must not conflict: TES %v SES %v",
 					rule, i, o.TES(), o.SES())
 			}
@@ -192,12 +192,12 @@ func TestOuterJoinCycleTES(t *testing.T) {
 	opsList := tr.Ops()
 	// op 2 is the first inner join; its predicate {R2,R3} overlaps the
 	// right-branch tables of both outer joins below, and OC(P,B) = true.
-	if got := opsList[2].TES(); got == opsList[2].SES() {
+	if got := opsList[2].TES(); got.Equal(opsList[2].SES()) {
 		t.Errorf("join above outer joins must grow its TES, got %v", got)
 	}
 	// The outer joins themselves keep TES = SES.
 	for i := 0; i < 2; i++ {
-		if opsList[i].TES() != opsList[i].SES() {
+		if !opsList[i].TES().Equal(opsList[i].SES()) {
 			t.Errorf("outer join %d TES grew unexpectedly", i)
 		}
 	}
@@ -213,7 +213,7 @@ func TestFullOuterConflicts(t *testing.T) {
 	o := tr.Ops()
 	// Inner join above the full outer join: conflict → TES grows to
 	// cover the full outer join's tables.
-	if got, want := o[1].TES(), bitset.New(0, 1, 2); got != want {
+	if got, want := o[1].TES(), bitset.New(0, 1, 2); !got.Equal(want) {
 		t.Errorf("join TES = %v, want %v (absorbing the full outer join)", got, want)
 	}
 }
@@ -232,10 +232,10 @@ func TestHypergraphEdgeDerivation(t *testing.T) {
 		if e.Op != algebra.AntiJoin {
 			t.Errorf("edge %d op = %v", i, e.Op)
 		}
-		if e.V != bitset.Single(i+1) {
+		if !e.V.Equal(bitset.Single(i + 1)) {
 			t.Errorf("edge %d right side = %v, want {R%d}", i, e.V, i+1)
 		}
-		if e.U != bitset.Range(0, i+1) {
+		if !e.U.Equal(bitset.Range(0, i+1)) {
 			t.Errorf("edge %d left side = %v, want prefix", i, e.U)
 		}
 	}
@@ -331,7 +331,7 @@ func TestDependentRelationFlow(t *testing.T) {
 	}
 	tr := mustAnalyze(t, root, rels, Conservative)
 	g := tr.Hypergraph(TESEdges)
-	if g.FreeTables(bitset.New(1)) != bitset.New(0) {
+	if !g.FreeTables(bitset.New(1)).Equal(bitset.New(0)) {
 		t.Fatalf("free tables = %v", g.FreeTables(bitset.New(1)))
 	}
 	p, _, err := core.Solve(g, core.Options{})

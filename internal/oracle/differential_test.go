@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/algebra"
+	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/dp"
@@ -132,7 +133,7 @@ func checkSolver(t *testing.T, tag string, g *hypergraph.Graph, m cost.Model,
 		t.Errorf("%s: %s/%s returned invalid plan: %v", tag, name, m.Name(), err)
 		return
 	}
-	if p.Rels != g.AllNodes() {
+	if !p.Rels.Equal(g.AllNodes()) {
 		t.Errorf("%s: %s/%s plan covers %v, want %v", tag, name, m.Name(), p.Rels, g.AllNodes())
 		return
 	}
@@ -220,7 +221,7 @@ func TestOracleRejectsUnsupported(t *testing.T) {
 	outer.AddRelation("A", 10)
 	outer.AddRelation("B", 10)
 	outer.AddEdge(hypergraph.Edge{
-		U: 1, V: 2, Sel: 0.5, Op: algebra.LeftOuter,
+		U: bitset.Single(0), V: bitset.Single(1), Sel: 0.5, Op: algebra.LeftOuter,
 	})
 	if _, err := Optimal(outer, nil); err == nil {
 		t.Error("non-inner graph must fail")

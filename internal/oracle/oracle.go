@@ -57,7 +57,7 @@ func Optimal(g *hypergraph.Graph, m cost.Model) (*plan.Node, error) {
 	if m == nil {
 		m = cost.Default()
 	}
-	e := &enum{g: g, m: m, memo: make(map[bitset.Set]*plan.Node)}
+	e := &enum{g: g, m: m, memo: make(map[string]*plan.Node)}
 	p := e.best(g.AllNodes())
 	if p == nil {
 		return nil, fmt.Errorf("oracle: hypergraph not connected, no plan for %v", g.AllNodes())
@@ -68,7 +68,7 @@ func Optimal(g *hypergraph.Graph, m cost.Model) (*plan.Node, error) {
 type enum struct {
 	g    *hypergraph.Graph
 	m    cost.Model
-	memo map[bitset.Set]*plan.Node // nil value = subgraph not connected
+	memo map[string]*plan.Node // keyed by Set.Key; nil value = subgraph not connected
 }
 
 // best returns the cheapest plan covering exactly S, or nil when S is
@@ -76,20 +76,21 @@ type enum struct {
 // with a connecting edge and two connected halves is tried, fixing
 // min(S) ∈ S1 so each unordered partition is visited once.
 func (e *enum) best(S bitset.Set) *plan.Node {
-	if p, ok := e.memo[S]; ok {
+	key := S.Key()
+	if p, ok := e.memo[key]; ok {
 		return p
 	}
 	if S.IsSingleton() {
 		r := S.Min()
 		p := plan.Leaf(r, e.g.Relation(r).Card)
-		e.memo[S] = p
+		e.memo[key] = p
 		return p
 	}
 	var best *plan.Node
 	rest := S.MinusMin()
 	lo := S.MinSet()
 	for a := bitset.Empty; ; a = a.NextSubset(rest) {
-		if a == rest {
+		if a.Equal(rest) {
 			break // S2 would be empty
 		}
 		S1 := lo.Union(a)
@@ -103,7 +104,7 @@ func (e *enum) best(S bitset.Set) *plan.Node {
 			}
 		}
 	}
-	e.memo[S] = best
+	e.memo[key] = best
 	return best
 }
 

@@ -208,7 +208,7 @@ func (n *Node) Equal(m *Node) bool {
 	if n.IsLeaf() {
 		return n.Rel == m.Rel
 	}
-	return n.Op == m.Op && n.Rels == m.Rels &&
+	return n.Op == m.Op && n.Rels.Equal(m.Rels) &&
 		n.Left.Equal(m.Left) && n.Right.Equal(m.Right)
 }
 
@@ -256,7 +256,7 @@ func (n *Node) Validate() error {
 		if n.Rel < 0 {
 			return fmt.Errorf("plan: leaf with negative relation index")
 		}
-		if n.Rels != bitset.Single(n.Rel) {
+		if !n.Rels.Equal(bitset.Single(n.Rel)) {
 			return fmt.Errorf("plan: leaf R%d has Rels %v", n.Rel, n.Rels)
 		}
 		return nil
@@ -270,7 +270,7 @@ func (n *Node) Validate() error {
 	if !n.Left.Rels.Disjoint(n.Right.Rels) {
 		return fmt.Errorf("plan: children overlap: %v and %v", n.Left.Rels, n.Right.Rels)
 	}
-	if n.Left.Rels.Union(n.Right.Rels) != n.Rels {
+	if !n.Left.Rels.Union(n.Right.Rels).Equal(n.Rels) {
 		return fmt.Errorf("plan: children do not partition %v", n.Rels)
 	}
 	if err := n.Left.Validate(); err != nil {

@@ -21,7 +21,7 @@ func TestLeaf(t *testing.T) {
 	if !l.IsLeaf() || l.Rel != 3 || l.Card != 42 || l.Cost != 0 {
 		t.Errorf("leaf = %+v", l)
 	}
-	if l.Rels != bitset.Single(3) {
+	if !l.Rels.Equal(bitset.Single(3)) {
 		t.Errorf("leaf rels = %v", l.Rels)
 	}
 	if l.Joins() != 0 || l.Relations() != 1 || l.Depth() != 1 {
@@ -34,7 +34,7 @@ func TestJoinNode(t *testing.T) {
 	if p.IsLeaf() {
 		t.Fatal("join is not a leaf")
 	}
-	if p.Rels != bitset.New(0, 1, 2) {
+	if !p.Rels.Equal(bitset.New(0, 1, 2)) {
 		t.Errorf("rels = %v", p.Rels)
 	}
 	if p.Joins() != 2 || p.Relations() != 3 || p.Depth() != 3 {

@@ -21,7 +21,6 @@ package shape
 import (
 	"fmt"
 
-	"repro/internal/bitset"
 	"repro/internal/hypergraph"
 )
 
@@ -105,7 +104,7 @@ func Classify(g *hypergraph.Graph) Profile {
 	}
 
 	deg := make([]int, n)
-	seenPair := make(map[bitset.Set]struct{}, g.NumEdges())
+	seenPair := make(map[string]struct{}, g.NumEdges())
 	all := newUnionFind(n)  // connectivity of the full hypergraph
 	skel := newUnionFind(n) // connectivity of the simple skeleton
 
@@ -113,7 +112,7 @@ func Classify(g *hypergraph.Graph) Profile {
 		e := g.Edge(i)
 		if e.Simple() {
 			a, b := e.U.Min(), e.V.Min()
-			pair := e.U.Union(e.V)
+			pair := e.U.Union(e.V).Key()
 			if _, dup := seenPair[pair]; !dup {
 				seenPair[pair] = struct{}{}
 				deg[a]++

@@ -105,7 +105,7 @@ func (s *solver) solve(S bitset.Set) bool {
 		if s.g.ConnectsTo(S1, S2) && s.solve(S1) && s.solve(S2) {
 			s.e.EmitPair(S1, S2)
 		}
-		if a == rest {
+		if a.Equal(rest) {
 			break
 		}
 	}

@@ -58,14 +58,14 @@ func TestAgreesWithDPhyp(t *testing.T) {
 // Memoization must emit each pair at most once.
 func TestNoDuplicatePairs(t *testing.T) {
 	g := hypergraph.PaperExampleGraph()
-	seen := map[counting.Pair]bool{}
+	seen := map[string]bool{}
 	dups := 0
 	if _, _, err := Solve(g, Options{OnEmit: func(a, b bitset.Set) {
 		p := counting.Normalize(a, b)
-		if seen[p] {
+		if seen[p.Key()] {
 			dups++
 		}
-		seen[p] = true
+		seen[p.Key()] = true
 	}}); err != nil {
 		t.Fatal(err)
 	}

@@ -47,27 +47,24 @@ func TestDeterminism(t *testing.T) {
 // first into ({R0},{R6}) and ({R1},{R7}); G3 splits the second into
 // ({R2},{R4}) and ({R3},{R5}).
 func TestCycleHyperPaperSplits(t *testing.T) {
-	edgeSet := func(g *hypergraph.Graph) map[[2]bitset.Set]bool {
-		out := map[[2]bitset.Set]bool{}
+	pairKey := func(u, v bitset.Set) string { return u.Key() + "|" + v.Key() }
+	edgeSet := func(g *hypergraph.Graph) map[string]bool {
+		out := map[string]bool{}
 		for i := 8; i < g.NumEdges(); i++ { // first 8 are the cycle edges
 			e := g.Edge(i)
-			out[[2]bitset.Set{e.U, e.V}] = true
+			out[pairKey(e.U, e.V)] = true
 		}
 		return out
 	}
 
 	g0 := CycleHyper(8, 0, cfg())
-	if got := edgeSet(g0); len(got) != 1 || !got[[2]bitset.Set{bitset.Range(0, 4), bitset.Range(4, 8)}] {
+	if got := edgeSet(g0); len(got) != 1 || !got[pairKey(bitset.Range(0, 4), bitset.Range(4, 8))] {
 		t.Fatalf("G0 hyperedges wrong: %v", got)
 	}
 
 	g1 := CycleHyper(8, 1, cfg())
-	want1 := map[[2]bitset.Set]bool{
-		{bitset.New(0, 1), bitset.New(6, 7)}: true,
-		{bitset.New(2, 3), bitset.New(4, 5)}: true,
-	}
-	if got := edgeSet(g1); len(got) != 2 || !got[[2]bitset.Set{bitset.New(0, 1), bitset.New(6, 7)}] || !got[[2]bitset.Set{bitset.New(2, 3), bitset.New(4, 5)}] {
-		t.Fatalf("G1 hyperedges wrong: %v, want %v", got, want1)
+	if got := edgeSet(g1); len(got) != 2 || !got[pairKey(bitset.New(0, 1), bitset.New(6, 7))] || !got[pairKey(bitset.New(2, 3), bitset.New(4, 5))] {
+		t.Fatalf("G1 hyperedges wrong: want ({R0,R1},{R6,R7}) and ({R2,R3},{R4,R5})")
 	}
 
 	g2 := CycleHyper(8, 2, cfg())
@@ -77,8 +74,8 @@ func TestCycleHyperPaperSplits(t *testing.T) {
 		{bitset.New(0), bitset.New(6)},
 		{bitset.New(1), bitset.New(7)},
 	} {
-		if !got2[w] {
-			t.Errorf("G2 missing %v -- %v (have %v)", w[0], w[1], got2)
+		if !got2[pairKey(w[0], w[1])] {
+			t.Errorf("G2 missing %v -- %v", w[0], w[1])
 		}
 	}
 
@@ -90,8 +87,8 @@ func TestCycleHyperPaperSplits(t *testing.T) {
 		{bitset.New(2), bitset.New(4)},
 		{bitset.New(3), bitset.New(5)},
 	} {
-		if !got3[w] {
-			t.Errorf("G3 missing %v -- %v (have %v)", w[0], w[1], got3)
+		if !got3[pairKey(w[0], w[1])] {
+			t.Errorf("G3 missing %v -- %v", w[0], w[1])
 		}
 	}
 	if len(got3) != 4 {
@@ -106,7 +103,7 @@ func TestStarHyperStructure(t *testing.T) {
 		t.Fatalf("rels = %d, want 9", g.NumRels())
 	}
 	e := g.Edge(g.NumEdges() - 1)
-	if e.U != bitset.Range(1, 5) || e.V != bitset.Range(5, 9) {
+	if !e.U.Equal(bitset.Range(1, 5)) || !e.V.Equal(bitset.Range(5, 9)) {
 		t.Errorf("hyperedge = %v -- %v", e.U, e.V)
 	}
 	// Full split: all derived edges simple.
@@ -142,7 +139,7 @@ func TestAllSplitStagesSolvable(t *testing.T) {
 			if err != nil {
 				t.Fatalf("splits=%d: %v", splits, err)
 			}
-			if p.Rels != g.AllNodes() {
+			if !p.Rels.Equal(g.AllNodes()) {
 				t.Errorf("splits=%d: incomplete plan", splits)
 			}
 		}

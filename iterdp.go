@@ -1,0 +1,45 @@
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/hypergraph"
+	"repro/internal/iterdp"
+	"repro/internal/plan"
+)
+
+// runIterDP dispatches a hypergraph to the large-query simplification
+// tier (internal/iterdp), supplying DPhyp as the exact solver for the
+// compressed subproblems: subgraphs may contain hyperedges after
+// compression rounds, and DPhyp is the paper's overall winner on every
+// shape at subproblem scale.
+//
+// Subproblems run serially — at ClusterSize ≤ 20 relations each
+// enumeration is microseconds, below the parallel crossover — and share
+// the session's memo pool, so the tier's per-subproblem setup cost is a
+// table memclr, not an allocation. The Budget limits apply to each
+// subproblem individually (the engine resets its counters per run);
+// cancellation through o.ctx applies to the whole tier, clustering
+// loops included.
+//
+// Graphs the tier cannot handle (non-inner operators, dependent
+// relations, graphs held together only by wide hyperedges) fail with an
+// error wrapping ErrBudgetExhausted, which the Planner's standard
+// fallback policy turns into a Greedy (GOO) plan.
+func runIterDP(g *Graph, o options, limits dp.Limits) (*PlanNode, Stats, error) {
+	exact := func(sub *hypergraph.Graph) (*plan.Node, dp.Stats, error) {
+		sub.Freeze()
+		return core.Solve(sub, core.Options{
+			Model:       o.model,
+			Limits:      limits,
+			Pool:        o.pool,
+			Parallelism: 1,
+		})
+	}
+	return iterdp.Solve(g, iterdp.Options{
+		ClusterSize: o.clusterSize,
+		Model:       o.model,
+		Ctx:         o.ctx,
+		Exact:       exact,
+	})
+}

@@ -84,7 +84,7 @@ func TestBudgetExhaustionMidEmissionGreedyFallback(t *testing.T) {
 	if err := res.Plan.Validate(); err != nil {
 		t.Errorf("greedy fallback plan invalid: %v", err)
 	}
-	if res.Plan.Rels != g.AllNodes() {
+	if !res.Plan.Rels.Equal(g.AllNodes()) {
 		t.Errorf("fallback plan covers %v, want %v", res.Plan.Rels, g.AllNodes())
 	}
 	if res.Cost() < exact.Cost() {

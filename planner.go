@@ -452,9 +452,10 @@ func (p *Planner) fail(err error) error {
 // tie-break makes plans byte-identical at every worker count, so a
 // plan enumerated serially is interchangeable with a parallel one.
 func configKey(o options) string {
-	return fmt.Sprintf("%d/%s/%v/%t/%d:%d/%t",
+	return fmt.Sprintf("%d/%s/%v/%t/%d:%d/%t/%d",
 		o.alg, o.model.Name(), o.rule, o.genAndTest,
-		o.budget.MaxCsgCmpPairs, o.budget.MaxCostedPlans, o.noFallback)
+		o.budget.MaxCsgCmpPairs, o.budget.MaxCostedPlans, o.noFallback,
+		o.clusterSize)
 }
 
 var (

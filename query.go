@@ -139,7 +139,7 @@ func (q *Query) toSet(ids []RelID) (bitset.Set, error) {
 	var s bitset.Set
 	for _, id := range ids {
 		if id < 0 || int(id) >= q.g.NumRels() {
-			return 0, fmt.Errorf("repro: unknown relation id %d", id)
+			return bitset.Empty, fmt.Errorf("repro: unknown relation id %d", id)
 		}
 		s = s.Add(int(id))
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/dpsub"
 	"repro/internal/goo"
 	"repro/internal/hypergraph"
+	"repro/internal/iterdp"
 	"repro/internal/memo"
 	"repro/internal/optree"
 	"repro/internal/plan"
@@ -116,6 +117,16 @@ const (
 	// beyond the reach of exact dynamic programming. Plans are valid but
 	// not necessarily optimal.
 	Greedy
+	// IterDP is the large-query tier: iterative dynamic programming by
+	// graph simplification. Adjacent relations are greedily clustered
+	// into subproblems of at most WithClusterSize relations, each
+	// subproblem is solved EXACTLY by the enumeration engine, clusters
+	// collapse to compound vertices, and the compression repeats until
+	// one final exact enumeration covers the graph. Optimal within each
+	// subproblem, heuristic across cluster boundaries; this is how
+	// 100–1000-relation queries plan within an interactive budget.
+	// Non-inner operators and dependent relations degrade to Greedy.
+	IterDP
 	// SolverAuto routes each query to a concrete algorithm based on its
 	// topology (chain, cycle, star, clique, grid, mixed — see
 	// internal/shape) and the paper's §4 crossover data. The routed
@@ -128,7 +139,7 @@ const (
 
 var algorithmNames = map[Algorithm]string{
 	DPhyp: "dphyp", DPsize: "dpsize", DPsub: "dpsub", DPccp: "dpccp",
-	TopDown: "topdown", Greedy: "greedy", SolverAuto: "auto",
+	TopDown: "topdown", Greedy: "greedy", IterDP: "iterdp", SolverAuto: "auto",
 }
 
 func (a Algorithm) String() string {
@@ -145,7 +156,7 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 			return a, nil
 		}
 	}
-	return 0, fmt.Errorf("repro: unknown algorithm %q (have dphyp, dpsize, dpsub, dpccp, topdown, greedy, auto)", s)
+	return 0, fmt.Errorf("repro: unknown algorithm %q (have dphyp, dpsize, dpsub, dpccp, topdown, greedy, iterdp, auto)", s)
 }
 
 // Budget bounds the effort of one exact enumeration. The zero value
@@ -181,6 +192,7 @@ type options struct {
 	noFallback  bool
 	pool        *memo.Pool
 	parallelism int // 0 = GOMAXPROCS, 1 = serial
+	clusterSize int // IterDP subproblem budget; 0 = DefaultClusterSize
 }
 
 func defaultOptions() options {
@@ -241,6 +253,17 @@ func WithoutGreedyFallback() Option { return func(o *options) { o.noFallback = t
 // runs, and generate-and-test filters always plan serially — fork/join
 // overhead would dominate or ordering guarantees would be lost.
 func WithParallelism(n int) Option { return func(o *options) { o.parallelism = n } }
+
+// DefaultClusterSize is the IterDP subproblem budget unless overridden
+// with WithClusterSize: 12-relation subgraphs exact-solve in well under
+// a millisecond on every topology.
+const DefaultClusterSize = iterdp.DefaultClusterSize
+
+// WithClusterSize sets the largest relation count the IterDP tier hands
+// to one exact sub-enumeration (default DefaultClusterSize, capped at
+// iterdp.MaxClusterSize). Larger clusters buy plan quality with
+// exponentially more enumeration time per subproblem.
+func WithClusterSize(n int) Option { return func(o *options) { o.clusterSize = n } }
 
 // ParallelMinRels is the size crossover below which enumerations stay
 // serial regardless of WithParallelism: under ~10 relations a full
@@ -310,6 +333,8 @@ func runSolver(g *Graph, o options, filter dp.Filter) (*PlanNode, Stats, error) 
 		return topdown.Solve(g, topdown.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool, Parallelism: par})
 	case Greedy:
 		return goo.Solve(g, goo.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool, Parallelism: par})
+	case IterDP:
+		return runIterDP(g, o, limits)
 	case SolverAuto:
 		// The Planner resolves SolverAuto to a concrete algorithm before
 		// dispatching; reaching this point is a programming error.

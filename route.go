@@ -16,6 +16,16 @@ const (
 	autoMaxSparseRels = 24 // chain and cycle
 )
 
+// autoMaxGreedyRels is the ceiling of the plain Greedy degradation: the
+// historical single-machine-word limit (§2.3). Up to here oversize
+// queries keep their pre-multi-word behavior (GOO's O(n³) scan is still
+// interactive and its plans are adequate at this scale); beyond it the
+// IterDP simplification tier takes over — its greedy clustering plus
+// exact subproblems beat pure GOO on plan quality, and its near-linear
+// compression keeps 100–1000-relation queries inside an interactive
+// budget where GOO's cubic scan would not.
+const autoMaxGreedyRels = 64
+
 // routeAuto maps a topology profile to the enumeration algorithm,
 // following the crossover data of the paper's evaluation (§4):
 //
@@ -61,6 +71,9 @@ func routeAuto(p shape.Profile, workers int) Algorithm {
 		limit = autoMaxStarRels
 	case shape.Chain, shape.Cycle:
 		limit = autoMaxSparseRels
+	}
+	if p.Rels > autoMaxGreedyRels {
+		return IterDP
 	}
 	if p.Rels > limit {
 		return Greedy

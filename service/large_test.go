@@ -1,0 +1,115 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// largeChainDoc builds an n-relation chain document with PK–FK-style
+// selectivities (sel ≈ 1/card), the regime real schemas occupy at this
+// scale: cardinality estimates stay finite out to hundreds of joins.
+func largeChainDoc(n int) *repro.QueryJSON {
+	doc := &repro.QueryJSON{}
+	for i := 0; i < n; i++ {
+		doc.Relations = append(doc.Relations, repro.RelationJSON{
+			Name: fmt.Sprintf("t%d", i), Card: float64(1000 + 10*i),
+		})
+	}
+	for i := 0; i+1 < n; i++ {
+		doc.Edges = append(doc.Edges, repro.EdgeJSON{
+			Left: []int{i}, Right: []int{i + 1}, Sel: 1.0 / float64(1000+10*i),
+		})
+	}
+	return doc
+}
+
+// largeStarDoc builds an n-relation star document (hub + n-1
+// satellites) in the same PK–FK regime.
+func largeStarDoc(n int) *repro.QueryJSON {
+	doc := &repro.QueryJSON{}
+	doc.Relations = append(doc.Relations, repro.RelationJSON{Name: "fact", Card: 1e6})
+	for i := 1; i < n; i++ {
+		card := float64(100 + 10*i)
+		doc.Relations = append(doc.Relations, repro.RelationJSON{
+			Name: fmt.Sprintf("dim%d", i), Card: card,
+		})
+		doc.Edges = append(doc.Edges, repro.EdgeJSON{
+			Left: []int{0}, Right: []int{i}, Sel: 1.0 / card,
+		})
+	}
+	return doc
+}
+
+// leafCount walks a wire-format plan tree counting scan leaves.
+func leafCount(n *PlanNodeJSON) int {
+	if n == nil {
+		return 0
+	}
+	if n.Left == nil && n.Right == nil {
+		return 1
+	}
+	return leafCount(n.Left) + leafCount(n.Right)
+}
+
+// TestPlanLargeQueryOverHTTP is the service-side acceptance smoke:
+// 100-relation chain and star documents plan over the wire under
+// "auto", route to the iterdp tier, return full-coverage plans, and —
+// matching the CI budget — finish well under two seconds each.
+func TestPlanLargeQueryOverHTTP(t *testing.T) {
+	s := New(Config{Planner: repro.NewPlanner()})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		name string
+		doc  *repro.QueryJSON
+	}{
+		{"chain100", largeChainDoc(100)},
+		{"star100", largeStarDoc(100)},
+	} {
+		start := time.Now()
+		code, body := postPlan(t, srv.Client(), srv.URL, PlanRequest{Query: tc.doc, Algorithm: "auto"})
+		elapsed := time.Since(start)
+		if code != http.StatusOK {
+			t.Fatalf("%s: POST /plan: %d: %s", tc.name, code, body)
+		}
+		var resp PlanResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatalf("%s: decoding response: %v", tc.name, err)
+		}
+		if resp.Algorithm != "iterdp" {
+			t.Errorf("%s: algorithm %q, want iterdp", tc.name, resp.Algorithm)
+		}
+		if resp.Stats.RoutedAlgorithm != "iterdp" {
+			t.Errorf("%s: routed_algorithm %q, want iterdp", tc.name, resp.Stats.RoutedAlgorithm)
+		}
+		if got := leafCount(resp.Plan); got != len(tc.doc.Relations) {
+			t.Errorf("%s: plan has %d leaves, want %d", tc.name, got, len(tc.doc.Relations))
+		}
+		if resp.Cost <= 0 {
+			t.Errorf("%s: non-positive cost %v", tc.name, resp.Cost)
+		}
+		if elapsed > 2*time.Second {
+			t.Errorf("%s: planning took %v, budget is 2s", tc.name, elapsed)
+		}
+	}
+
+	// The explicit algorithm name is part of the wire format too.
+	code, body := postPlan(t, srv.Client(), srv.URL, PlanRequest{Query: largeChainDoc(80), Algorithm: "iterdp"})
+	if code != http.StatusOK {
+		t.Fatalf("explicit iterdp: POST /plan: %d: %s", code, body)
+	}
+	var resp PlanResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Algorithm != "iterdp" || leafCount(resp.Plan) != 80 {
+		t.Fatalf("explicit iterdp: algorithm %q with %d leaves", resp.Algorithm, leafCount(resp.Plan))
+	}
+}
