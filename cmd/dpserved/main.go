@@ -9,17 +9,25 @@
 //	dpserved -solver auto -cost physical  # planner defaults for all requests
 //	dpserved -budget-pairs 5000000        # budget + greedy fallback per plan
 //	dpserved -parallel 4                  # multi-core exact enumeration per plan
+//	dpserved -debug-addr localhost:6060   # pprof + debug surfaces, off the main port
+//	dpserved -history-file plans.json     # persistent planning-cost history
+//	dpserved -slow-plan 100ms             # warn (with phase totals) on slow plans
 //
 // Quickstart:
 //
 //	dpserved -addr :8080 &
 //	querygen -family star -n 8 | jq '{query: .}' \
 //	    | curl -sS -d @- localhost:8080/plan | jq .cost
-//	curl -sS localhost:8080/metrics | grep planner_
+//	querygen -family star -n 8 | jq '{query: .}' \
+//	    | curl -sS -d @- 'localhost:8080/plan?explain=1' | jq .trace
+//	curl -sS localhost:8080/metrics | grep planner_plan_seconds | head
+//	curl -sS localhost:8080/debug/plans | jq '.[0]'
 //
-// Endpoints: POST /plan, POST /batch, GET /healthz, GET /metrics — see
-// package repro/service for the wire format, admission control, and
-// coalescing semantics.
+// Endpoints: POST /plan (?explain=1 for a phase trace), POST /batch,
+// GET /healthz, GET /metrics, GET /debug/plans, GET /debug/history —
+// see package repro/service for the wire format, admission control, and
+// coalescing semantics. With -debug-addr a second listener additionally
+// serves net/http/pprof and GET /debug/runtime; keep it on loopback.
 package main
 
 import (
@@ -27,7 +35,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -42,6 +50,7 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
+		debugAddr   = flag.String("debug-addr", "", "listen address for pprof and debug surfaces (empty = disabled; keep loopback-only)")
 		workers     = flag.Int("workers", 0, "concurrent enumerations (0 = GOMAXPROCS)")
 		queue       = flag.Int("queue", 64, "admission queue depth beyond the workers; overflow is shed with 429")
 		timeout     = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
@@ -51,8 +60,14 @@ func main() {
 		costMod     = flag.String("cost", "cout", "default cost model: cout | cmm | nlj | hash | physical")
 		budgetPairs = flag.Int("budget-pairs", 10_000_000, "per-plan csg-cmp-pair budget before greedy fallback (0 = unlimited)")
 		parallel    = flag.Int("parallel", 0, "enumeration workers per plan (0 = GOMAXPROCS, 1 = serial); large cache-miss queries fan out across cores")
+		historyFile = flag.String("history-file", "", "persistent planning-cost history JSON (loaded at startup, saved periodically and at shutdown)")
+		historyInt  = flag.Duration("history-interval", 5*time.Minute, "periodic history save cadence")
+		slowPlan    = flag.Duration("slow-plan", 0, "log a warning for planning requests at least this slow (0 = disabled)")
+		traceSample = flag.Int("trace-sample", 0, "attach an explain trace to 1 in N planning requests for /debug/plans (0 = disabled)")
+		ringSize    = flag.Int("ring-size", 32, "slowest plans kept for /debug/plans")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight plans")
-		quiet       = flag.Bool("quiet", false, "suppress per-request access logs")
+		logLevel    = flag.String("log-level", "info", "log level: debug | info | warn | error")
+		quiet       = flag.Bool("quiet", false, "suppress per-request logs (level warn)")
 	)
 	flag.Parse()
 
@@ -66,6 +81,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dpserved:", err)
 		os.Exit(2)
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintln(os.Stderr, "dpserved: bad -log-level:", err)
+		os.Exit(2)
+	}
+	if *quiet && level < slog.LevelWarn {
+		level = slog.LevelWarn
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
@@ -77,16 +101,18 @@ func main() {
 		repro.WithBudget(repro.Budget{MaxCsgCmpPairs: *budgetPairs}),
 		repro.WithParallelism(*parallel),
 	)
-	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
 	cfg := service.Config{
-		Planner:        planner,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-	}
-	if !*quiet {
-		cfg.Logger = logger
+		Planner:           planner,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		Logger:            logger,
+		HistoryPath:       *historyFile,
+		HistoryInterval:   *historyInt,
+		SlowPlanThreshold: *slowPlan,
+		TraceSample:       *traceSample,
+		RingSize:          *ringSize,
 	}
 	svc := service.New(cfg)
 
@@ -102,32 +128,59 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("dpserved: serving on %s (solver=%s cost=%s workers=%d queue=%d)",
-			*addr, *solver, *costMod, cfg.Workers, cfg.QueueDepth)
+		logger.Info("dpserved: serving",
+			"addr", *addr, "solver", *solver, "cost", *costMod,
+			"workers", cfg.Workers, "queue", cfg.QueueDepth)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
+	// The debug listener is separate so profiling endpoints (which can
+	// block for seconds and expose internals) never share a port with
+	// plan traffic.
+	var dbgSrv *http.Server
+	if *debugAddr != "" {
+		dbgSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           svc.DebugHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			logger.Info("dpserved: debug surfaces on", "addr", *debugAddr)
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("dpserved: debug serve", "error", err)
+			}
+		}()
+	}
+
 	select {
 	case err := <-errCh:
-		logger.Fatalf("dpserved: serve: %v", err)
+		logger.Error("dpserved: serve", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 	stop() // restore default signal behavior: a second ^C kills immediately
 
-	logger.Printf("dpserved: signal received; draining (up to %s)", *drainWait)
+	logger.Info("dpserved: signal received; draining", "timeout", *drainWait)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 
 	// Drain the service first (new plans are refused, in-flight ones
-	// finish), then close the listener and idle connections.
+	// finish, the planning-cost history is saved), then close the
+	// listeners and idle connections.
 	if err := svc.Shutdown(drainCtx); err != nil {
-		logger.Printf("dpserved: drain incomplete: %v", err)
+		logger.Warn("dpserved: drain incomplete", "error", err)
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		logger.Printf("dpserved: http shutdown: %v", err)
+		logger.Warn("dpserved: http shutdown", "error", err)
+	}
+	if dbgSrv != nil {
+		if err := dbgSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			logger.Warn("dpserved: debug shutdown", "error", err)
+		}
 	}
 
 	m := planner.Metrics()
-	logger.Printf("dpserved: drained; served %d plans (%d cache hits, %d fallbacks, %d failures); bye",
-		m.Plans, m.CacheHits, m.Fallbacks, m.Failures)
+	logger.Info("dpserved: drained; bye",
+		"plans", m.Plans, "cache_hits", m.CacheHits,
+		"fallbacks", m.Fallbacks, "failures", m.Failures)
 }

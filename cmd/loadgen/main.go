@@ -27,11 +27,13 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro"
 	"repro/internal/hypergraph"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -51,6 +53,7 @@ func main() {
 		seed        = flag.Int64("seed", 2008, "workload seed")
 		minQPS      = flag.Float64("min-qps", 0, "exit 1 if achieved QPS falls below this (0 = no gate)")
 		minSuccess  = flag.Float64("min-success", 0, "exit 1 if the 2xx fraction falls below this (0 = no gate)")
+		checkMet    = flag.Bool("check-metrics", false, "after the run, fetch /metrics, validate the exposition, and require the per-shape planner_plan_seconds family (exit 1 on failure)")
 	)
 	flag.Parse()
 
@@ -171,6 +174,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: success rate %.4f < required %.4f\n", success, *minSuccess)
 		os.Exit(1)
 	}
+	if *checkMet {
+		if err := checkMetrics(client, *url, *family); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: metrics check:", err)
+			os.Exit(1)
+		}
+		fmt.Println("metrics: exposition valid, per-shape planning-latency family present")
+	}
+}
+
+// checkMetrics is the observability half of the serving smoke test: the
+// /metrics exposition must parse, and the traffic this run just sent
+// must have materialized the dimensional planning-latency series for
+// its workload shape. The shape label is the router's classification,
+// so this also catches a server accidentally running without SolverAuto
+// (every series would be "unclassified").
+func checkMetrics(client *http.Client, url, family string) error {
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: %d", resp.StatusCode)
+	}
+	if err := obs.ValidatePrometheusText(string(text)); err != nil {
+		return err
+	}
+	for _, want := range []string{
+		fmt.Sprintf("planner_plan_seconds_bucket{shape=%q", family),
+		"planner_plan_seconds_count{",
+		"dpserved_request_duration_seconds_bucket{",
+	} {
+		if !strings.Contains(string(text), want) {
+			return fmt.Errorf("exposition lacks %s", want)
+		}
+	}
+	return nil
 }
 
 // post sends one plan request, drains the response, and returns the

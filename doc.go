@@ -229,7 +229,49 @@
 //	kill -TERM %1    # drains in-flight plans, then exits
 //
 // cmd/loadgen replays querygen-style workloads against a running
-// server at a target QPS and reports latency percentiles.
+// server at a target QPS and reports latency percentiles; its
+// -check-metrics flag additionally validates the /metrics exposition
+// and the per-shape latency families, the observability half of the
+// serving smoke test.
+//
+// # Observability
+//
+// The internal/obs package is the planning observability layer; it
+// imports only the standard library and sits below the memo engine, so
+// every tier threads the same types without cycles. Three surfaces:
+//
+// Explain traces. WithExplain(t *PlanTrace) attaches a phase/span
+// recorder to one planning call: route, cache_lookup, enumerate (or
+// one iterdp_round span per compression round plus the final enumerate
+// and recost), fallback, and materialize, each with wall time, pairs
+// emitted, memo occupancy, and worker count. The completed trace is
+// returned as Stats.Trace; over HTTP, POST /plan?explain=1 renders it
+// as the response's trace field. Tracing observes phase boundaries
+// only, from the orchestrating goroutine: unlike WithTrace it neither
+// forces the serial engine nor bypasses the plan cache (a traced cache
+// hit yields a trace of just the lookup). A Trace is a fixed-capacity
+// value and every method is nil-receiver-safe — untraced runs pay one
+// pointer test per phase boundary, traced runs allocate nothing, and
+// the span hooks are //dp:hotpath-clean.
+//
+// Dimensional metrics. Every successful Planner call — cache hits
+// included — is observed into a shape × algorithm × relation-count-
+// bucket latency histogram registry (Planner.PlanObs), exported at
+// /metrics as the planner_plan_seconds family. The registry snapshots
+// into a persistent planning-cost history (service.Config.HistoryPath;
+// dpserved -history-file): loaded at startup as the baseline, merged
+// with live counts, saved periodically and at shutdown, so per-shape
+// p50/p99 planning cost survives restarts — the input the planned
+// budget router will consume.
+//
+// Debug surfaces. GET /debug/plans is a bounded ring of the slowest
+// plans seen (fingerprint, shape, algorithm, duration, and the trace
+// when the request was traced or sampled via -trace-sample); GET
+// /debug/history serves the merged cost history. dpserved -debug-addr
+// opens a second listener with net/http/pprof and GET /debug/runtime;
+// -slow-plan logs a warning with phase totals for requests over the
+// threshold. Service logging is structured (log/slog) with a request
+// id shared between the access and plan records.
 //
 // # Compatibility wrappers
 //

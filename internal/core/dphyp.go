@@ -34,6 +34,7 @@ import (
 	"repro/internal/dp"
 	"repro/internal/hypergraph"
 	"repro/internal/memo"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -54,6 +55,13 @@ type Options struct {
 	// Trace, when non-nil, records the traversal steps analogous to
 	// Fig. 3.
 	Trace *Trace
+
+	// Explain, when non-nil, receives phase spans for the run (the
+	// engine records the materialize phase; the planner wraps the whole
+	// enumeration). Unlike Trace/OnEmit it does not force the serial
+	// engine — spans are recorded at phase boundaries by the
+	// orchestrating goroutine, never by workers.
+	Explain *obs.Trace
 
 	// Limits bounds the run: cancellation is polled inside the
 	// enumeration recursion, and budget trips abort with
@@ -105,6 +113,7 @@ func New(g *hypergraph.Graph, opts Options) *Solver {
 	b.Filter = opts.Filter
 	e.OnEmit = opts.OnEmit
 	e.SetLimits(opts.Limits)
+	e.SetTrace(opts.Explain)
 	s := &Solver{g: g, e: e, b: b, opts: opts}
 	s.emit = e.EmitPair
 	s.contains = e.Contains

@@ -38,6 +38,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dp"
 	"repro/internal/hypergraph"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -84,6 +85,12 @@ type Options struct {
 	// Ctx cancels the clustering loops between sub-solves (the Exact
 	// callback is expected to carry its own cancellation).
 	Ctx context.Context
+	// Explain, when non-nil, receives one span per compression round
+	// (clustering + exact sub-solves + compress, tagged with the round
+	// index), one for the final enumeration over the compound vertices,
+	// and one for the recost pass — never a span per subproblem, so the
+	// trace of a 1000-relation run stays within its fixed capacity.
+	Explain *obs.Trace
 }
 
 // vertex is one node of the current compression level: the original
@@ -144,6 +151,9 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 		if err := ctxErr(opts.Ctx); err != nil {
 			return nil, stats, err
 		}
+		span := opts.Explain.Start(obs.PhaseCluster)
+		opts.Explain.SetRound(span, stats.Rounds)
+		pairsBefore, subsBefore := stats.CsgCmpPairs, stats.Subproblems
 		groups := clusterRound(cur, verts, cs)
 		merged := false
 		for _, grp := range groups {
@@ -153,6 +163,7 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 			}
 		}
 		if !merged {
+			opts.Explain.End(span)
 			return nil, stats, ErrStalled
 		}
 		next := make([]vertex, 0, len(groups))
@@ -165,6 +176,7 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 			sp, st, err := opts.Exact(sub)
 			accumulate(&stats, st)
 			if err != nil {
+				opts.Explain.End(span)
 				return nil, stats, fmt.Errorf("iterdp: subproblem of %d relations: %w", len(grp), err)
 			}
 			stats.Subproblems++
@@ -177,15 +189,21 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 		cur = compress(cur, verts, groups, next)
 		verts = next
 		stats.Rounds++
+		opts.Explain.Annotate(span, int64(stats.CsgCmpPairs-pairsBefore),
+			len(verts), 0, stats.Subproblems-subsBefore)
+		opts.Explain.End(span)
 	}
 
 	var final *plan.Node
 	if len(verts) == 1 {
 		final = verts[0].pl
 	} else {
+		span := opts.Explain.Start(obs.PhaseEnumerate)
+		pairsBefore := stats.CsgCmpPairs
 		sp, st, err := opts.Exact(cur)
 		accumulate(&stats, st)
 		if err != nil {
+			opts.Explain.End(span)
 			return nil, stats, fmt.Errorf("iterdp: final enumeration over %d compound vertices: %w", len(verts), err)
 		}
 		stats.Subproblems++
@@ -194,8 +212,13 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 			all[i] = i
 		}
 		final = expand(sp, all, verts)
+		opts.Explain.Annotate(span, int64(stats.CsgCmpPairs-pairsBefore),
+			st.TableEntries, st.Workers, 1)
+		opts.Explain.End(span)
 	}
+	rspan := opts.Explain.Start(obs.PhaseRecost)
 	recost(g, final, model)
+	opts.Explain.End(rspan)
 	stats.TableEntries = max(stats.TableEntries, final.Joins()+final.Relations())
 	return final, stats, nil
 }

@@ -101,3 +101,48 @@ func conflicted() {} // want `function is marked both //dp:hotpath and //dp:cold
 func notHot() []int {
 	return []int{1, 2, 3}
 }
+
+// span is fixed-size phase storage, mirroring internal/obs.
+type span struct {
+	phase uint8
+	start int64
+	dur   int64
+}
+
+// recorder is the observability hook idiom (internal/obs.Trace): a
+// nil-receiver-safe recorder whose spans live in a pre-sized array, so
+// hot enumeration code may call it at phase boundaries. All of it must
+// be finding-free — writing into fixed storage is not an allocation.
+type recorder struct {
+	n     int32
+	spans [8]span
+}
+
+//dp:hotpath
+func (t *recorder) start(p uint8, now int64) int32 {
+	if t == nil || int(t.n) >= len(t.spans) {
+		return -1
+	}
+	h := t.n
+	t.n++
+	t.spans[h] = span{phase: p, start: now}
+	return h
+}
+
+//dp:hotpath
+func (t *recorder) end(h int32, now int64) {
+	if t == nil || h < 0 || h >= t.n {
+		return
+	}
+	t.spans[h].dur = now - t.spans[h].start
+}
+
+// traced is a hot function instrumented with the recorder: the span
+// hooks ride along the closure walk and stay clean.
+//
+//dp:hotpath
+func traced(e *enum, t *recorder, now int64) {
+	h := t.start(1, now)
+	e.pairs++
+	t.end(h, now)
+}

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/bitset"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -111,6 +112,12 @@ type Stats struct {
 	AutoRouted      bool   // the algorithm was chosen by SolverAuto
 	Shape           string // topology class the router saw (e.g. "star")
 	RoutedAlgorithm string // solver the router picked (e.g. "dphyp")
+
+	// Trace is the explain trace of this planning call, non-nil only
+	// when the caller requested one (explain=1 or sampling). It is
+	// per-request state: the plan cache strips it before storing stats,
+	// so a cached Stats never carries another request's spans.
+	Trace *obs.Trace
 }
 
 // Backend builds plans for emitted csg-cmp-pairs. It is the semantic
@@ -164,6 +171,7 @@ type Engine struct {
 	edges   []int32
 
 	limits   Limits
+	trace    *obs.Trace // explain trace, nil for untraced runs
 	steps    int
 	abortErr error
 	warm     bool // storage was recycled from a previous run
@@ -225,6 +233,7 @@ func (e *Engine) Reset(n int) {
 	e.Stats = Stats{ArenaReused: e.warm && kept}
 	e.OnEmit = nil
 	e.limits = Limits{}
+	e.trace = nil
 	e.steps = 0
 	e.abortErr = nil
 }
@@ -238,6 +247,13 @@ func (e *Engine) Backend() Backend { return e.backend }
 
 // SetLimits installs cancellation and budget bounds for the run.
 func (e *Engine) SetLimits(l Limits) { e.limits = l }
+
+// SetTrace attaches the run's explain trace (nil for untraced runs —
+// every trace hook is nil-safe, so the untraced hot path pays nothing).
+// The engine only records phase boundaries it owns (the materialize
+// step in Final); solvers and the planner record their own phases on
+// the same trace.
+func (e *Engine) SetTrace(t *obs.Trace) { e.trace = t }
 
 // Aborted returns the cancellation or budget error once a limit has
 // tripped, and nil while the run may proceed. Solvers use it to unwind
@@ -589,7 +605,11 @@ func (e *Engine) Final(all bitset.Set) (*plan.Node, error) {
 	if !ok {
 		return nil, fmt.Errorf("memo: no plan for %v: hypergraph not connected or all plans rejected", all)
 	}
-	return e.materialize(h), nil
+	span := e.trace.Start(obs.PhaseMaterialize)
+	p := e.materialize(h)
+	e.trace.Annotate(span, 0, e.Stats.TableEntries, 0, 0)
+	e.trace.End(span)
+	return p, nil
 }
 
 // Plan materializes the memoed plan for S, or nil. Intended for tests

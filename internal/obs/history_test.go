@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func seedMetrics() (*PlanMetrics, Key) {
+	m := NewPlanMetrics()
+	k := Key{Shape: "chain", Algorithm: "iterdp", N: "65-128"}
+	for i := 0; i < 20; i++ {
+		m.Observe(k, time.Duration(i+1)*time.Millisecond, false)
+	}
+	m.Observe(Key{Shape: "star", Algorithm: "dphyp", N: "1-8"}, 50*time.Microsecond, false)
+	return m, k
+}
+
+// TestHistoryRoundTrip is the satellite check: load → merge → save →
+// load must preserve counts exactly, and a second save cycle built
+// from Clone(baseline).Merge(live) must not double-count.
+func TestHistoryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "history.json")
+
+	m, k := seedMetrics()
+
+	// First boot: nothing on disk yet.
+	baseline, err := LoadHistory(path)
+	if err != nil {
+		t.Fatalf("load missing: %v", err)
+	}
+	if baseline.Len() != 0 {
+		t.Fatalf("missing file should load empty, got %d series", baseline.Len())
+	}
+
+	// Save cycle 1: baseline (empty) + live snapshot.
+	out := baseline.Clone()
+	if err := out.Merge(m.Snapshot()); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if err := out.Save(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+
+	// Restart: reload, counts intact.
+	reloaded, err := LoadHistory(path)
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if reloaded.Len() != 2 {
+		t.Fatalf("reloaded %d series, want 2", reloaded.Len())
+	}
+	entries := reloaded.Entries()
+	var chain *HistoryEntry
+	for i := range entries {
+		if entries[i].Shape == "chain" {
+			chain = &entries[i]
+		}
+	}
+	if chain == nil || chain.Count != 20 {
+		t.Fatalf("chain series after reload = %+v", chain)
+	}
+	if chain.P50Seconds <= 0 || chain.P99Seconds < chain.P50Seconds {
+		t.Fatalf("derived quantiles p50=%v p99=%v", chain.P50Seconds, chain.P99Seconds)
+	}
+
+	// Save cycle 2 with the same live metrics: Clone keeps the loaded
+	// baseline pristine, so repeated periodic saves double the counts
+	// (baseline 20 + live 20), not accumulate per save.
+	out2 := reloaded.Clone()
+	if err := out2.Merge(m.Snapshot()); err != nil {
+		t.Fatalf("merge 2: %v", err)
+	}
+	if err := out2.Save(path); err != nil {
+		t.Fatalf("save 2: %v", err)
+	}
+	final, err := LoadHistory(path)
+	if err != nil {
+		t.Fatalf("final load: %v", err)
+	}
+	if got, _ := seriesCount(final, k); got != 40 {
+		t.Fatalf("after second save chain count = %d, want 40", got)
+	}
+	// The reloaded baseline itself must be untouched by the merges.
+	if got, _ := seriesCount(reloaded, k); got != 20 {
+		t.Fatalf("baseline mutated: count = %d, want 20", got)
+	}
+}
+
+func seriesCount(h *History, k Key) (uint64, bool) {
+	for _, e := range h.Entries() {
+		if e.Shape == k.Shape && e.Algorithm == k.Algorithm && e.N == k.N {
+			return e.Count, true
+		}
+	}
+	return 0, false
+}
+
+func TestHistoryQuantile(t *testing.T) {
+	m := NewPlanMetrics()
+	k := Key{Shape: "cycle", Algorithm: "dpccp", N: "9-16"}
+	// 100 observations at ~1ms: p50 and p99 both land in the bucket
+	// containing 1ms.
+	for i := 0; i < 100; i++ {
+		m.Observe(k, time.Millisecond, false)
+	}
+	h := m.Snapshot()
+	p50, ok := h.Quantile(k, 0.5)
+	if !ok {
+		t.Fatal("no p50 for observed series")
+	}
+	if p50 < 100*time.Microsecond || p50 > 10*time.Millisecond {
+		t.Fatalf("p50 = %v, want within the 1ms bucket neighborhood", p50)
+	}
+	if _, ok := h.Quantile(Key{Shape: "nope"}, 0.5); ok {
+		t.Fatal("quantile of unknown series must report !ok")
+	}
+
+	// Mass beyond the last bound reports the last bound (conservative).
+	m2 := NewPlanMetrics()
+	k2 := Key{Shape: "clique", Algorithm: "dpsub", N: "17-32"}
+	m2.Observe(k2, time.Hour, false)
+	p99, ok := m2.Snapshot().Quantile(k2, 0.99)
+	if !ok || p99 != time.Duration(DefaultBounds[len(DefaultBounds)-1]*float64(time.Second)) {
+		t.Fatalf("overflow p99 = %v ok=%v, want last bound", p99, ok)
+	}
+}
+
+func TestHistoryLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadHistory(corrupt); err == nil {
+		t.Fatal("corrupt file must error, not load empty")
+	}
+
+	versioned := filepath.Join(dir, "vers.json")
+	if err := os.WriteFile(versioned, []byte(`{"version":99,"bounds":[],"entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadHistory(versioned); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch error = %v", err)
+	}
+
+	badBounds := filepath.Join(dir, "bounds.json")
+	if err := os.WriteFile(badBounds, []byte(`{"version":1,"bounds":[0.5],"entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadHistory(badBounds); err == nil || !strings.Contains(err.Error(), "bounds") {
+		t.Fatalf("bounds mismatch error = %v", err)
+	}
+}
+
+func TestHistoryMergeBoundsMismatch(t *testing.T) {
+	a := NewHistory()
+	b := &History{bounds: []float64{0.1, 1}, entries: map[Key]*HistoryEntry{}}
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging mismatched bounds must error")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("merging nil = %v", err)
+	}
+}

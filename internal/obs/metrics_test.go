@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNBucket(t *testing.T) {
+	cases := map[int]string{
+		1: "1-8", 8: "1-8", 9: "9-16", 16: "9-16", 17: "17-32",
+		33: "33-64", 64: "33-64", 65: "65-128", 100: "65-128",
+		129: "129-256", 1000: "257+",
+	}
+	for n, want := range cases {
+		if got := NBucket(n); got != want {
+			t.Errorf("NBucket(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestHistogramObserveAndWrite(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(20 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(20 * time.Second) // beyond the last bound: +Inf only
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	var buf bytes.Buffer
+	h.Write(&buf, "x_seconds", `shape="star"`)
+	out := buf.String()
+	if !strings.Contains(out, `x_seconds_bucket{shape="star",le="+Inf"} 3`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `x_seconds_count{shape="star"} 3`) {
+		t.Fatalf("missing count:\n%s", out)
+	}
+	// Buckets must be cumulative and monotone.
+	re := regexp.MustCompile(`x_seconds_bucket\{shape="star",le="[^"]+"\} (\d+)`)
+	last := -1
+	for _, m := range re.FindAllStringSubmatch(out, -1) {
+		v, _ := strconv.Atoi(m[1])
+		if v < last {
+			t.Fatalf("non-monotone buckets:\n%s", out)
+		}
+		last = v
+	}
+}
+
+func TestPlanMetricsObserveAndRender(t *testing.T) {
+	m := NewPlanMetrics()
+	star := Key{Shape: "star", Algorithm: "dphyp", N: "1-8"}
+	chain := Key{Shape: "chain", Algorithm: "iterdp", N: "65-128"}
+	m.Observe(star, 100*time.Microsecond, false)
+	m.Observe(star, 10*time.Microsecond, true) // cache hit counts too
+	m.Observe(chain, 50*time.Millisecond, false)
+
+	keys := m.Keys()
+	if len(keys) != 2 || keys[0] != chain || keys[1] != star {
+		t.Fatalf("Keys = %v", keys)
+	}
+
+	var buf bytes.Buffer
+	m.WritePrometheus(&buf, "planner_plan_seconds")
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE planner_plan_seconds histogram",
+		`planner_plan_seconds_count{shape="star",algorithm="dphyp",n="1-8"} 2`,
+		`planner_plan_seconds_count{shape="chain",algorithm="iterdp",n="65-128"} 1`,
+		`planner_plan_seconds_cache_hits_total{shape="star",algorithm="dphyp",n="1-8"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusTextValidity parses the rendered exposition: every
+// non-comment line must be `name{label="v",...} value` or `name value`,
+// every histogram family must have monotone buckets ending at +Inf ==
+// count, and the new shape/algorithm labels must be present.
+func TestPrometheusTextValidity(t *testing.T) {
+	m := NewPlanMetrics()
+	m.Observe(Key{Shape: "star", Algorithm: "dphyp", N: "1-8"}, time.Millisecond, false)
+	m.Observe(Key{Shape: "clique", Algorithm: "topdown", N: "9-16"}, 40*time.Second, false)
+	var buf bytes.Buffer
+	m.WritePrometheus(&buf, "planner_plan_seconds")
+
+	if err := ValidatePrometheusText(buf.String()); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, buf.String())
+	}
+	for _, label := range []string{`shape="star"`, `algorithm="dphyp"`, `algorithm="topdown"`, `n="9-16"`} {
+		if !strings.Contains(buf.String(), label) {
+			t.Errorf("missing label %s", label)
+		}
+	}
+}
+
+func TestPlanMetricsSnapshotMatchesObservations(t *testing.T) {
+	m := NewPlanMetrics()
+	k := Key{Shape: "cycle", Algorithm: "dpccp", N: "9-16"}
+	for i := 0; i < 10; i++ {
+		m.Observe(k, time.Duration(i+1)*time.Millisecond, false)
+	}
+	h := m.Snapshot()
+	entries := h.Entries()
+	if len(entries) != 1 || entries[0].Count != 10 {
+		t.Fatalf("snapshot entries = %+v", entries)
+	}
+	if p50, ok := h.Quantile(k, 0.5); !ok || p50 <= 0 || p50 > 10*time.Millisecond {
+		t.Fatalf("p50 = %v ok=%v", p50, ok)
+	}
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSlowRingEviction is the satellite check on /debug/plans ring
+// semantics: the ring fills to capacity, then a slower newcomer
+// displaces the fastest resident and a faster newcomer is dropped.
+func TestSlowRingEviction(t *testing.T) {
+	r := NewSlowRing(3)
+	for i, d := range []time.Duration{5 * time.Millisecond, 1 * time.Millisecond, 3 * time.Millisecond} {
+		if !r.Observe(RingEntry{Fingerprint: string(rune('a' + i)), Duration: d}) {
+			t.Fatalf("entry %d rejected before the ring was full", i)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+
+	// Slower than the fastest resident (1ms): evicts it.
+	if !r.Observe(RingEntry{Fingerprint: "d", Duration: 2 * time.Millisecond}) {
+		t.Fatal("slower-than-min newcomer must be admitted")
+	}
+	// Faster than everything resident: dropped.
+	if r.Observe(RingEntry{Fingerprint: "e", Duration: 500 * time.Microsecond}) {
+		t.Fatal("faster-than-min newcomer must be rejected")
+	}
+
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d, want 3", len(snap))
+	}
+	wantOrder := []string{"a", "c", "d"} // 5ms, 3ms, 2ms — slowest first
+	for i, want := range wantOrder {
+		if snap[i].Fingerprint != want {
+			t.Fatalf("snapshot[%d] = %q (%v), want %q; full: %+v",
+				i, snap[i].Fingerprint, snap[i].Duration, want, snap)
+		}
+	}
+	// The 1ms entry ("b") was the eviction victim.
+	for _, e := range snap {
+		if e.Fingerprint == "b" {
+			t.Fatal("fastest resident was not evicted")
+		}
+	}
+}
+
+func TestSlowRingTiesNewestFirst(t *testing.T) {
+	r := NewSlowRing(4)
+	for i := 0; i < 3; i++ {
+		r.Observe(RingEntry{Duration: time.Millisecond})
+	}
+	snap := r.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Seq < snap[i].Seq {
+			t.Fatalf("equal durations must sort newest first: %+v", snap)
+		}
+	}
+}
+
+func TestSlowRingSeqAssigned(t *testing.T) {
+	r := NewSlowRing(2)
+	r.Observe(RingEntry{Duration: time.Second})
+	r.Observe(RingEntry{Duration: time.Second})
+	r.Observe(RingEntry{Duration: 2 * time.Second})
+	snap := r.Snapshot()
+	if snap[0].Seq != 3 {
+		t.Fatalf("seq of third observation = %d, want 3", snap[0].Seq)
+	}
+}
+
+func TestSlowRingDefaultSize(t *testing.T) {
+	r := NewSlowRing(0)
+	for i := 0; i < DefaultRingSize+5; i++ {
+		r.Observe(RingEntry{Duration: time.Duration(i+1) * time.Millisecond})
+	}
+	if r.Len() != DefaultRingSize {
+		t.Fatalf("Len = %d, want %d", r.Len(), DefaultRingSize)
+	}
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// sampleRE matches one Prometheus text-format sample line:
+// name{label="value",...} value — with the label block optional.
+var sampleRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? [-+0-9.eEInfNa]+$`)
+
+var leRE = regexp.MustCompile(`le="([^"]*)"`)
+
+// ValidatePrometheusText is a minimal exposition-format checker used by
+// the metrics tests (package tests and the service's /metrics test):
+// it verifies that every sample line parses as `name{labels} value`,
+// that histogram families declare TYPE histogram, and that each
+// histogram series has monotone cumulative buckets ending in a +Inf
+// bucket. It is not a full Prometheus parser — it exists to catch the
+// label-escaping and monotonicity mistakes hand-rolled exporters make.
+func ValidatePrometheusText(text string) error {
+	histograms := map[string]bool{}
+	// series key (family + labels minus le) → last cumulative value
+	lastCum := map[string]float64{}
+	sawInf := map[string]bool{}
+
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return fmt.Errorf("bad TYPE line %q", line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("unknown metric type in %q", line)
+			}
+			if parts[3] == "histogram" {
+				histograms[parts[2]] = true
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleRE.MatchString(line) {
+			return fmt.Errorf("malformed sample line %q", line)
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		val, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+		if err != nil {
+			return fmt.Errorf("bad value in %q: %v", line, err)
+		}
+		for fam := range histograms {
+			if name != fam+"_bucket" {
+				continue
+			}
+			labels := ""
+			if i := strings.Index(line, "{"); i >= 0 {
+				labels = line[i : strings.Index(line, "} ")+1]
+			}
+			le := leRE.FindStringSubmatch(labels)
+			if le == nil {
+				return fmt.Errorf("histogram bucket without le label: %q", line)
+			}
+			series := fam + "|" + strings.Replace(labels, le[0], "", 1)
+			if val < lastCum[series] {
+				return fmt.Errorf("non-monotone histogram bucket: %q (prev %g)", line, lastCum[series])
+			}
+			lastCum[series] = val
+			if le[1] == "+Inf" {
+				sawInf[series] = true
+			}
+		}
+	}
+	for series := range lastCum {
+		if !sawInf[series] {
+			return fmt.Errorf("histogram series %s has no +Inf bucket", series)
+		}
+	}
+	return nil
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/dp"
 	"repro/internal/hypergraph"
 	"repro/internal/memo"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -33,6 +34,11 @@ type Options struct {
 	OnEmit func(S1, S2 bitset.Set)
 	Limits dp.Limits
 	Pool   *memo.Pool
+
+	// Explain, when non-nil, receives phase spans for the run (the
+	// engine records the materialize phase; the planner wraps the whole
+	// enumeration). Unlike OnEmit it does not force the serial engine.
+	Explain *obs.Trace
 
 	// Parallelism is accepted for interface parity but ignored: the
 	// top-down recursion memoizes shared subproblems mid-flight, so its
@@ -50,6 +56,7 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 	b.Filter = opts.Filter
 	e.OnEmit = opts.OnEmit
 	e.SetLimits(opts.Limits)
+	e.SetTrace(opts.Explain)
 	n := g.NumRels()
 	if n == 0 {
 		return nil, e.Stats, errEmpty

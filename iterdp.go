@@ -36,10 +36,15 @@ func runIterDP(g *Graph, o options, limits dp.Limits) (*PlanNode, Stats, error) 
 			Parallelism: 1,
 		})
 	}
+	// The sub-solves deliberately do NOT receive the explain trace: a
+	// 1000-relation run solves hundreds of subproblems, and per-subproblem
+	// spans would blow the trace's fixed capacity. The tier records one
+	// span per compression round instead.
 	return iterdp.Solve(g, iterdp.Options{
 		ClusterSize: o.clusterSize,
 		Model:       o.model,
 		Ctx:         o.ctx,
 		Exact:       exact,
+		Explain:     o.explain,
 	})
 }

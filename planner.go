@@ -7,9 +7,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dp"
 	"repro/internal/memo"
+	"repro/internal/obs"
 	"repro/internal/shape"
 )
 
@@ -43,6 +45,13 @@ type Planner struct {
 	pool  *memo.Pool
 	cache *planCache
 
+	// planObs is the dimensional latency registry: one histogram per
+	// shape × algorithm × relation-count bucket. Every successful
+	// planning call is observed — cache hits included, because the
+	// per-shape cost history answers "what does a request cost", and
+	// for cached traffic that cost is the lookup.
+	planObs *obs.PlanMetrics
+
 	plans       atomic.Uint64 //dp:atomic
 	cacheHits   atomic.Uint64 //dp:atomic
 	cacheMisses atomic.Uint64 //dp:atomic
@@ -74,12 +83,35 @@ func NewPlanner(opts ...Option) *Planner {
 	for _, f := range opts {
 		f(&o)
 	}
-	p := &Planner{base: o, pool: &memo.Pool{}}
+	p := &Planner{base: o, pool: &memo.Pool{}, planObs: obs.NewPlanMetrics()}
 	p.base.pool = p.pool
 	if o.cacheSize > 0 {
 		p.cache = newPlanCache(o.cacheSize)
 	}
 	return p
+}
+
+// PlanObs returns the planner's dimensional latency registry: per
+// shape × algorithm × relation-count-bucket planning-latency histograms
+// and cache-hit counters, fed by every successful planning call. The
+// serving layer renders it at /metrics and snapshots it into the
+// persistent planning-cost history.
+func (p *Planner) PlanObs() *obs.PlanMetrics { return p.planObs }
+
+// observePlan records one successful planning call into the
+// dimensional registry. shape is st.Shape when routing classified the
+// graph and "unclassified" otherwise (direct algorithm calls skip the
+// router), alg the algorithm that actually produced the plan.
+func (p *Planner) observePlan(g *Graph, st *Stats, alg Algorithm, d time.Duration) {
+	sh := st.Shape
+	if sh == "" {
+		sh = "unclassified"
+	}
+	p.planObs.Observe(obs.Key{
+		Shape:     sh,
+		Algorithm: alg.String(),
+		N:         obs.NBucket(g.NumRels()),
+	}, d, st.CacheHit)
 }
 
 // PlannerMetrics is a snapshot of a Planner's cumulative counters. For
@@ -328,6 +360,12 @@ func (p *Planner) planGraph(ctx context.Context, g *Graph, o options, filter dp.
 		return nil, p.fail(err)
 	}
 
+	// The explain trace and the latency observation both measure from
+	// here: validation above costs nothing, and a cache hit is as real a
+	// planning outcome as an enumeration.
+	start := time.Now()
+	o.explain.Begin()
+
 	// Build the graph's derived indexes up front, under the graph's
 	// lock: afterwards the enumeration only reads the graph, which makes
 	// concurrent planning over a shared graph safe.
@@ -342,8 +380,10 @@ func (p *Planner) planGraph(ctx context.Context, g *Graph, o options, filter dp.
 	// Fingerprint scan every cached call already pays.
 	annotate := func(*dp.Stats) {}
 	if o.alg == SolverAuto {
+		span := o.explain.Start(obs.PhaseRoute)
 		prof := shape.Classify(g)
 		routed := routeAuto(prof, o.workers(g, filter))
+		o.explain.End(span)
 		o.alg = routed
 		p.routed[int(routed)].Add(1)
 		annotate = func(st *dp.Stats) {
@@ -360,18 +400,36 @@ func (p *Planner) planGraph(ctx context.Context, g *Graph, o options, filter dp.
 	cacheable := p.cache != nil && filter == nil && o.trace == nil && o.onEmit == nil
 	var key string
 	if cacheable {
+		span := o.explain.Start(obs.PhaseCacheLookup)
 		key = configKey(o) + "\x00" + g.Fingerprint()
-		if res, ok := p.cache.get(key); ok {
+		res, ok := p.cache.get(key)
+		o.explain.End(span)
+		if ok {
 			res.Graph = g
 			annotate(&res.Stats)
+			// The cached Stats were stripped of their trace before
+			// storage; attach this request's own (nil when untraced).
+			o.explain.Finish()
+			res.Stats.Trace = o.explain
 			p.plans.Add(1)
 			p.cacheHits.Add(1)
+			p.observePlan(g, &res.Stats, res.Algorithm, time.Since(start))
 			return res, nil
 		}
 		p.cacheMisses.Add(1)
 	}
 
+	// IterDP records its own depth-0 spans (one per compression round,
+	// final enumeration, recost) — wrapping it in an enumerate span
+	// would double-count the whole tier; every other algorithm gets one
+	// enumerate span around its run.
+	var espan int32 = -1
+	if o.alg != IterDP {
+		espan = o.explain.Start(obs.PhaseEnumerate)
+	}
 	pl, st, err := runSolver(g, o, filter)
+	o.explain.Annotate(espan, int64(st.CsgCmpPairs), st.TableEntries, st.Workers, 0)
+	o.explain.End(espan)
 	if err != nil {
 		if o.noFallback || o.alg == Greedy || !errors.Is(err, dp.ErrBudgetExhausted) {
 			return nil, p.fail(err)
@@ -383,7 +441,10 @@ func (p *Planner) planGraph(ctx context.Context, g *Graph, o options, filter dp.
 		og.alg = Greedy
 		og.budget = Budget{}
 		og.trace = nil
+		fspan := o.explain.Start(obs.PhaseFallback)
 		gp, gst, gerr := runSolver(g, og, filter)
+		o.explain.Annotate(fspan, int64(gst.CsgCmpPairs), gst.TableEntries, 1, 0)
+		o.explain.End(fspan)
 		if gerr != nil {
 			return nil, p.fail(fmt.Errorf("repro: greedy fallback after budget trip: %w", gerr))
 		}
@@ -428,13 +489,17 @@ func (p *Planner) planGraph(ctx context.Context, g *Graph, o options, filter dp.
 	}
 
 	// The cache entry keeps the routing-agnostic stats (the key is the
-	// routed algorithm's, so direct calls may hit it too); only the
-	// outgoing Result is stamped with the routing decision.
+	// routed algorithm's, so direct calls may hit it too) and never a
+	// trace — a trace is per-request state, and a cached pointer would
+	// leak one request's spans into every later hit.
 	if cacheable {
 		p.cache.add(key, pl, st, o.alg)
 	}
 	annotate(&st)
+	o.explain.Finish()
+	st.Trace = o.explain
 	p.plans.Add(1)
+	p.observePlan(g, &st, o.alg, time.Since(start))
 	return &Result{Plan: pl, Stats: st, Graph: g, Algorithm: o.alg}, nil
 }
 

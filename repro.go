@@ -17,6 +17,7 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/iterdp"
 	"repro/internal/memo"
+	"repro/internal/obs"
 	"repro/internal/optree"
 	"repro/internal/plan"
 	"repro/internal/topdown"
@@ -44,6 +45,15 @@ type (
 	Graph = hypergraph.Graph
 	// Trace records DPhyp traversal steps (Fig. 3 style).
 	Trace = core.Trace
+	// PlanTrace records the phases of one planning call (routing, cache
+	// lookup, iterdp compression rounds, enumeration, materialization)
+	// with per-phase wall time and work counters. Attach one with
+	// WithExplain; the completed trace is returned in Stats.Trace.
+	PlanTrace = obs.Trace
+	// PlanSpan is one recorded phase of a PlanTrace.
+	PlanSpan = obs.Span
+	// PlanPhase labels what a PlanSpan measured.
+	PlanPhase = obs.Phase
 )
 
 // Operator constants for tree queries and plan inspection.
@@ -183,6 +193,7 @@ type options struct {
 	genAndTest bool
 	noSimplify bool
 	trace      *Trace
+	explain    *obs.Trace
 	onEmit     func(s1, s2 bitset.Set)
 
 	// Session knobs (see Planner).
@@ -228,6 +239,16 @@ func WithoutSimplification() Option { return func(o *options) { o.noSimplify = t
 
 // WithTrace records the enumeration steps into t.
 func WithTrace(t *Trace) Option { return func(o *options) { o.trace = t } }
+
+// WithExplain records a phase/span trace of the planning call into t
+// (route, cache lookup, iterdp rounds, enumeration, materialize — with
+// per-phase wall time, pairs emitted, memo occupancy, and worker
+// counts). Unlike WithTrace it observes only phase boundaries, so it
+// neither forces the serial engine nor bypasses the plan cache: a
+// traced call served from the cache returns a trace of just the route
+// and cache-lookup phases. The completed trace is available as
+// Stats.Trace.
+func WithExplain(t *PlanTrace) Option { return func(o *options) { o.explain = t } }
 
 // WithBudget bounds exact enumeration effort (see Budget). On a Planner
 // it applies to every plan; on a single call it overrides the planner's
@@ -322,17 +343,17 @@ func runSolver(g *Graph, o options, filter dp.Filter) (*PlanNode, Stats, error) 
 	par := o.workers(g, filter)
 	switch o.alg {
 	case DPhyp:
-		return core.Solve(g, core.Options{Model: o.model, Filter: filter, Trace: o.trace, OnEmit: o.onEmit, Limits: limits, Pool: o.pool, Parallelism: par})
+		return core.Solve(g, core.Options{Model: o.model, Filter: filter, Trace: o.trace, Explain: o.explain, OnEmit: o.onEmit, Limits: limits, Pool: o.pool, Parallelism: par})
 	case DPsize:
-		return dpsize.Solve(g, dpsize.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool, Parallelism: par})
+		return dpsize.Solve(g, dpsize.Options{Model: o.model, Filter: filter, Explain: o.explain, OnEmit: o.onEmit, Limits: limits, Pool: o.pool, Parallelism: par})
 	case DPsub:
-		return dpsub.Solve(g, dpsub.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool, Parallelism: par})
+		return dpsub.Solve(g, dpsub.Options{Model: o.model, Filter: filter, Explain: o.explain, OnEmit: o.onEmit, Limits: limits, Pool: o.pool, Parallelism: par})
 	case DPccp:
-		return dpccp.Solve(g, dpccp.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool, Parallelism: par})
+		return dpccp.Solve(g, dpccp.Options{Model: o.model, Filter: filter, Explain: o.explain, OnEmit: o.onEmit, Limits: limits, Pool: o.pool, Parallelism: par})
 	case TopDown:
-		return topdown.Solve(g, topdown.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool, Parallelism: par})
+		return topdown.Solve(g, topdown.Options{Model: o.model, Filter: filter, Explain: o.explain, OnEmit: o.onEmit, Limits: limits, Pool: o.pool, Parallelism: par})
 	case Greedy:
-		return goo.Solve(g, goo.Options{Model: o.model, Filter: filter, OnEmit: o.onEmit, Limits: limits, Pool: o.pool, Parallelism: par})
+		return goo.Solve(g, goo.Options{Model: o.model, Filter: filter, Explain: o.explain, OnEmit: o.onEmit, Limits: limits, Pool: o.pool, Parallelism: par})
 	case IterDP:
 		return runIterDP(g, o, limits)
 	case SolverAuto:

@@ -5,10 +5,13 @@
 //
 // # Endpoints
 //
-//	POST /plan     optimize one query document (PlanRequest → PlanResponse)
-//	POST /batch    optimize a batch sequentially under one worker slot
-//	GET  /healthz  liveness + drain state + live gauges (JSON)
-//	GET  /metrics  Prometheus text exposition of server and planner counters
+//	POST /plan           optimize one query document (PlanRequest → PlanResponse)
+//	POST /plan?explain=1 same, plus a phase/span trace of the planning call
+//	POST /batch          optimize a batch sequentially under one worker slot
+//	GET  /healthz        liveness + drain state + live gauges (JSON)
+//	GET  /metrics        Prometheus text exposition of server and planner counters
+//	GET  /debug/plans    ring of the slowest plans served (JSON, slowest first)
+//	GET  /debug/history  persistent planning-cost history, merged live (JSON)
 //
 // # Admission control
 //
@@ -34,12 +37,50 @@
 // responses. Tree documents (non-inner-join queries) coalesce on a hash
 // of the document instead.
 //
+// # Observability
+//
+// POST /plan?explain=1 attaches an explain trace to the planning call
+// and returns it in the response's trace field: one span per planner
+// phase (route, cache_lookup, enumerate — or per iterdp compression
+// round — fallback, materialize) with wall time and work counters.
+// Explain requests coalesce in their own population, so an explain
+// follower always inherits a real trace from a traced leader; a cache
+// hit returns a trace of just the lookup. Config.TraceSample
+// additionally traces 1 in N ordinary requests, opportunistically,
+// for the debug ring.
+//
+// /metrics carries, beyond the flat server and planner counters, the
+// dimensional planner_plan_seconds histogram family: planning latency
+// per shape × algorithm × relation-count bucket, cache hits included
+// (with a parallel _cache_hits_total counter separating them). When
+// Config.HistoryPath is set those series persist across restarts: the
+// file is loaded at startup as the baseline, and baseline + live
+// counts are saved every Config.HistoryInterval and at Shutdown, so
+// /debug/history answers "what does planning this kind of query cost
+// here" with p50/p99 spanning process lifetimes. An unreadable or
+// version-mismatched history file disables persistence (never
+// overwriting the file) and is reported through the logger.
+//
+// /debug/plans is a bounded ring (Config.RingSize) of the slowest
+// plans seen so far — fingerprint, shape, algorithm, relations,
+// duration, pairs, and the trace when the request was traced. The ring
+// evicts strictly by duration, so it converges on the worst requests
+// served, not the latest. Server.DebugHandler bundles the debug
+// surfaces with net/http/pprof and GET /debug/runtime for a separate
+// listener (dpserved -debug-addr); keep that listener loopback-only.
+//
+// Logging is structured (log/slog via Config.Logger): one Info "plan"
+// record per planning request carrying the request id, fingerprint,
+// shape, algorithm, duration, and outcome; requests at least
+// Config.SlowPlanThreshold slow are upgraded to Warn with phase
+// totals; transport-level access records sit at Debug.
+//
 // # Shutdown
 //
 // Server.Shutdown flips the server into draining mode — /healthz turns
 // 503 so load balancers stop routing, and new planning requests are
 // refused with 503 — then waits for the in-flight requests to finish
-// (their enumerations keep their own deadlines). cmd/dpserved wires
-// SIGINT/SIGTERM to exactly this, so a rolling restart never truncates
-// a plan mid-flight.
+// (their enumerations keep their own deadlines) and saves the
+// planning-cost history. cmd/dpserved wires SIGINT/SIGTERM to exactly
+// this, so a rolling restart never truncates a plan mid-flight.
 package service

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"net/http"
 	"runtime/debug"
 	"time"
@@ -24,18 +25,35 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// ridKey carries the per-request id through the request context, so the
+// access line and the handler's plan line share one id.
+type ridKey struct{}
+
+// requestID returns the id instrument assigned to the request (0 for a
+// request that did not pass through instrument, e.g. direct handler
+// tests).
+func requestID(ctx context.Context) uint64 {
+	id, _ := ctx.Value(ridKey{}).(uint64)
+	return id
+}
+
 // instrument wraps the mux with panic recovery, request accounting
-// (per-path/per-code counters, planning-latency histogram), and access
-// logging. It is the single seam every request passes through, so the
-// /metrics numbers cannot drift from reality.
+// (per-path/per-code counters, planning-latency histogram), request-id
+// assignment, and structured access logging. It is the single seam
+// every request passes through, so the /metrics numbers cannot drift
+// from reality.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w}
+		id := s.reqSeq.Add(1)
+		r = r.WithContext(context.WithValue(r.Context(), ridKey{}, id))
 		start := time.Now()
 		defer func() {
 			if p := recover(); p != nil {
 				s.met.panics.Add(1)
-				s.logf("dpserved: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				s.log.Error("handler panic",
+					"id", id, "method", r.Method, "path", r.URL.Path,
+					"panic", p, "stack", string(debug.Stack()))
 				if rec.code == 0 {
 					writeError(rec, http.StatusInternalServerError, errInternal)
 				}
@@ -47,7 +65,12 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			s.met.recordRequest(r.URL.Path, rec.code)
 			if r.URL.Path == "/plan" || r.URL.Path == "/batch" {
 				s.met.latency.observe(elapsed)
-				s.logf("dpserved: %s %s %d %.3fms", r.Method, r.URL.Path, rec.code, float64(elapsed.Microseconds())/1000)
+				// The rich per-plan record is the handler's Info line;
+				// this is the transport-level view.
+				s.log.Debug("http",
+					"id", id, "method", r.Method, "path", r.URL.Path,
+					"status", rec.code,
+					"duration_ms", float64(elapsed.Microseconds())/1000)
 			}
 		}()
 		next.ServeHTTP(rec, r)

@@ -1,0 +1,316 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/obs"
+)
+
+// TestExplainEndpoint: POST /plan?explain=1 returns a phase trace whose
+// depth-0 spans account for (nearly) the whole planning call, and a
+// plain request returns none.
+func TestExplainEndpoint(t *testing.T) {
+	s := New(Config{Planner: repro.NewPlanner()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path string) *PlanResponse {
+		t.Helper()
+		body, err := json.Marshal(PlanRequest{Query: starDoc(12, 1000)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d: %s", path, resp.StatusCode, out)
+		}
+		var pr PlanResponse
+		if err := json.Unmarshal(out, &pr); err != nil {
+			t.Fatal(err)
+		}
+		return &pr
+	}
+
+	pr := post("/plan?explain=1")
+	if pr.Trace == nil {
+		t.Fatal("explain=1 response has no trace")
+	}
+	if pr.Trace.TotalUS <= 0 || len(pr.Trace.Spans) == 0 {
+		t.Fatalf("degenerate trace: %+v", pr.Trace)
+	}
+	var depth0 float64
+	phases := map[string]bool{}
+	for _, sp := range pr.Trace.Spans {
+		phases[sp.Phase] = true
+		if sp.Depth == 0 {
+			depth0 += sp.DurUS
+		}
+	}
+	if !phases["enumerate"] {
+		t.Fatalf("first (uncached) explain lacks an enumerate span: %+v", pr.Trace.Spans)
+	}
+	if depth0 > pr.Trace.TotalUS || depth0 < 0.8*pr.Trace.TotalUS {
+		t.Errorf("depth-0 spans sum to %.1fµs of %.1fµs total, want a ≈partition",
+			depth0, pr.Trace.TotalUS)
+	}
+
+	// The same query again: served from the plan cache, still traced —
+	// the trace shows the lookup, not a re-enumeration.
+	pr2 := post("/plan?explain=1")
+	if pr2.Trace == nil {
+		t.Fatal("cached explain response has no trace")
+	}
+	if !pr2.Stats.CacheHit && !pr2.Coalesced {
+		t.Fatalf("second call expected cached/coalesced: %+v", pr2.Stats)
+	}
+
+	// Without explain, no trace is rendered.
+	if pr3 := post("/plan"); pr3.Trace != nil {
+		t.Fatalf("untraced response carries a trace: %+v", pr3.Trace)
+	}
+}
+
+// TestMetricsPlanSeconds: /metrics parses as valid Prometheus text and
+// carries the dimensional planner_plan_seconds family labeled by shape,
+// algorithm, and n.
+func TestMetricsPlanSeconds(t *testing.T) {
+	// SolverAuto so the router classifies the topology — the shape label
+	// is "unclassified" when planning bypasses the router.
+	s := New(Config{Planner: repro.NewPlanner(repro.WithAlgorithm(repro.SolverAuto))})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(PlanRequest{Query: starDoc(14, 500)})
+	resp, err := http.Post(ts.URL+"/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan: %d", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	text, _ := io.ReadAll(mresp.Body)
+	if err := obs.ValidatePrometheusText(string(text)); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, text)
+	}
+	if !strings.Contains(string(text), `planner_plan_seconds_bucket{shape="star",algorithm=`) {
+		t.Fatalf("missing dimensional latency family:\n%s", text)
+	}
+	if !strings.Contains(string(text), `n="9-16"`) {
+		t.Fatalf("missing n-bucket label:\n%s", text)
+	}
+}
+
+// TestDebugPlansEndpoint: finished plans land in /debug/plans, slowest
+// first, with fingerprints and (for traced requests) phase traces.
+func TestDebugPlansEndpoint(t *testing.T) {
+	s := New(Config{Planner: repro.NewPlanner()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i, path := range []string{"/plan?explain=1", "/plan"} {
+		body, _ := json.Marshal(PlanRequest{Query: starDoc(10+i, 100)})
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("plan: %d", resp.StatusCode)
+		}
+	}
+
+	dresp, err := http.Get(ts.URL + "/debug/plans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	var entries []debugPlanJSON
+	if err := json.NewDecoder(dresp.Body).Decode(&entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("ring has %d entries, want 2", len(entries))
+	}
+	traced := 0
+	for i, e := range entries {
+		if e.Fingerprint == "" || e.Shape == "" || e.Algorithm == "" {
+			t.Errorf("entry %d missing identity fields: %+v", i, e)
+		}
+		if i > 0 && entries[i-1].DurationMS < e.DurationMS {
+			t.Errorf("entries not slowest-first: %v then %v", entries[i-1].DurationMS, e.DurationMS)
+		}
+		if e.Trace != nil {
+			traced++
+		}
+	}
+	if traced != 1 {
+		t.Errorf("ring has %d traced entries, want exactly the explain request", traced)
+	}
+}
+
+// TestHistoryPersistence: a server with a history path saves at
+// shutdown, a restarted server loads the baseline and serves it through
+// /debug/history, and a plan-free restart does not inflate the counts.
+func TestHistoryPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.json")
+	ctx := context.Background()
+
+	s1 := New(Config{
+		Planner:     repro.NewPlanner(repro.WithAlgorithm(repro.SolverAuto)),
+		HistoryPath: path,
+	})
+	ts1 := httptest.NewServer(s1.Handler())
+	for i := 0; i < 3; i++ {
+		body, _ := json.Marshal(PlanRequest{Query: starDoc(14, 500)})
+		resp, err := http.Post(ts1.URL+"/plan", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	saved, err := obs.LoadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, e := range saved.Entries() {
+		total += e.Count
+	}
+	if total != 3 {
+		t.Fatalf("saved history has %d observations, want 3: %+v", total, saved.Entries())
+	}
+
+	// Restart: the baseline is served, marked persistent, with p50/p99.
+	s2 := New(Config{
+		Planner:     repro.NewPlanner(repro.WithAlgorithm(repro.SolverAuto)),
+		HistoryPath: path,
+	})
+	ts2 := httptest.NewServer(s2.Handler())
+	dresp, err := http.Get(ts2.URL + "/debug/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist debugHistoryJSON
+	if err := json.NewDecoder(dresp.Body).Decode(&hist); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if !hist.Persistent || len(hist.Series) == 0 {
+		t.Fatalf("restarted server lost the history: %+v", hist)
+	}
+	if hist.Series[0].Count != 3 || hist.Series[0].Shape != "star" {
+		t.Fatalf("baseline series = %+v, want the 3 star observations", hist.Series[0])
+	}
+
+	// A restart that planned nothing must re-save exactly the baseline.
+	if err := s2.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts2.Close()
+	resaved, err := obs.LoadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total = 0
+	for _, e := range resaved.Entries() {
+		total += e.Count
+	}
+	if total != 3 {
+		t.Fatalf("plan-free restart changed the history to %d observations, want 3", total)
+	}
+}
+
+// TestDebugHandler: the -debug-addr surface serves pprof and runtime
+// stats.
+func TestDebugHandler(t *testing.T) {
+	s := New(Config{Planner: repro.NewPlanner()})
+	ts := httptest.NewServer(s.DebugHandler())
+	defer ts.Close()
+
+	for _, path := range []string{"/debug/pprof/", "/debug/plans", "/debug/history"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: %d", path, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/runtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rt map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&rt); err != nil {
+		t.Fatal(err)
+	}
+	if g, ok := rt["goroutines"].(float64); !ok || g < 1 {
+		t.Fatalf("runtime stats missing goroutines: %v", rt)
+	}
+}
+
+// TestSlowPlanAndSampling: a sub-threshold SlowPlanThreshold marks every
+// plan slow (exercising the Warn path), and TraceSample=1 traces plans
+// that never asked for explain — visible as ring traces.
+func TestSlowPlanAndSampling(t *testing.T) {
+	s := New(Config{
+		Planner:           repro.NewPlanner(),
+		SlowPlanThreshold: time.Nanosecond,
+		TraceSample:       1,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(PlanRequest{Query: starDoc(12, 1000)})
+	resp, err := http.Post(ts.URL+"/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan: %d", resp.StatusCode)
+	}
+
+	entries := s.ring.Snapshot()
+	if len(entries) != 1 {
+		t.Fatalf("ring has %d entries, want 1", len(entries))
+	}
+	if entries[0].Trace == nil {
+		t.Fatal("sampled request was not traced")
+	}
+}

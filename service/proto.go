@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 // PlanRequest is the body of POST /plan. Query uses the repository's
@@ -57,6 +58,65 @@ type PlanResponse struct {
 	// in-flight request instead of enumerating again.
 	Coalesced bool    `json:"coalesced,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Trace is the explain trace of the planning call, present only when
+	// the request asked for one (POST /plan?explain=1). A coalesced
+	// response carries the leader's trace — the phases that actually ran.
+	Trace *TraceJSON `json:"trace,omitempty"`
+}
+
+// TraceJSON is the wire form of an explain trace: the planning call's
+// wall time and its phase spans in recording order. Depth-0 spans
+// partition the call, so their durations sum to ≈ total_us.
+type TraceJSON struct {
+	TotalUS float64    `json:"total_us"`
+	Dropped int        `json:"dropped,omitempty"`
+	Spans   []SpanJSON `json:"spans"`
+}
+
+// SpanJSON is one recorded phase. Round is present only on
+// iterdp_round spans; the work counters are present only when the
+// phase did enumeration work.
+type SpanJSON struct {
+	Phase       string  `json:"phase"`
+	Depth       int     `json:"depth,omitempty"`
+	Round       *int    `json:"round,omitempty"`
+	StartUS     float64 `json:"start_us"`
+	DurUS       float64 `json:"dur_us"`
+	Pairs       int64   `json:"pairs,omitempty"`
+	MemoEntries int     `json:"memo_entries,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
+	Subproblems int     `json:"subproblems,omitempty"`
+}
+
+// traceJSON renders an explain trace for the wire; nil stays nil.
+func traceJSON(t *obs.Trace) *TraceJSON {
+	if t == nil {
+		return nil
+	}
+	spans := t.Spans()
+	out := &TraceJSON{
+		TotalUS: float64(t.Total.Nanoseconds()) / 1000,
+		Dropped: int(t.Dropped),
+		Spans:   make([]SpanJSON, len(spans)),
+	}
+	for i, s := range spans {
+		sj := SpanJSON{
+			Phase:       s.Phase.String(),
+			Depth:       int(s.Depth),
+			StartUS:     float64(s.Start.Nanoseconds()) / 1000,
+			DurUS:       float64(s.Dur.Nanoseconds()) / 1000,
+			Pairs:       s.Pairs,
+			MemoEntries: int(s.MemoEntries),
+			Workers:     int(s.Workers),
+			Subproblems: int(s.Subproblems),
+		}
+		if s.Round >= 0 {
+			round := int(s.Round)
+			sj.Round = &round
+		}
+		out.Spans[i] = sj
+	}
+	return out
 }
 
 // BatchResponse is the body of POST /batch. Results is parallel to the
@@ -84,6 +144,11 @@ type StatsJSON struct {
 	// serial runs. Cache hits report the original enumeration's count
 	// (alongside cache_hit), like every other stat in this block.
 	Workers int `json:"workers,omitempty"`
+	// Subproblems and Rounds report the iterative-DP tier's effort
+	// (exactly-solved compressed subproblems, compression rounds);
+	// absent when the query planned in one exact enumeration.
+	Subproblems int `json:"subproblems,omitempty"`
+	Rounds      int `json:"rounds,omitempty"`
 }
 
 // PlanNodeJSON is the wire form of an optimized operator tree. Leaves
@@ -204,6 +269,8 @@ func planResponse(res *repro.Result, coalesced bool, elapsedMS float64) *PlanRes
 			Shape:           st.Shape,
 			RoutedAlgorithm: st.RoutedAlgorithm,
 			Workers:         st.Workers,
+			Subproblems:     st.Subproblems,
+			Rounds:          st.Rounds,
 		},
 		Coalesced: coalesced,
 		ElapsedMS: elapsedMS,

@@ -8,14 +8,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 // errInternal is the opaque body of a 500 after a handler panic; the
@@ -50,8 +52,33 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxBodyBytes bounds a request body. Default 4 MiB.
 	MaxBodyBytes int64
-	// Logger receives access and error lines. Nil is silent.
-	Logger *log.Logger
+	// Logger receives the structured records: one "plan" line per
+	// planning request (request id, fingerprint, shape, algorithm,
+	// duration, outcome), "http" access lines at Debug, "slow plan"
+	// warnings, and errors. Nil is silent.
+	Logger *slog.Logger
+	// HistoryPath, when set, makes the planning-cost history persistent:
+	// the file is loaded at startup as the baseline, and baseline + live
+	// metrics are saved every HistoryInterval and again at Shutdown. An
+	// unreadable or version-mismatched file disables persistence for the
+	// process — the file is never overwritten with partial data — and is
+	// reported through Logger.
+	HistoryPath string
+	// HistoryInterval is the periodic history save cadence when
+	// HistoryPath is set. Default 5m.
+	HistoryInterval time.Duration
+	// SlowPlanThreshold, when positive, upgrades the plan log line to a
+	// warning (with phase totals when the request was traced) for every
+	// planning request at least this slow.
+	SlowPlanThreshold time.Duration
+	// TraceSample, when positive, attaches an explain trace to one in
+	// every TraceSample planning requests that did not ask for one, so
+	// /debug/plans carries phase breakdowns even when no client sends
+	// explain=1. 0 disables sampling.
+	TraceSample int
+	// RingSize bounds the /debug/plans ring of slowest plans. Default
+	// 32 (obs.DefaultRingSize).
+	RingSize int
 }
 
 // Server is the concurrent plan-serving subsystem: it owns the worker
@@ -65,6 +92,18 @@ type Server struct {
 	co      *coalescer
 	met     *metrics
 	handler http.Handler
+
+	log       *slog.Logger
+	planObs   *obs.PlanMetrics // nil when the backend exposes none
+	ring      *obs.SlowRing
+	reqSeq    atomic.Uint64 //dp:atomic
+	sampleSeq atomic.Uint64 //dp:atomic
+
+	histBase *obs.History // loaded baseline; immutable after New
+	histPath string       // "" disables persistence
+	histStop chan struct{}
+	histDone chan struct{}
+	histOnce sync.Once
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -92,20 +131,45 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 4 << 20
 	}
+	if cfg.HistoryInterval <= 0 {
+		cfg.HistoryInterval = 5 * time.Minute
+	}
 	s := &Server{
 		cfg:     cfg,
 		planner: cfg.Planner,
 		pool:    newPool(cfg.Workers, cfg.QueueDepth),
 		co:      newCoalescer(),
 		met:     newMetrics(),
+		ring:    obs.NewSlowRing(cfg.RingSize),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
+	if po, ok := cfg.Planner.(planObserver); ok {
+		s.planObs = po.PlanObs()
+	}
+	s.histBase = obs.NewHistory()
+	if cfg.HistoryPath != "" {
+		base, err := obs.LoadHistory(cfg.HistoryPath)
+		if err != nil {
+			s.log.Error("planning-cost history unreadable; persistence disabled",
+				"path", cfg.HistoryPath, "error", err)
+		} else {
+			s.histBase = base
+			s.histPath = cfg.HistoryPath
+			s.startHistorySaver(cfg.HistoryInterval)
+		}
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /plan", s.handlePlan)
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/plans", s.handleDebugPlans)
+	mux.HandleFunc("GET /debug/history", s.handleDebugHistory)
 	s.handler = s.instrument(mux)
 	return s
 }
@@ -134,12 +198,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.mu.Unlock()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	// Persist the planning-cost history last, so the file carries the
+	// requests that finished during the drain. Saved even when the drain
+	// timed out — the dimensional metrics are cumulative, so the save is
+	// merely missing the still-running requests.
+	s.stopHistorySaver()
+	if serr := s.saveHistory(); serr != nil {
+		s.log.Error("history save at shutdown failed", "path", s.histPath, "error", serr)
+	}
+	return err
 }
 
 // Draining reports whether Shutdown has been initiated.
@@ -182,13 +255,9 @@ func (s *Server) timeoutFor(ms int64) time.Duration {
 	return d
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logger != nil {
-		s.cfg.Logger.Printf(format, args...)
-	}
-}
-
 // handlePlan serves POST /plan: decode, coalesce, admit, plan, render.
+// The explain=1 query parameter attaches a phase/span trace to the
+// planning call and returns it as the response's trace field.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if !s.begin() {
 		writeError(w, http.StatusServiceUnavailable, errors.New("service: draining"))
@@ -220,6 +289,24 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Tracing: explicit (explain=1) or sampled (1-in-TraceSample of the
+	// remaining requests). Explain requests coalesce in their own
+	// population — the key suffix guarantees their leader is traced, so
+	// followers inherit a real trace instead of an absent one. Sampled
+	// requests keep the plain key: the trace is opportunistic (ring
+	// only), and splitting the population would cost extra enumerations.
+	ev := r.URL.Query().Get("explain")
+	explain := ev == "1" || ev == "true"
+	traced := explain
+	if !traced && s.cfg.TraceSample > 0 && s.sampleSeq.Add(1)%uint64(s.cfg.TraceSample) == 0 {
+		traced = true
+	}
+	var tr *obs.Trace
+	if traced {
+		tr = obs.NewTrace()
+		opts = append(opts, repro.WithExplain(tr))
+	}
+
 	// The coalescing key: planning options plus the canonical graph
 	// fingerprint (tree documents hash the document instead — their
 	// conflict analysis has no graph to fingerprint before planning).
@@ -232,6 +319,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		key = optKey + "\x00" + q.Graph().Fingerprint()
+		if explain {
+			key += "\x00explain"
+		}
 		leaderPlan = func(ctx context.Context) (*repro.Result, error) {
 			return s.planner.Plan(ctx, q, opts...)
 		}
@@ -246,6 +336,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		}
 		sum := sha256.Sum256(canon)
 		key = optKey + "\x00tree:" + hex.EncodeToString(sum[:])
+		if explain {
+			key += "\x00explain"
+		}
 		doc := req.Query
 		leaderPlan = func(ctx context.Context) (*repro.Result, error) {
 			return s.planner.PlanJSON(ctx, doc, opts...)
@@ -285,11 +378,22 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		break
 	}
 	if err != nil {
+		s.log.Info("plan",
+			"id", requestID(r.Context()),
+			"fingerprint", fingerprintOf(key),
+			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+			"outcome", "error",
+			"error", err.Error())
 		s.writePlanError(w, err)
 		return
 	}
 	elapsed := time.Since(start)
-	writeJSON(w, http.StatusOK, planResponse(res, shared, float64(elapsed.Microseconds())/1000))
+	s.observePlan(requestID(r.Context()), key, res, shared, elapsed)
+	resp := planResponse(res, shared, float64(elapsed.Microseconds())/1000)
+	if explain {
+		resp.Trace = traceJSON(res.Stats.Trace)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleBatch serves POST /batch: the batch occupies one worker slot
@@ -321,7 +425,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("service: batch has no queries"))
 		return
 	}
-	opts, _, err := planOptions(req.Algorithm, req.CostModel, req.Budget)
+	opts, optKey, err := planOptions(req.Algorithm, req.CostModel, req.Budget)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -352,6 +456,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		elapsed := time.Since(start)
+		// Batch items flow into the slow-plan ring and plan log like
+		// /plan requests; the item key reuses the /plan coalescing form
+		// so the same query yields the same fingerprint on both paths.
+		itemKey := optKey
+		if res.Graph != nil {
+			itemKey += "\x00" + res.Graph.Fingerprint()
+		}
+		s.observePlan(requestID(r.Context()), itemKey, res, false, elapsed)
 		out.Results[i] = BatchItem{PlanResponse: planResponse(res, false, float64(elapsed.Microseconds())/1000)}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -433,6 +545,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "planner_auto_routed_total{algorithm=%q} %d\n", alg, pm.AutoRouted[alg])
 		}
 	}
+	s.writePlanSeconds(w)
 }
 
 // writePlanError maps a planning failure to a status code:
