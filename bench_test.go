@@ -18,6 +18,8 @@ import (
 	"testing"
 
 	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/dp"
 	"repro/internal/experiments"
 	"repro/internal/hypergraph"
 	"repro/internal/memo"
@@ -277,6 +279,65 @@ func BenchmarkMemo(b *testing.B) {
 			t2.Reset(len(keys))
 			for j, k := range keys {
 				t2.Put(k, int32(j))
+			}
+		}
+	})
+
+	// deferred-buckets measures the steady state of the pooled
+	// deferred-pricing cycle the parallel spines (DPhyp, DPccp, TopDown)
+	// run per query: record pairs into the per-worker pooled buffers,
+	// fold the collect barrier, assemble the pooled size buckets, and
+	// price every bucket level through the merged barriers. After warmup
+	// the whole cycle is allocation-free. Two per-run costs are hoisted
+	// out because they are per-run by design, not per-pair: the
+	// Stats.WorkerPairs header (deliberately freshly allocated by
+	// Engine.Parallel — it escapes into Results) and PriceLevels'
+	// goroutine fork/join (pricing runs inline here).
+	b.Run("deferred-buckets", func(b *testing.B) {
+		g := workload.Star(12, workload.DefaultConfig())
+		var recs []dp.PairRec
+		if _, _, err := core.Solve(g, core.Options{OnEmit: func(S1, S2 bitset.Set) {
+			recs = append(recs, dp.PairRec{S1: S1, S2: S2})
+		}}); err != nil {
+			b.Fatal(err)
+		}
+		const workers = 3
+		n := g.NumRels()
+		e, bld := dp.NewRun(nil, g, nil)
+		bld.Init()
+		pr := dp.NewParRun(bld, workers)
+		wp := e.Stats.WorkerPairs
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Reset(n)
+			e.Stats.Workers = workers
+			e.Stats.WorkerPairs = wp
+			bld.Init()
+			for _, wb := range pr.Bs {
+				wb.ResetPairs()
+			}
+			pr.Par.StartLevel()
+			for j, r := range recs {
+				wb := pr.Bs[j%workers]
+				if wb.Engine.EmitDeferred(r.S1, r.S2) {
+					wb.DeferPair(r.S1, r.S2)
+				}
+			}
+			pr.Par.FinishLevel(memo.LevelCollected)
+			buckets := pr.Buckets(n)
+			for s := 2; s < len(buckets); s++ {
+				if len(buckets[s]) == 0 {
+					continue
+				}
+				pr.Par.StartLevel()
+				for j, r := range buckets[s] {
+					pr.Bs[j%workers].Engine.BuildDeferred(r.S1, r.S2)
+				}
+				pr.Par.FinishLevel(memo.LevelPriced)
+			}
+			if e.Entries() == 0 {
+				b.Fatal("no memo entries after pricing")
 			}
 		}
 	})

@@ -86,11 +86,16 @@ type jsonRecord struct {
 	TimedOut    bool   `json:"timed_out,omitempty"`
 }
 
-// jsonReport is the top-level -json document.
+// jsonReport is the top-level -json document. NumCPU and GOMAXPROCS
+// record the hardware the numbers were taken on — parallel-enumeration
+// medians from different core counts are not comparable, so every
+// BENCH_*.json carries its own.
 type jsonReport struct {
-	Reps    int          `json:"reps"`
-	Full    bool         `json:"full"`
-	Results []jsonRecord `json:"results"`
+	Reps       int          `json:"reps"`
+	Full       bool         `json:"full"`
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Results    []jsonRecord `json:"results"`
 }
 
 func (r *jsonReport) add(rec jsonRecord) {
@@ -130,7 +135,11 @@ func main() {
 
 	var report *jsonReport
 	if *jsonOut != "" {
-		report = &jsonReport{Reps: *reps, Full: *full, Results: []jsonRecord{}}
+		report = &jsonReport{
+			Reps: *reps, Full: *full,
+			NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Results: []jsonRecord{},
+		}
 	}
 
 	if *solver != "" {
@@ -166,6 +175,11 @@ func main() {
 
 	if *csv {
 		fmt.Println("experiment,x,algorithm,ms,csg_cmp_pairs,costed_plans,cost")
+	} else {
+		// Suite header: parallel cells are only comparable across runs
+		// taken on the same core count, so every report leads with it.
+		fmt.Printf("# dpbench suite  [reps=%d full=%v cpus=%d gomaxprocs=%d]\n",
+			*reps, *full, runtime.NumCPU(), runtime.GOMAXPROCS(0))
 	}
 	for _, s := range selected {
 		runSeries(s, *reps, *csv, *timeout, report)
@@ -353,7 +367,8 @@ func runShapeSweep(solverName, costName string, maxN, reps, parallel int, csv bo
 	if csv {
 		fmt.Println("family,n,solver,cost_model,parallel,algorithm,ms,csg_cmp_pairs,cost")
 	} else {
-		fmt.Printf("\n## §4 shape sweep  [solver=%s cost=%s parallel=%d]\n\n", solverName, costName, parallel)
+		fmt.Printf("\n## §4 shape sweep  [solver=%s cost=%s parallel=%d cpus=%d gomaxprocs=%d]\n\n",
+			solverName, costName, parallel, runtime.NumCPU(), runtime.GOMAXPROCS(0))
 		fmt.Println("| family | n | algorithm | ms | #ccp | cost |")
 		fmt.Println("|---|---|---|---|---|---|")
 	}

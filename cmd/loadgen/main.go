@@ -26,6 +26,7 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -53,6 +54,7 @@ func main() {
 		seed        = flag.Int64("seed", 2008, "workload seed")
 		minQPS      = flag.Float64("min-qps", 0, "exit 1 if achieved QPS falls below this (0 = no gate)")
 		minSuccess  = flag.Float64("min-success", 0, "exit 1 if the 2xx fraction falls below this (0 = no gate)")
+		jsonOut     = flag.String("json", "", "write a machine-readable run summary to this file (\"-\" = stdout)")
 		checkMet    = flag.Bool("check-metrics", false, "after the run, fetch /metrics, validate the exposition, and require the per-shape planner_plan_seconds family (exit 1 on failure)")
 	)
 	flag.Parse()
@@ -150,21 +152,42 @@ func main() {
 	achieved := float64(measured) / elapsed.Seconds()
 	success := float64(ok) / float64(measured)
 
-	fmt.Printf("loadgen: %s %s n=%d distinct=%d → %d requests in %.2fs (target %.0f QPS)\n",
+	// With -json - the summary owns stdout, so the human-readable report
+	// moves to stderr — piping the JSON stays clean.
+	out := io.Writer(os.Stdout)
+	if *jsonOut == "-" {
+		out = os.Stderr
+	}
+	fmt.Fprintf(out, "loadgen: %s %s n=%d distinct=%d → %d requests in %.2fs (target %.0f QPS)\n",
 		*url, *family, *n, *distinct, measured, elapsed.Seconds(), *qps)
-	fmt.Printf("achieved %.1f QPS, %.2f%% ok\n", achieved, success*100)
-	fmt.Printf("latency ms: p50=%.3f p90=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+	fmt.Fprintf(out, "achieved %.1f QPS, %.2f%% ok\n", achieved, success*100)
+	fmt.Fprintf(out, "latency ms: p50=%.3f p90=%.3f p95=%.3f p99=%.3f max=%.3f\n",
 		percentile(lat, 50), percentile(lat, 90), percentile(lat, 95), percentile(lat, 99), lat[len(lat)-1])
 	keys := make([]int, 0, len(codes))
 	for c := range codes {
 		keys = append(keys, c)
 	}
 	sort.Ints(keys)
-	fmt.Printf("status:")
+	fmt.Fprintf(out, "status:")
 	for _, c := range keys {
-		fmt.Printf(" %d×%d", c, codes[c])
+		fmt.Fprintf(out, " %d×%d", c, codes[c])
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
+
+	if *jsonOut != "" {
+		if err := writeSummary(*jsonOut, runSummary{
+			URL: *url, Family: *family, N: *n, Distinct: *distinct,
+			TargetQPS: *qps, AchievedQPS: achieved, SuccessRate: success,
+			Requests: measured, DurationSec: elapsed.Seconds(),
+			P50: percentile(lat, 50), P90: percentile(lat, 90),
+			P95: percentile(lat, 95), P99: percentile(lat, 99),
+			MaxMS: lat[len(lat)-1], StatusCounts: codes,
+			NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: write json:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *minQPS > 0 && achieved < *minQPS {
 		fmt.Fprintf(os.Stderr, "loadgen: achieved %.1f QPS < required %.1f\n", achieved, *minQPS)
@@ -179,8 +202,47 @@ func main() {
 			fmt.Fprintln(os.Stderr, "loadgen: metrics check:", err)
 			os.Exit(1)
 		}
-		fmt.Println("metrics: exposition valid, per-shape planning-latency family present")
+		fmt.Fprintln(out, "metrics: exposition valid, per-shape planning-latency family present")
 	}
+}
+
+// runSummary is the machine-readable mirror of the text report. It
+// embeds the load box's core count and GOMAXPROCS because achieved QPS
+// and tail latency from a parallel-enumeration server are only
+// comparable between runs recorded on the same core budget — a summary
+// without the hardware context is a number without units.
+type runSummary struct {
+	URL          string      `json:"url"`
+	Family       string      `json:"family"`
+	N            int         `json:"n"`
+	Distinct     int         `json:"distinct"`
+	TargetQPS    float64     `json:"target_qps"`
+	AchievedQPS  float64     `json:"achieved_qps"`
+	SuccessRate  float64     `json:"success_rate"`
+	Requests     int         `json:"requests"`
+	DurationSec  float64     `json:"duration_sec"`
+	P50          float64     `json:"p50_ms"`
+	P90          float64     `json:"p90_ms"`
+	P95          float64     `json:"p95_ms"`
+	P99          float64     `json:"p99_ms"`
+	MaxMS        float64     `json:"max_ms"`
+	StatusCounts map[int]int `json:"status_counts"`
+	NumCPU       int         `json:"num_cpu"`
+	GOMAXPROCS   int         `json:"gomaxprocs"`
+}
+
+// writeSummary marshals the summary to path ("-" = stdout).
+func writeSummary(path string, s runSummary) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // checkMetrics is the observability half of the serving smoke test: the

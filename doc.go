@@ -130,18 +130,39 @@
 //
 // WithParallelism(n) lets one exact enumeration use up to n memo
 // workers (default GOMAXPROCS; 1 pins the serial engine). The engine
-// parallelizes level-synchronously: within one DP level — a plan size
-// for DPsize/DPsub, a result-set size for the csg-cmp streams of
-// DPhyp/DPccp — every candidate pair is independent given the levels
-// below it, so workers claim fixed chunks of the level dynamically,
-// build plans into private memo views (per-worker open-addressing
-// table + arena over the read-only merged levels), and a barrier folds
-// the per-worker winners back into the main memo. DPsize and DPsub
-// partition their (*)-test loops directly; DPhyp and DPccp enumerate
-// first (DPccp's test-free enumeration itself partitions across start
-// vertices) and price the collected pairs level-parallel. TopDown and
-// Greedy remain serial — the router sends parallel clique workloads to
-// DPsub, whose partition loops are test-free on cliques.
+// parallelizes level-synchronously: workers claim work units
+// dynamically off an atomic counter, build into private memo views
+// (per-worker open-addressing table + arena over the read-only merged
+// levels), and barriers fold the per-worker winners back into the main
+// memo. What is partitioned differs per solver:
+//
+//   - DPsize and DPsub partition their (*)-test loops directly — a
+//     plan-size level for DPsize, Gosper-enumerated same-size subset
+//     chunks for DPsub — and price pairs in place within the level.
+//   - DPhyp and DPccp partition the connected-subgraph expansion
+//     itself across start vertices: each worker runs the full
+//     csg-cmp-pair expansion for the start vertices it claims, using
+//     structural connectivity (hypergraph reachability, cached per
+//     worker) as the subgraph-membership oracle in place of the
+//     serial DP table — valid because in these modes every admitted
+//     pair stores a plan, so "present in the serial table" and
+//     "connected" coincide. Emitted pairs are recorded, not priced; a
+//     single barrier collects them and a level-parallel pricing sweep
+//     (ascending result-set size) builds the plans.
+//   - TopDown partitions its memoized partition search per level,
+//     descending: the sets discovered at size s+1 are frozen at a
+//     barrier, then workers claim fixed chunks of every size-(s+1)
+//     set's Vance–Maier partition order, testing splits and recording
+//     newly reached connected subsets and pairs. Discovery flows
+//     strictly from supersets to subsets, so the level order
+//     reproduces the serial explored space exactly; pricing then runs
+//     level-parallel as above.
+//   - Greedy remains serial. The router still sends parallel clique
+//     workloads to DPsub rather than parallel TopDown — a measured
+//     choice, not a workaround: DPsub prices in place during its level
+//     sweep while TopDown pays a separate collect-then-price pass over
+//     every pair, and on the reference clique workload DPsub finishes
+//     in ≈0.93× of parallel TopDown's time.
 //
 // Parallelism never changes the answer. Equal-cost ties are broken
 // order-independently (the lexicographically lowest (left, right)
@@ -158,11 +179,40 @@
 // serially: an exact enumeration at that size costs tens of
 // microseconds and fork/join would only add overhead. Traced and
 // observed runs (WithTrace, OnEmit, generate-and-test filters) are
-// also pinned serial, as are graphs with dependent relations for the
-// DPhyp/DPccp deferred modes. Stats.Workers and Stats.WorkerPairs
+// also pinned serial. Graphs with dependent relations pass through a
+// cost-free admissibility precheck (dp.ParallelSafe): exactly one
+// dependent relation whose incident edges are all inner joins is
+// provably orientation-safe and plans parallel; more than one
+// dependent relation, or a dependent relation under a non-inner
+// operator, falls back to serial, where the builder's full
+// §5.6 dependency analysis applies. TopDown's parallel mode also
+// requires fewer than 63 relations (its packed partition indices),
+// beyond which it plans serially. Stats.Workers and Stats.WorkerPairs
 // record the fan-out per run; PlannerMetrics.ParallelRuns and
 // ParallelPairs (exported at /metrics as planner_parallel_runs_total
 // and planner_parallel_pairs_total) aggregate it per session.
+//
+// # Benchmarks
+//
+// Checked-in BENCH_PR*.json files record cmd/dpbench shape sweeps
+// (SolverAuto, JSON mode) at the PR that produced them. Medians from
+// parallel enumeration are only comparable between files recorded on
+// the same core budget, so the hardware context matters — since PR 9
+// the files embed it themselves (num_cpu, gomaxprocs fields); for the
+// earlier files it is recorded here:
+//
+//   - BENCH_PR3.json — n≤12, reps 3, serial; 1-CPU container.
+//   - BENCH_PR4.json — n≤12, reps 3, serial; 1-CPU container.
+//   - BENCH_PR5.json — n≤14, reps 3, parallel ∈ {1,4}; 1-CPU
+//     container, so the 4-worker cells record scheduling overhead
+//     (~2%) rather than a speedup.
+//   - BENCH_PR7.json — referenced by PR 7's changelog entry but never
+//     committed; the gap in the series is real and this note is its
+//     record. Use BENCH_PR8.json as the post-widening baseline.
+//   - BENCH_PR8.json — n≤100, reps 3, parallel ∈ {1,4}; 2-CPU
+//     container.
+//   - BENCH_PR9.json — parallel ∈ {1,4} with the parallel spines of
+//     this PR; 2-CPU container (num_cpu embedded).
 //
 // # Invariants
 //

@@ -29,6 +29,9 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/bitset"
 	"repro/internal/cost"
 	"repro/internal/dp"
@@ -72,16 +75,19 @@ type Options struct {
 	// arena, and backend scratch) from previous runs.
 	Pool *memo.Pool
 
-	// Parallelism > 1 enables the two-phase parallel mode: the csg-cmp
-	// enumeration runs once, recording pairs and connected-subgraph
-	// membership instead of pricing (the enumeration itself must stay
-	// ordered — csg membership with a given representative depends on
-	// earlier start vertices), and the recorded pairs are then priced
-	// level-by-level across workers (dp.ParRun.PriceLevels). Plan
-	// construction dominates the per-pair cost, so the bulk of the run
-	// parallelizes. Graphs with dependent relations fall back to the
-	// serial engine (dp.ParallelSafe). 0 or 1 runs today's serial
-	// engine.
+	// Parallelism > 1 enables the parallel spine: the csg-cmp
+	// enumeration itself is partitioned across workers by start vertex
+	// (every csg grown from vertex v has min = v, so its intra-vertex
+	// membership tests are worker-local), with cross-vertex membership
+	// — complements whose minimum is a vertex possibly still in flight
+	// on another worker — answered by a structural Definition-3
+	// connectivity test cached per worker. Under the dp.ParallelSafe
+	// admissibility precheck table membership is exactly connectivity,
+	// so the partitioned enumeration admits the same pairs as the
+	// serial order. Admitted pairs are collected per worker and then
+	// priced level-by-level across workers (dp.ParRun.PriceLevels).
+	// Graphs failing the precheck fall back to the serial engine.
+	// 0 or 1 runs today's serial engine.
 	Parallelism int
 }
 
@@ -175,31 +181,85 @@ func (s *Solver) enumerate(n int) {
 	}
 }
 
-// runParallel is the two-phase parallel mode: phase 1 runs the serial
-// enumeration with pricing deferred — pairs are recorded into buckets
-// keyed by result-set size, and csg membership is tracked in the
-// engine's scratch table (every admitted pair produces an entry, which
-// dp.ParallelSafe guaranteed) — and phase 2 prices the buckets
-// level-by-level across the workers.
+// runParallel is the parallel spine: the csg-cmp enumeration itself is
+// partitioned across workers. Workers claim start vertices dynamically
+// (descending, matching the serial seeding order); each runs the full
+// §3 member-function body for its vertices with the two memo touch
+// points redirected — emit records pairs into the worker's deferred
+// bucket, and contains answers with a structural Definition-3
+// connectivity test (hypergraph.ConnectedSet) cached in the worker's
+// scratch table.
+//
+// Why structural connectivity is the correct membership oracle: under
+// dp.ParallelSafe every admitted pair stores a plan, so the serial DP
+// table holds S iff S is a connected csg. Queries with min(S) equal to
+// the worker's own start vertex concern csgs the worker grows itself;
+// queries with a smaller min concern vertices another worker owns —
+// the serial order would have completed them already, and connectivity
+// is exactly the answer the finished table would give. The partitioned
+// enumeration therefore admits the same pair set as the serial order,
+// and the order-independent barrier merge makes the final plan
+// byte-identical at any worker count.
+//
+// After the single collect barrier (memo.LevelCollected folds the
+// workers' pair counters; their tables carry no plans), the recorded
+// pairs are bucketed by result-set size through the pooled
+// dp.ParRun.Buckets and priced level-by-level across the same workers.
 func (s *Solver) runParallel(n int) (*plan.Node, error) {
-	membership := s.e.Scratch(1 << uint(min(n, 12)))
-	buckets := make([][]dp.PairRec, n+1)
-	s.emit = func(S1, S2 bitset.Set) {
-		if !s.e.EmitDeferred(S1, S2) {
-			return
-		}
-		S := S1.Union(S2)
-		buckets[S.Len()] = append(buckets[S.Len()], dp.PairRec{S1: S1, S2: S2})
-		membership.Put(S, 1)
+	pr := dp.NewParRun(s.b, s.opts.Parallelism)
+	pr.Par.StartLevel()
+	collect := s.opts.Explain.Start(obs.PhaseCollect)
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := range pr.Bs {
+		wb := pr.Bs[w]
+		we := wb.Engine
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn := we.Scratch(1 << uint(min(n, 12)))
+			var cs hypergraph.ConnScratch
+			col := &Solver{g: s.g, e: we, b: wb}
+			col.emit = func(S1, S2 bitset.Set) {
+				if we.EmitDeferred(S1, S2) {
+					wb.DeferPair(S1, S2)
+				}
+			}
+			col.contains = func(S bitset.Set) bool {
+				if v, ok := conn.Get(S); ok {
+					return v != 0
+				}
+				var v int32
+				if s.g.ConnectedSet(S, &cs) {
+					v = 1
+				}
+				conn.Put(S, v)
+				return v != 0
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || we.Aborted() != nil {
+					return
+				}
+				v := n - 1 - i
+				S := bitset.Single(v)
+				su := s.g.SimpleNeighborUnion(S)
+				col.emitCsg(S, su)
+				col.enumerateCsgRec(S, bitset.BelowEq(v), su)
+			}
+		}()
 	}
-	s.contains = func(S bitset.Set) bool {
-		_, ok := membership.Get(S)
-		return ok
-	}
-	s.enumerate(n)
-	if s.e.Aborted() == nil {
-		pr := dp.NewParRun(s.b, s.opts.Parallelism)
-		pr.PriceLevels(buckets)
+	wg.Wait()
+	pr.Par.FinishLevel(memo.LevelCollected)
+	s.opts.Explain.Annotate(collect, int64(s.e.Stats.CsgCmpPairs), 0, s.opts.Parallelism, 0)
+	s.opts.Explain.End(collect)
+	if pr.Par.Aborted() == nil {
+		price := s.opts.Explain.Start(obs.PhasePrice)
+		pr.PriceLevels(pr.Buckets(n))
+		s.opts.Explain.Annotate(price, 0, s.e.Entries(), s.opts.Parallelism, 0)
+		s.opts.Explain.End(price)
 	}
 	return s.b.Final()
 }

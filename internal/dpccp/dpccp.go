@@ -108,26 +108,26 @@ func Solve(g *hypergraph.Graph, opts Options) (*plan.Node, dp.Stats, error) {
 // deferred-pair recorder; on simple graphs it needs no DP-table access
 // — across start vertices that workers claim dynamically (descending,
 // matching the serial order), so skewed shapes — a star's hub vertex
-// emits almost every pair — cost at most one worker's imbalance. Phase 2 reassembles the per-vertex streams
-// in serial emission order, buckets them by result-set size, and
-// prices the buckets level-parallel.
+// emits almost every pair — cost at most one worker's imbalance.
+// Phase 2 buckets the collected pairs by result-set size (pooled
+// storage; bucket order is irrelevant under the order-independent
+// merge tie-break) and prices the buckets level-parallel.
 func solveParallel(g *hypergraph.Graph, b *dp.Builder, n, workers int) {
 	pr := dp.NewParRun(b, workers)
-	perVertex := make([][]dp.PairRec, n)
 	pr.Par.StartLevel()
 	var (
 		next atomic.Int64
 		wg   sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
-		we := pr.Bs[w].Engine
+		wb := pr.Bs[w]
+		we := wb.Engine
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var pairs []dp.PairRec
 			col := solver{g: g, e: we, emit: func(S1, S2 bitset.Set) {
 				if we.EmitDeferred(S1, S2) {
-					pairs = append(pairs, dp.PairRec{S1: S1, S2: S2})
+					wb.DeferPair(S1, S2)
 				}
 			}}
 			for {
@@ -136,11 +136,9 @@ func solveParallel(g *hypergraph.Graph, b *dp.Builder, n, workers int) {
 					return
 				}
 				v := n - 1 - i
-				pairs = nil
 				S := bitset.Single(v)
 				col.emitCmp(S)
 				col.enumerateCsgRec(S, bitset.BelowEq(v))
-				perVertex[v] = pairs
 			}
 		}()
 	}
@@ -149,15 +147,7 @@ func solveParallel(g *hypergraph.Graph, b *dp.Builder, n, workers int) {
 	if pr.Par.Aborted() != nil {
 		return
 	}
-
-	buckets := make([][]dp.PairRec, n+1)
-	for v := n - 1; v >= 0; v-- {
-		for _, p := range perVertex[v] {
-			s := p.S1.Union(p.S2).Len()
-			buckets[s] = append(buckets[s], p)
-		}
-	}
-	pr.PriceLevels(buckets)
+	pr.PriceLevels(pr.Buckets(n))
 }
 
 // enumerateCsgRec grows connected subgraphs along the adjacency

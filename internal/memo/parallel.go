@@ -65,8 +65,13 @@ type Par struct {
 	Main *Engine
 	Ws   []*Engine
 
-	sh        parShared
-	lastLevel int // merged entries of the previous level, sizes the next
+	sh parShared
+
+	// Barrier-merge scratch, reused across levels and pool round-trips
+	// (the sorter wrapper exists so the sort takes no per-call closure
+	// or interface-boxing allocation).
+	ents   []mergeEnt
+	sorter entSorter
 }
 
 // Parallel prepares (or revives) the engine's parallel orchestration
@@ -79,11 +84,16 @@ func (e *Engine) Parallel(n int) *Par {
 	}
 	p := e.par
 	p.sh.reset()
-	p.lastLevel = 0
 	for len(p.Ws) < n {
 		p.Ws = append(p.Ws, &Engine{parent: e})
 	}
 	ws := p.Ws[:n]
+	// Worker tables are sized (and shrink-bounded) once per run: a level
+	// holds at most the run's entries split across the workers, and the
+	// main table was just Reset with the run's hint. Between levels
+	// StartLevel only clears them — level sizes within one run swing too
+	// wildly for per-level shrink heuristics (see Table.Clear).
+	hint := e.table.Cap() / n
 	for _, w := range ws {
 		w.Stats = Stats{}
 		w.OnEmit = nil
@@ -93,6 +103,7 @@ func (e *Engine) Parallel(n int) *Par {
 		w.shared = &p.sh
 		w.nodes = w.nodes[:0]
 		w.edges = w.edges[:0]
+		w.table.Reset(hint)
 	}
 	e.Stats.Workers = n
 	// Always a fresh slice: Stats — including this header — is copied
@@ -106,14 +117,14 @@ func (e *Engine) Parallel(n int) *Par {
 func (p *Par) Workers() []*Engine { return p.Ws[:p.Main.Stats.Workers] }
 
 // StartLevel opens a level: every worker's private table and arena are
-// cleared and its arena base pinned to the current end of the main
-// arena, so plans built this level reference merged children by their
-// final handles and need no remapping at the barrier.
+// cleared (capacity kept — Parallel sized them for the run) and its
+// arena base pinned to the current end of the main arena, so plans
+// built this level reference merged children by their final handles and
+// need no remapping at the barrier.
 func (p *Par) StartLevel() {
-	hint := 2 * p.lastLevel / len(p.Workers())
 	base := p.Main.base + int32(len(p.Main.nodes))
 	for _, w := range p.Workers() {
-		w.table.Reset(hint)
+		w.table.Clear()
 		w.nodes = w.nodes[:0]
 		w.edges = w.edges[:0]
 		w.base = base
@@ -126,6 +137,14 @@ type mergeEnt struct {
 	w *Engine
 	h int32 // local arena index within w
 }
+
+// entSorter orders merge entries by relation set; a pointer to the
+// Par-owned instance satisfies sort.Interface without allocating.
+type entSorter struct{ s []mergeEnt }
+
+func (e *entSorter) Len() int           { return len(e.s) }
+func (e *entSorter) Swap(i, j int)      { e.s[i], e.s[j] = e.s[j], e.s[i] }
+func (e *entSorter) Less(i, j int) bool { return e.s[i].S.Less(e.s[j].S) }
 
 // LevelKind tells FinishLevel how to attribute the workers' CsgCmpPairs
 // counters, so emissions and plan builds each count exactly once even
@@ -154,10 +173,14 @@ const (
 // installed in ascending relation-set order, which makes the main
 // engine's slot layout — and ForEach order — independent of scheduling.
 //
-// It returns the relation sets added this level, sorted ascending.
+// For LevelBuilt it returns the relation sets added this level, sorted
+// ascending (DPsize/DPsub drive the next level off them; the slice is
+// retained by the caller, so it cannot be pooled). The collect/price
+// kinds return nil — their callers never consume the sets, and skipping
+// the slice keeps the deferred-pricing barriers allocation-free.
 func (p *Par) FinishLevel(kind LevelKind) []bitset.Set {
 	m := p.Main
-	var ents []mergeEnt
+	ents := p.ents[:0]
 	for i, w := range p.Workers() {
 		w.table.ForEach(func(S bitset.Set, h int32) {
 			ents = append(ents, mergeEnt{S: S, w: w, h: h - w.base})
@@ -175,9 +198,14 @@ func (p *Par) FinishLevel(kind LevelKind) []bitset.Set {
 		m.Stats.AmbiguousOps += st.AmbiguousOps
 		*st = Stats{}
 	}
-	sort.Slice(ents, func(i, j int) bool { return ents[i].S.Less(ents[j].S) })
+	p.ents = ents // keep grown storage for the next level
+	p.sorter.s = ents
+	sort.Sort(&p.sorter)
 
-	newSets := make([]bitset.Set, 0, len(ents))
+	var newSets []bitset.Set
+	if kind == LevelBuilt {
+		newSets = make([]bitset.Set, 0, len(ents))
+	}
 	for i := 0; i < len(ents); {
 		j := i + 1
 		best := ents[i]
@@ -199,10 +227,11 @@ func (p *Par) FinishLevel(kind LevelKind) []bitset.Set {
 		h := int32(len(m.nodes))
 		m.nodes = append(m.nodes, n)
 		m.table.Put(best.S, h)
-		newSets = append(newSets, best.S)
+		if kind == LevelBuilt {
+			newSets = append(newSets, best.S)
+		}
 		i = j
 	}
-	p.lastLevel = len(newSets)
 
 	if p.sh.aborted.Load() && m.abortErr == nil {
 		m.abortErr = p.sh.cause()

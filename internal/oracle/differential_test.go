@@ -25,7 +25,7 @@ import (
 type solverFn func(*hypergraph.Graph, cost.Model) (*plan.Node, dp.Stats, error)
 
 // exactSolvers are the five enumerators that must return cost-optimal
-// plans, plus the parallel modes of the four that have one (run at
+// plans, plus the parallel modes of all five (run at
 // three workers to exercise partitioning, merging, and the
 // order-independent tie-break even on the suite's small graphs — the
 // internal solvers apply no size crossover). needsSimple marks solvers
@@ -62,6 +62,9 @@ var exactSolvers = []struct {
 	{"dpccp-par3", func(g *hypergraph.Graph, m cost.Model) (*plan.Node, dp.Stats, error) {
 		return dpccp.Solve(g, dpccp.Options{Model: m, Parallelism: 3})
 	}, true},
+	{"topdown-par3", func(g *hypergraph.Graph, m cost.Model) (*plan.Node, dp.Stats, error) {
+		return topdown.Solve(g, topdown.Options{Model: m, Parallelism: 3})
+	}, false},
 }
 
 // allModels are the cost models the differential suite sweeps.

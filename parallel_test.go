@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/bitset"
 	"repro/internal/workload"
 )
 
@@ -82,6 +83,93 @@ func TestParallelPlansDeterministic(t *testing.T) {
 			if rp.Stats.CsgCmpPairs != rs.Stats.CsgCmpPairs {
 				t.Errorf("graph %d (%s): csg-cmp-pairs %d != serial %d",
 					i, pp.name, rp.Stats.CsgCmpPairs, rs.Stats.CsgCmpPairs)
+			}
+		}
+	}
+}
+
+// depGraph derives the i-th dependent-relation graph: a join-only shape
+// with exactly one relation marked dependent on relation 0 — the class
+// the dp.ParallelSafe admissibility precheck admits (every emitted pair
+// keeps at least one valid orientation, so memo membership stays purely
+// structural).
+func depGraph(i int) *Graph {
+	seed := int64(9000 + i)
+	rng := rand.New(rand.NewSource(seed))
+	cfg := workload.DefaultConfig()
+	cfg.Seed = seed
+	var g *Graph
+	switch i % 4 {
+	case 0:
+		g = workload.Chain(10+rng.Intn(3), cfg)
+	case 1:
+		g = workload.Cycle(10+rng.Intn(3), cfg)
+	case 2:
+		g = workload.Star(10+rng.Intn(3), cfg)
+	default:
+		g = workload.Grid(2, 5+rng.Intn(2), cfg)
+	}
+	g.SetFree(1+rng.Intn(g.NumRels()-1), bitset.New(0))
+	return g
+}
+
+// TestNewParallelModesDeterministic pins the parallel DPhyp enumeration
+// spine and the parallel TopDown partition search to the byte-identical
+// contract at workers ∈ {1,2,4}. Half the graphs carry one dependent
+// relation — previously blanket-rejected by dp.ParallelSafe, now
+// admitted by the precheck — and every parallel run must actually
+// engage its workers (Stats.Workers), not silently fall back to serial.
+func TestNewParallelModesDeterministic(t *testing.T) {
+	graphs := 200
+	if testing.Short() {
+		graphs = 20
+	}
+	ctx := context.Background()
+	for _, alg := range []Algorithm{DPhyp, TopDown} {
+		serial := NewPlanner(WithAlgorithm(alg), WithPlanCacheSize(0), WithParallelism(1))
+		par := []struct {
+			workers int
+			p       *Planner
+		}{
+			{2, NewPlanner(WithAlgorithm(alg), WithPlanCacheSize(0), WithParallelism(2))},
+			{4, NewPlanner(WithAlgorithm(alg), WithPlanCacheSize(0), WithParallelism(4))},
+		}
+		for i := 0; i < graphs; i++ {
+			var g *Graph
+			if i%2 == 0 {
+				g = detGraph(i)
+			} else {
+				g = depGraph(i)
+			}
+			rs, err := serial.PlanGraph(ctx, g)
+			if err != nil {
+				t.Fatalf("%v graph %d serial: %v", alg, i, err)
+			}
+			want, err := json.Marshal(rs.Plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pp := range par {
+				rp, err := pp.p.PlanGraph(ctx, g)
+				if err != nil {
+					t.Fatalf("%v graph %d workers=%d: %v", alg, i, pp.workers, err)
+				}
+				if rp.Stats.Workers != pp.workers {
+					t.Errorf("%v graph %d: ran with %d workers, want %d (parallel mode did not engage)",
+						alg, i, rp.Stats.Workers, pp.workers)
+				}
+				got, err := json.Marshal(rp.Plan)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(got) != string(want) {
+					t.Errorf("%v graph %d workers=%d: plan differs from serial\nserial:   %s\nparallel: %s",
+						alg, i, pp.workers, want, got)
+				}
+				if rp.Stats.CsgCmpPairs != rs.Stats.CsgCmpPairs {
+					t.Errorf("%v graph %d workers=%d: csg-cmp-pairs %d != serial %d",
+						alg, i, pp.workers, rp.Stats.CsgCmpPairs, rs.Stats.CsgCmpPairs)
+				}
 			}
 		}
 	}
