@@ -85,6 +85,22 @@ func (c *planCache) add(key string, plan *PlanNode, stats Stats, alg Algorithm) 
 	}
 }
 
+// snapshotEntries returns the cache contents oldest-first, so replaying
+// them through add() reproduces the LRU recency order. The returned
+// entries share the cached plan trees: those are private clones that
+// are only ever replaced wholesale (never mutated in place), so reading
+// them after the lock is released is safe — the same contract get()
+// relies on to clone outside the lock.
+func (c *planCache) snapshotEntries() []cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cacheEntry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		out = append(out, *el.Value.(*cacheEntry))
+	}
+	return out
+}
+
 // len reports the current number of cached entries.
 func (c *planCache) len() int {
 	c.mu.Lock()

@@ -30,6 +30,14 @@
 // With -solver auto each row additionally reports which algorithm the
 // planner's topology router picked for the cell.
 //
+// A third mode prices the degradation ladder's bottom rung: -regret
+// plans every shape family × cost model × size both exactly and
+// greedily and reports greedy-cost ÷ optimal-cost (1.0 = greedy found
+// the optimum), with per-family geomean and worst-case summaries:
+//
+//	dpbench -regret
+//	dpbench -regret -sweep-max-n 14 -csv
+//
 // -json writes the same measurements as a machine-readable file (one
 // record per cell: family/experiment, n, solver, cost model, the
 // algorithm that actually ran, median wall ms, csg-cmp-pairs, costed
@@ -45,6 +53,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -84,6 +93,10 @@ type jsonRecord struct {
 	BytesPerOp  uint64 `json:"bytes_per_op"`
 	AllocsPerOp uint64 `json:"allocs_per_op"`
 	TimedOut    bool   `json:"timed_out,omitempty"`
+	// GreedyCost and Regret are -regret mode only: the greedy plan's
+	// cost for the cell and its ratio to the exact optimum (Cost).
+	GreedyCost float64 `json:"greedy_cost,omitempty"`
+	Regret     float64 `json:"regret,omitempty"`
 }
 
 // jsonReport is the top-level -json document. NumCPU and GOMAXPROCS
@@ -129,6 +142,7 @@ func main() {
 		costMod = flag.String("cost", "cout", "cost model for the -solver sweep: cout | cmm | nlj | hash | physical")
 		sweepN  = flag.Int("sweep-max-n", 12, "largest relation count per family in the -solver sweep")
 		par     = flag.Int("parallel", 1, "enumeration workers for the -solver sweep (0 = GOMAXPROCS, 1 = serial)")
+		regret  = flag.Bool("regret", false, "report greedy regret (greedy cost ÷ exact-optimal cost) per shape family × cost model — the plan-quality price of the overload ladder's bottom rung")
 		jsonOut = flag.String("json", "", "write machine-readable results to this path")
 	)
 	flag.Parse()
@@ -140,6 +154,14 @@ func main() {
 			NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
 			Results: []jsonRecord{},
 		}
+	}
+
+	if *regret {
+		runRegret(*sweepN, *csv, report)
+		if report != nil {
+			report.write(*jsonOut)
+		}
+		return
 	}
 
 	if *solver != "" {
@@ -435,6 +457,118 @@ func runShapeSweep(solverName, costName string, maxN, reps, parallel int, csv bo
 			} else {
 				fmt.Printf("| %s | %d | %s | %s | %d | %.4g |\n",
 					fam.name, n, algName, fmtMS(ms), res.Stats.CsgCmpPairs, res.Cost())
+			}
+		}
+	}
+}
+
+// runRegret quantifies what the degradation ladder's bottom rung gives
+// up in plan quality: for every §4 shape family × cost model × size it
+// plans the same graph exactly (DPhyp) and greedily (GOO) and reports
+// the ratio greedy-cost ÷ optimal-cost. Cliques stop at 12 relations,
+// where the exact oracle leaves the benchmark regime. Regret is a pure
+// cost computation — cells run once, uncached and untimed — and a
+// ratio below 1 is a hard error: it would mean the exact enumeration
+// was not optimal under its own cost model.
+func runRegret(maxN int, csv bool, report *jsonReport) {
+	if maxN < 4 {
+		maxN = 4
+	}
+	cfgFor := func(n int) workload.Config {
+		if n > 64 {
+			return workload.LargeConfig()
+		}
+		return workload.DefaultConfig()
+	}
+	cliqueMax := maxN
+	if cliqueMax > 12 {
+		cliqueMax = 12
+	}
+	families := []struct {
+		name string
+		make func(n int) *repro.Graph
+		maxN int
+	}{
+		{"chain", func(n int) *repro.Graph { return workload.Chain(n, cfgFor(n)) }, maxN},
+		{"cycle", func(n int) *repro.Graph { return workload.Cycle(n, cfgFor(n)) }, maxN},
+		{"star", func(n int) *repro.Graph { return workload.Star(n, cfgFor(n)) }, maxN},
+		{"clique", func(n int) *repro.Graph { return workload.Clique(n, cfgFor(n)) }, cliqueMax},
+	}
+	models := []string{"cout", "cmm", "nlj", "hash", "physical"}
+	exactAlg, err := repro.ParseAlgorithm("dphyp")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpbench:", err)
+		os.Exit(2)
+	}
+	greedyAlg, err := repro.ParseAlgorithm("greedy")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpbench:", err)
+		os.Exit(2)
+	}
+
+	if csv {
+		fmt.Println("family,cost_model,n,optimal_cost,greedy_cost,regret")
+	} else {
+		fmt.Printf("\n## greedy regret vs the exact optimum  [max-n=%d]\n", maxN)
+		fmt.Println("regret = greedy cost ÷ optimal cost; 1.0 means greedy found the optimum")
+		fmt.Println()
+		fmt.Println("| family | cost model | cells | geomean | max | at n |")
+		fmt.Println("|---|---|---|---|---|---|")
+	}
+	for _, fam := range families {
+		for _, mname := range models {
+			model, err := repro.ParseCostModel(mname)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dpbench:", err)
+				os.Exit(2)
+			}
+			exact := repro.NewPlanner(
+				repro.WithAlgorithm(exactAlg), repro.WithCostModel(model), repro.WithPlanCacheSize(0))
+			greedy := repro.NewPlanner(
+				repro.WithAlgorithm(greedyAlg), repro.WithCostModel(model), repro.WithPlanCacheSize(0))
+			var logSum float64
+			cells := 0
+			maxR, maxAt := 0.0, 0
+			for n := 4; n <= fam.maxN; n++ {
+				g := fam.make(n)
+				opt, err := exact.PlanGraph(context.Background(), g)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "dpbench: exact %s n=%d under %s: %v\n", fam.name, n, mname, err)
+					os.Exit(1)
+				}
+				gr, err := greedy.PlanGraph(context.Background(), g)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "dpbench: greedy %s n=%d under %s: %v\n", fam.name, n, mname, err)
+					os.Exit(1)
+				}
+				ratio := 0.0
+				if opt.Cost() > 0 {
+					ratio = gr.Cost() / opt.Cost()
+				}
+				if ratio > 0 && ratio < 1-1e-9 {
+					fmt.Fprintf(os.Stderr, "dpbench: regret %g < 1 for %s n=%d under %s — exact plan not optimal\n",
+						ratio, fam.name, n, mname)
+					os.Exit(1)
+				}
+				report.add(jsonRecord{
+					Experiment: "regret", Family: fam.name, N: n,
+					Solver: "greedy", CostModel: mname, Algorithm: "greedy",
+					Cost: opt.Cost(), GreedyCost: gr.Cost(), Regret: ratio,
+				})
+				if csv {
+					fmt.Printf("%s,%s,%d,%g,%g,%.6f\n", fam.name, mname, n, opt.Cost(), gr.Cost(), ratio)
+				}
+				if ratio > 0 {
+					logSum += math.Log(ratio)
+					cells++
+					if ratio > maxR {
+						maxR, maxAt = ratio, n
+					}
+				}
+			}
+			if !csv && cells > 0 {
+				fmt.Printf("| %s | %s | %d | %.4f | %.4f | %d |\n",
+					fam.name, mname, cells, math.Exp(logSum/float64(cells)), maxR, maxAt)
 			}
 		}
 	}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/atomicbudget"
 	"repro/internal/lint/bitsetwidth"
+	"repro/internal/lint/chaosgate"
 	"repro/internal/lint/ctxpoll"
 	"repro/internal/lint/hotpathalloc"
 )
@@ -42,6 +43,7 @@ import (
 var analyzers = []*analysis.Analyzer{
 	atomicbudget.Analyzer,
 	bitsetwidth.Analyzer,
+	chaosgate.Analyzer,
 	ctxpoll.Analyzer,
 	hotpathalloc.Analyzer,
 }

@@ -11,6 +11,8 @@
 //	dpserved -parallel 4                  # multi-core exact enumeration per plan
 //	dpserved -debug-addr localhost:6060   # pprof + debug surfaces, off the main port
 //	dpserved -history-file plans.json     # persistent planning-cost history
+//	dpserved -snapshot-file cache.json    # warm-start plan-cache snapshot
+//	dpserved -overload-ladder -target-p99 100ms  # degrade before shedding under load
 //	dpserved -slow-plan 100ms             # warn (with phase totals) on slow plans
 //
 // Quickstart:
@@ -62,6 +64,12 @@ func main() {
 		parallel    = flag.Int("parallel", 0, "enumeration workers per plan (0 = GOMAXPROCS, 1 = serial); large cache-miss queries fan out across cores")
 		historyFile = flag.String("history-file", "", "persistent planning-cost history JSON (loaded at startup, saved periodically and at shutdown)")
 		historyInt  = flag.Duration("history-interval", 5*time.Minute, "periodic history save cadence")
+		snapFile    = flag.String("snapshot-file", "", "persistent plan-cache snapshot JSON (restored at startup for warm-start, saved periodically and at shutdown)")
+		snapInt     = flag.Duration("snapshot-interval", 5*time.Minute, "periodic plan-cache snapshot save cadence")
+		overload    = flag.Bool("overload-ladder", false, "enable the overload degradation ladder (tighten budgets -> greedy-only -> shed)")
+		targetP99   = flag.Duration("target-p99", 0, "planning-latency SLO the ladder defends (0 = queue depth only; implies -overload-ladder)")
+		degBudget   = flag.Duration("degraded-budget", 50*time.Millisecond, "plan budget imposed at ladder tier 1+")
+		ladderHold  = flag.Duration("ladder-hold", 5*time.Second, "quiet period before the ladder de-escalates one tier")
 		slowPlan    = flag.Duration("slow-plan", 0, "log a warning for planning requests at least this slow (0 = disabled)")
 		traceSample = flag.Int("trace-sample", 0, "attach an explain trace to 1 in N planning requests for /debug/plans (0 = disabled)")
 		ringSize    = flag.Int("ring-size", 32, "slowest plans kept for /debug/plans")
@@ -110,9 +118,18 @@ func main() {
 		Logger:            logger,
 		HistoryPath:       *historyFile,
 		HistoryInterval:   *historyInt,
+		SnapshotPath:      *snapFile,
+		SnapshotInterval:  *snapInt,
 		SlowPlanThreshold: *slowPlan,
 		TraceSample:       *traceSample,
 		RingSize:          *ringSize,
+	}
+	if *overload || *targetP99 > 0 {
+		cfg.Overload = &service.OverloadConfig{
+			TargetP99:      *targetP99,
+			Hold:           *ladderHold,
+			DegradedBudget: *degBudget,
+		}
 	}
 	svc := service.New(cfg)
 

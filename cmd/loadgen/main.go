@@ -7,6 +7,7 @@
 //	loadgen -url http://localhost:8080 -family star -n 8 -qps 1000 -duration 10s
 //	loadgen -family chain -n 12 -distinct 32     # 32 query variants → cache churn
 //	loadgen -qps 2000 -min-qps 1000 -min-success 0.999   # gate for CI
+//	loadgen -qps 5000 -retries 3                 # back off and resend on 429 sheds
 //
 // The generator is open-loop: it schedules sends at the target rate
 // regardless of response latency (up to -concurrency in-flight), so a
@@ -24,10 +25,12 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -52,6 +55,7 @@ func main() {
 		algorithm   = flag.String("algorithm", "", "per-request algorithm override (empty = server default)")
 		costMod     = flag.String("cost", "", "per-request cost model override (empty = server default)")
 		seed        = flag.Int64("seed", 2008, "workload seed")
+		retries     = flag.Int("retries", 0, "retries per request on 429, honoring Retry-After with jittered exponential backoff (0 = report 429s without retrying)")
 		minQPS      = flag.Float64("min-qps", 0, "exit 1 if achieved QPS falls below this (0 = no gate)")
 		minSuccess  = flag.Float64("min-success", 0, "exit 1 if the 2xx fraction falls below this (0 = no gate)")
 		jsonOut     = flag.String("json", "", "write a machine-readable run summary to this file (\"-\" = stdout)")
@@ -73,6 +77,8 @@ func main() {
 	type sample struct {
 		ms       float64
 		code     int
+		retries  int
+		sheds    int
 		measured bool
 	}
 	var (
@@ -95,15 +101,20 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Per-worker jitter source: goroutine-local, seeded off the
+			// workload seed so reruns back off on the same schedule.
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
 			i := w
 			for sendAt := range tokens {
 				body := bodies[i%len(bodies)]
 				i += *concurrency
 				start := time.Now()
-				code := post(client, *url+"/plan", body)
+				code, rt, sh := post(client, *url+"/plan", body, *retries, rng)
 				record(sample{
 					ms:       float64(time.Since(start).Microseconds()) / 1000,
 					code:     code,
+					retries:  rt,
+					sheds:    sh,
 					measured: sendAt.Sub(begin) >= *warmup,
 				})
 			}
@@ -133,6 +144,7 @@ func main() {
 	codes := map[int]int{}
 	ok := 0
 	measured := 0
+	retried, shed := 0, 0
 	for _, s := range samples {
 		if !s.measured {
 			continue
@@ -140,6 +152,8 @@ func main() {
 		measured++
 		lat = append(lat, s.ms)
 		codes[s.code]++
+		retried += s.retries
+		shed += s.sheds
 		if s.code >= 200 && s.code < 300 {
 			ok++
 		}
@@ -173,6 +187,9 @@ func main() {
 		fmt.Fprintf(out, " %d×%d", c, codes[c])
 	}
 	fmt.Fprintln(out)
+	if shed > 0 || *retries > 0 {
+		fmt.Fprintf(out, "shed: %d 429 responses seen, %d retries performed\n", shed, retried)
+	}
 
 	if *jsonOut != "" {
 		if err := writeSummary(*jsonOut, runSummary{
@@ -182,6 +199,7 @@ func main() {
 			P50: percentile(lat, 50), P90: percentile(lat, 90),
 			P95: percentile(lat, 95), P99: percentile(lat, 99),
 			MaxMS: lat[len(lat)-1], StatusCounts: codes,
+			Retries: retried, Shed429: shed,
 			NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen: write json:", err)
@@ -227,8 +245,14 @@ type runSummary struct {
 	P99          float64     `json:"p99_ms"`
 	MaxMS        float64     `json:"max_ms"`
 	StatusCounts map[int]int `json:"status_counts"`
-	NumCPU       int         `json:"num_cpu"`
-	GOMAXPROCS   int         `json:"gomaxprocs"`
+	// Retries counts backoff-and-resend attempts after a 429 (only with
+	// -retries > 0); Shed429 counts every 429 response seen, including
+	// ones a later retry turned into a success. Together they separate
+	// "the server shed load" from "the client lost requests".
+	Retries    int `json:"retries"`
+	Shed429    int `json:"shed_429"`
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
 }
 
 // writeSummary marshals the summary to path ("-" = stdout).
@@ -279,16 +303,40 @@ func checkMetrics(client *http.Client, url, family string) error {
 	return nil
 }
 
-// post sends one plan request, drains the response, and returns the
-// status code (0 on transport error).
-func post(client *http.Client, url string, body []byte) int {
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return 0
+// post sends one plan request, retrying up to maxRetries times when the
+// server sheds it with a 429. Each backoff honors the response's
+// Retry-After as the base delay (50ms when absent), doubles per
+// attempt, is capped at 2s, and is jittered into [d/2, d] so a shed
+// herd does not re-arrive as a herd. Returns the final status code (0
+// on transport error), the retries performed, and the 429s seen.
+func post(client *http.Client, url string, body []byte, maxRetries int, rng *rand.Rand) (code, retries, sheds int) {
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, retries, sheds
+		}
+		retryAfter := resp.Header.Get("Retry-After")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			return resp.StatusCode, retries, sheds
+		}
+		sheds++
+		if attempt >= maxRetries {
+			return resp.StatusCode, retries, sheds
+		}
+		retries++
+		base := 50 * time.Millisecond
+		if s, err := strconv.Atoi(retryAfter); err == nil && s > 0 {
+			base = time.Duration(s) * time.Second
+		}
+		d := base << attempt
+		if max := 2 * time.Second; d > max || d <= 0 {
+			d = max
+		}
+		d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+		time.Sleep(d)
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	return resp.StatusCode
 }
 
 // requestBodies pre-marshals the distinct request variants: seed

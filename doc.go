@@ -391,6 +391,47 @@
 // bushy cross-product-free space — so SolverAuto trades only time,
 // never quality, until a size cutoff or budget degrades to Greedy.
 //
+// # SLOs and degradation
+//
+// Topology routing picks the fastest exact enumerator; WithPlanBudget
+// adds the other axis the serving tier needs — how long planning is
+// allowed to take at all. A budgeted SolverAuto call walks a
+// three-rung degradation ladder, dearest plan quality first: full
+// exact enumeration (rung "exact"), the iterative-DP tier ("iterdp" —
+// exact subproblems, heuristic composition), and GOO ("greedy"), and
+// runs the highest rung predicted to finish inside the budget.
+// Predictions come from the warmest of three sources: the live
+// shape × algorithm × n latency registry once a series has enough
+// samples, a baseline obs.History installed via SetBaselineHistory
+// (typically the persisted history a server reloads at startup, so a
+// restarted process routes on yesterday's measurements), and finally
+// static tables derived from the paper's §4 csg-cmp-pair counts — a
+// cold router orders the rungs deterministically before it has seen a
+// single query. Mis-predictions self-correct: the observed latency of
+// every budgeted call lands back in the registry.
+//
+// The budget is advisory for routing, not a hard cutoff — it chooses
+// an algorithm, it does not cancel one that overruns; combine with a
+// context deadline for enforcement. Every budgeted call is accounted:
+// Stats.SLORung and Stats.SLODegraded say how much quality the call
+// got and whether routing moved it down-ladder, Stats.SLOMet records
+// the outcome against the budget, and PlannerMetrics (exported at
+// /metrics as planner_slo_met_total, planner_slo_missed_total, and
+// planner_slo_degraded_total) aggregate per session. Degradation is
+// thus always *marked* — a greedy plan produced under pressure is
+// distinguishable from a greedy plan the topology earned.
+//
+// The serving layer builds on this per-call contract (see the
+// repro/service docs): an overload degradation ladder tightens
+// budgets and forces greedy before shedding, plan-cache warm-start
+// snapshots keep restarts from stampeding the solvers, and the
+// internal/chaos fault-injection harness (arm-gated, one atomic load
+// when disarmed — enforced by the chaosgate analyzer) drives the
+// degrade-and-recover cycle in tests. cmd/dpbench -regret closes the
+// quality side: it reports greedy cost ÷ exact-optimal cost per
+// shape × cost model, so the price of each rung is data rather than
+// folklore.
+//
 // # Large queries
 //
 // The historical 64-relation ceiling — bitset.Set was one machine word

@@ -1,0 +1,225 @@
+// Package chaos is the repository's fault-injection harness: named
+// injection points compiled into the planning and serving hot paths
+// that cost one atomic load when disarmed and become programmable
+// faults (delays, errors, trigger schedules) when a test arms them.
+//
+// The package exists so the robustness layer — the overload degradation
+// ladder, the greedy fallback, warm-start snapshots — can be driven
+// through its failure modes deterministically: a chaos test arms a
+// fault at a site (say, a 50ms delay per enumeration poll), runs real
+// traffic through the real server, and asserts the ladder engages,
+// degrades plan quality instead of availability, and recovers once the
+// fault is disarmed.
+//
+// # Contract at the injection sites
+//
+// Every site guards its Inject call behind Armed():
+//
+//	if chaos.Armed() {
+//		if err := chaos.Inject(chaos.SiteEnumerate); err != nil {
+//			return err
+//		}
+//	}
+//
+// Armed() is a single atomic load, false for the entire lifetime of any
+// production process (nothing outside _test files arms faults), so the
+// disarmed cost is one predictable branch. The dplint chaosgate
+// analyzer enforces the guard: an unguarded Inject call in repository
+// code is a lint error, which keeps the harness from quietly growing
+// into an unconditional tax on the enumeration loops.
+//
+// Faults are process-global (the sites are reached from library code
+// that has no test handle), so tests that arm them must not run in
+// parallel with tests that assert fault-free behavior; defer Reset()
+// and keep chaos tests in their own serial group.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Site names one injection point compiled into the repository.
+type Site string
+
+// The compiled-in injection sites.
+const (
+	// SiteEnumerate fires once at the start of every solver dispatch
+	// (repro.runSolver): an Err here makes the enumeration fail before
+	// it starts — wrap dp.ErrBudgetExhausted to exercise the greedy
+	// fallback, use any other error for a hard failure — and a Delay
+	// models a solver that is slow to get going.
+	SiteEnumerate Site = "solver.enumerate"
+	// SiteMemoStep fires inside the memo engine's periodic
+	// cancellation poll (every pollInterval Step calls, on runs that
+	// carry a context or run-wide abort state): a Delay here slows the
+	// enumeration itself — the knob chaos tests turn to push a server
+	// past saturation with real, cancellable work — and an Err aborts
+	// the run as if a limit had tripped.
+	SiteMemoStep Site = "memo.step"
+	// SitePoolAcquire fires at the head of the serving worker pool's
+	// admission path: an Err simulates a saturated pool (use
+	// service.ErrQueueFull for the shedding path), a Delay starves
+	// admission without occupying workers.
+	SitePoolAcquire Site = "pool.acquire"
+)
+
+// Fault programs one armed site. The zero value triggers on every
+// visit with no delay and no error — useful only for counting.
+type Fault struct {
+	// Delay is slept on every triggered visit.
+	Delay time.Duration
+	// Err is returned by Inject on every triggered visit. Sites decide
+	// what an error means (abort the run, fail admission, ...).
+	Err error
+	// Every makes only every Nth visit trigger (1 or 0 = every visit).
+	// Untriggered visits are free apart from the counter bump.
+	Every int
+	// Limit caps the number of triggered visits; after Limit triggers
+	// the fault stays armed but inert (0 = unlimited). This is how a
+	// test injects exactly K failures and then asserts recovery.
+	Limit int
+}
+
+// armed is the global fast-path gate: true iff at least one site has a
+// fault installed. Sites check it before calling Inject.
+var armed atomic.Bool
+
+var (
+	mu     sync.Mutex
+	faults map[Site]*state
+)
+
+// state is one armed fault plus its visit accounting.
+type state struct {
+	f         Fault
+	visits    uint64
+	triggered uint64
+}
+
+// Armed reports whether any fault is installed. It is the guard every
+// injection site must check before Inject; when false (always, outside
+// chaos tests) the site costs this one atomic load.
+//
+//dp:hotpath
+func Armed() bool { return armed.Load() }
+
+// Arm installs f at site, replacing any previous fault there. The
+// site's visit accounting restarts from zero.
+func Arm(site Site, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if faults == nil {
+		faults = make(map[Site]*state)
+	}
+	faults[site] = &state{f: f}
+	armed.Store(true)
+}
+
+// Disarm removes the fault at site, if any.
+func Disarm(site Site) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(faults, site)
+	if len(faults) == 0 {
+		armed.Store(false)
+	}
+}
+
+// Reset removes every fault. Chaos tests defer it so a failing
+// assertion cannot leak a fault into the rest of the suite.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	faults = nil
+	armed.Store(false)
+}
+
+// Triggered reports how many times the fault at site has actually
+// fired (visits that passed the Every/Limit schedule).
+func Triggered(site Site) uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if s := faults[site]; s != nil {
+		return s.triggered
+	}
+	return 0
+}
+
+// Inject visits site: if a fault is armed there and its schedule
+// triggers, the fault's Delay is slept and its Err returned. Callers
+// must only reach Inject behind an Armed() guard (enforced by the
+// chaosgate lint analyzer), so the map lookup and lock are never paid
+// on a disarmed process.
+//
+//dp:coldpath only reachable behind the Armed() fast-path gate, which is false outside chaos tests
+func Inject(site Site) error {
+	mu.Lock()
+	s := faults[site]
+	if s == nil {
+		mu.Unlock()
+		return nil
+	}
+	s.visits++
+	every := s.f.Every
+	if every < 1 {
+		every = 1
+	}
+	if s.visits%uint64(every) != 0 {
+		mu.Unlock()
+		return nil
+	}
+	if s.f.Limit > 0 && s.triggered >= uint64(s.f.Limit) {
+		mu.Unlock()
+		return nil
+	}
+	s.triggered++
+	delay, err := s.f.Delay, s.f.Err
+	mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return err
+}
+
+// TruncateFile cuts the file at path down to keep bytes — the
+// "process died mid-write" shape of snapshot and history corruption.
+// keep larger than the file leaves it unchanged.
+func TruncateFile(path string, keep int64) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	if keep >= info.Size() {
+		return nil
+	}
+	return os.Truncate(path, keep)
+}
+
+// CorruptFile flips bits at n deterministically-seeded positions in the
+// file at path — the "disk handed back garbage" shape of corruption.
+// The positions and flipped bits depend only on seed and the file
+// size, so a corruption test is reproducible.
+func CorruptFile(path string, n int, seed int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("chaos: %s is empty; nothing to corrupt", path)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		pos := rng.Intn(len(data))
+		bit := byte(1 << rng.Intn(8))
+		data[pos] ^= bit
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,131 @@
+package chaos
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsInert(t *testing.T) {
+	Reset()
+	if Armed() {
+		t.Fatal("fresh package reports Armed")
+	}
+	if err := Inject(SiteEnumerate); err != nil {
+		t.Fatalf("Inject on disarmed site: %v", err)
+	}
+}
+
+func TestArmTriggerDisarm(t *testing.T) {
+	defer Reset()
+	sentinel := errors.New("boom")
+	Arm(SiteEnumerate, Fault{Err: sentinel})
+	if !Armed() {
+		t.Fatal("Armed() false after Arm")
+	}
+	if err := Inject(SiteEnumerate); !errors.Is(err, sentinel) {
+		t.Fatalf("Inject = %v, want sentinel", err)
+	}
+	// A different site stays clean.
+	if err := Inject(SiteMemoStep); err != nil {
+		t.Fatalf("unarmed site injected: %v", err)
+	}
+	Disarm(SiteEnumerate)
+	if Armed() {
+		t.Fatal("Armed() true after last Disarm")
+	}
+	if err := Inject(SiteEnumerate); err != nil {
+		t.Fatalf("Inject after Disarm: %v", err)
+	}
+}
+
+func TestEverySchedule(t *testing.T) {
+	defer Reset()
+	sentinel := errors.New("boom")
+	Arm(SiteMemoStep, Fault{Err: sentinel, Every: 3})
+	var fired int
+	for i := 0; i < 9; i++ {
+		if Inject(SiteMemoStep) != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("Every=3 over 9 visits fired %d times, want 3", fired)
+	}
+	if got := Triggered(SiteMemoStep); got != 3 {
+		t.Fatalf("Triggered = %d, want 3", got)
+	}
+}
+
+func TestLimitCapsTriggers(t *testing.T) {
+	defer Reset()
+	sentinel := errors.New("boom")
+	Arm(SitePoolAcquire, Fault{Err: sentinel, Limit: 2})
+	var fired int
+	for i := 0; i < 10; i++ {
+		if Inject(SitePoolAcquire) != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("Limit=2 fired %d times", fired)
+	}
+}
+
+func TestDelayIsSlept(t *testing.T) {
+	defer Reset()
+	Arm(SiteEnumerate, Fault{Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Inject(SiteEnumerate); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("delay fault slept only %v", elapsed)
+	}
+}
+
+func TestTruncateFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncateFile(path, 4); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "0123" {
+		t.Fatalf("truncated content %q", data)
+	}
+	// keep beyond size is a no-op.
+	if err := TruncateFile(path, 100); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	if string(data) != "0123" {
+		t.Fatalf("oversize keep changed content to %q", data)
+	}
+}
+
+func TestCorruptFileDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	orig := []byte(`{"version":1,"entries":[{"key":"x"}]}`)
+	for _, p := range []string{a, b} {
+		if err := os.WriteFile(p, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := CorruptFile(p, 4, 42); err != nil {
+			t.Fatal(err)
+		}
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) != string(db) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if string(da) == string(orig) {
+		t.Fatal("corruption changed nothing")
+	}
+}

@@ -1,0 +1,112 @@
+// Package chaosgate checks that every fault-injection point stays free
+// when disarmed: a call to chaos.Inject anywhere outside the chaos
+// package itself must sit inside the body of an `if chaos.Armed()`
+// guard. Inject takes the package lock and consults the fault table —
+// acceptable in a chaos test, not in a production enumeration loop —
+// while Armed is one atomic load. The guard is what keeps the harness
+// from quietly growing into an unconditional tax on the hot paths
+// (chaos.go documents the contract; this analyzer enforces it).
+//
+// The guard must be the block form, with the Inject call reached
+// through the if's body:
+//
+//	if chaos.Armed() {
+//		if err := chaos.Inject(chaos.SiteEnumerate); err != nil { ... }
+//	}
+//
+// A compound condition (`if chaos.Armed() && once {`) still counts. A
+// guard does not extend into nested function literals — the literal
+// runs later, when the armed check may no longer hold, so it needs its
+// own guard.
+package chaosgate
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the chaosgate invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "chaosgate",
+	Doc:  "chaos.Inject must be guarded by an if chaos.Armed() block",
+	Run:  run,
+}
+
+// chaosPkg is the import-path suffix of the fault-injection harness.
+const chaosPkg = "internal/chaos"
+
+func run(pass *analysis.Pass) error {
+	for _, pkg := range pass.Prog.Pkgs {
+		if analysis.PathHasSuffix(pkg.Path, chaosPkg) {
+			continue // the harness may call itself freely
+		}
+		for _, file := range pkg.Files {
+			checkFile(pass, pkg, file)
+		}
+	}
+	return nil
+}
+
+func checkFile(pass *analysis.Pass, pkg *analysis.Package, file *ast.File) {
+	analysis.WithStack(file, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isChaosCall(pkg, call, "Inject") {
+			return true
+		}
+		if !armedGuarded(pkg, stack) {
+			pass.Reportf(call.Pos(),
+				"chaos.Inject outside an `if chaos.Armed()` guard; the disarmed path must cost one atomic load")
+		}
+		return true
+	})
+}
+
+// armedGuarded reports whether the node at the top of stack is reached
+// through the body of an if statement whose condition calls
+// chaos.Armed. The search stops at function literals: a guard outside
+// the literal does not cover the literal's later execution.
+func armedGuarded(pkg *analysis.Package, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.IfStmt:
+			// Guarded only when the path descends into the if's body —
+			// not its condition, init, or else branch.
+			if i+1 < len(stack) && stack[i+1] == s.Body && condArmed(pkg, s.Cond) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// condArmed reports whether the condition expression contains a call to
+// chaos.Armed.
+func condArmed(pkg *analysis.Package, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isChaosCall(pkg, call, "Armed") {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isChaosCall reports whether the call statically resolves to the named
+// function of the chaos package.
+func isChaosCall(pkg *analysis.Package, call *ast.CallExpr, name string) bool {
+	fn := analysis.FuncForCall(pkg.Info, call)
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	return analysis.PathHasSuffix(fn.Pkg().Path(), chaosPkg)
+}

@@ -1,0 +1,12 @@
+package chaosgate_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/chaosgate"
+)
+
+func TestChaosgate(t *testing.T) {
+	analysistest.Run(t, "testdata/src", chaosgate.Analyzer)
+}

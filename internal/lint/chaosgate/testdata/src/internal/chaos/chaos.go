@@ -1,0 +1,15 @@
+// Package chaos is a minimal stub of the repository's fault-injection
+// harness, just enough surface for the chaosgate golden tests.
+package chaos
+
+// Site names one injection point.
+type Site string
+
+// SiteEnumerate is a stand-in injection site.
+const SiteEnumerate Site = "solver.enumerate"
+
+// Armed reports whether any fault is installed.
+func Armed() bool { return false }
+
+// Inject visits the site.
+func Inject(site Site) error { _ = site; return nil }

@@ -35,9 +35,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/bitset"
+	"repro/internal/chaos"
 	"repro/internal/obs"
 	"repro/internal/plan"
 )
@@ -112,6 +114,21 @@ type Stats struct {
 	AutoRouted      bool   // the algorithm was chosen by SolverAuto
 	Shape           string // topology class the router saw (e.g. "star")
 	RoutedAlgorithm string // solver the router picked (e.g. "dphyp")
+
+	// Planning-time SLO accounting, filled by the Planner on calls that
+	// carried a WithPlanBudget deadline. The fields are per-request (set
+	// after the cache, like the routing fields above), so cached entries
+	// never leak one caller's budget into another's stats. SLORung is
+	// the degradation ladder position of the algorithm that produced the
+	// plan: 0 = exact enumeration, 1 = the iterative-DP tier, 2 = greedy.
+	// SLODegraded reports that budget routing picked a lower rung than
+	// topology routing alone would have; SLOMet that the call's wall
+	// time actually fit inside PlanBudget.
+	PlanBudget    time.Duration // the call's planning-time budget (0 = none)
+	PredictedCost time.Duration // router's wall-time prediction for the chosen rung
+	SLORung       int           // ladder rung that planned: 0 exact, 1 iterdp, 2 greedy
+	SLODegraded   bool          // budget routing descended below the topology route
+	SLOMet        bool          // wall time ≤ PlanBudget
 
 	// Trace is the explain trace of this planning call, non-nil only
 	// when the caller requested one (explain=1 or sampling). It is
@@ -286,6 +303,16 @@ func (e *Engine) Step() bool {
 	}
 	if ctx := e.limits.Ctx; ctx != nil {
 		if err := ctx.Err(); err != nil {
+			e.abort(err)
+			return false
+		}
+	}
+	// Fault injection rides the amortized poll, so an armed delay slows
+	// the enumeration at pollInterval granularity — real, cancellable
+	// work, which is what the chaos suite saturates servers with. The
+	// Armed() gate keeps the disarmed cost to one atomic load per poll.
+	if chaos.Armed() {
+		if err := chaos.Inject(chaos.SiteMemoStep); err != nil {
 			e.abort(err)
 			return false
 		}

@@ -230,6 +230,26 @@ func labelsFor(k Key) string {
 	return fmt.Sprintf("shape=%q,algorithm=%q,n=%q", k.Shape, k.Algorithm, k.N)
 }
 
+// Quantile estimates the q-quantile (0 < q < 1) of the live series k —
+// History.Quantile over the in-process registry instead of a persisted
+// file. The count return is the series' observation total, so a budget
+// router can demand a minimum sample size before trusting the estimate
+// over its colder fallbacks; ok is false for an empty or absent series.
+func (m *PlanMetrics) Quantile(k Key, q float64) (d time.Duration, count uint64, ok bool) {
+	m.mu.RLock()
+	c := m.cells[k]
+	m.mu.RUnlock()
+	if c == nil {
+		return 0, 0, false
+	}
+	count = c.hist.Count()
+	if count == 0 {
+		return 0, 0, false
+	}
+	d = time.Duration(quantile(m.bounds, c.hist.Snapshot(), count, q) * float64(time.Second))
+	return d, count, true
+}
+
 // Snapshot captures the registry into a History: one entry per series
 // with the bucket counts, count, and sum as of now. The snapshot is
 // cumulative since process start; merge it over a loaded baseline

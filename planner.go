@@ -72,6 +72,18 @@ type Planner struct {
 	// routed counts SolverAuto routing decisions per target algorithm
 	// (indexed by Algorithm; SolverAuto itself is never a target).
 	routed [int(SolverAuto) + 1]atomic.Uint64 //dp:atomic
+
+	// SLO accounting for calls planned under WithPlanBudget: calls that
+	// finished inside their budget, calls that overran it, and calls
+	// the budget router routed below the topology route (see slo.go).
+	sloMet      atomic.Uint64 //dp:atomic
+	sloMissed   atomic.Uint64 //dp:atomic
+	sloDegraded atomic.Uint64 //dp:atomic
+
+	// histBase is the persisted planning-cost baseline the budget
+	// router consults for series the live registry has not warmed up
+	// (SetBaselineHistory); nil until a server installs one.
+	histBase atomic.Pointer[obs.History]
 }
 
 // NewPlanner returns a Planner with the given configuration. With no
@@ -151,6 +163,14 @@ type PlannerMetrics struct {
 	// algorithm name the topology router picked (e.g. "dpsize"). Nil
 	// when no call has been routed.
 	AutoRouted map[string]uint64
+
+	// Planning-time SLO counters, bumped only by calls that carried a
+	// WithPlanBudget deadline. SLOMet + SLOMissed equals the number of
+	// budgeted calls that produced a plan; SLODegraded counts the
+	// subset the budget router routed below the topology route.
+	SLOMet      uint64
+	SLOMissed   uint64
+	SLODegraded uint64
 }
 
 // Metrics returns a snapshot of the planner's counters. The snapshot is
@@ -168,6 +188,9 @@ func (p *Planner) Metrics() PlannerMetrics {
 		MemoPeakEntries: int(p.memoPeakEntries.Load()),
 		ParallelRuns:    p.parallelRuns.Load(),
 		ParallelPairs:   p.parallelPairs.Load(),
+		SLOMet:          p.sloMet.Load(),
+		SLOMissed:       p.sloMissed.Load(),
+		SLODegraded:     p.sloDegraded.Load(),
 	}
 	if p.cache != nil {
 		m.CacheEvictions = p.cache.evicted()
@@ -379,17 +402,28 @@ func (p *Planner) planGraph(ctx context.Context, g *Graph, o options, filter dp.
 	// Classification costs one O(V+E) pass — the same order as the
 	// Fingerprint scan every cached call already pays.
 	annotate := func(*dp.Stats) {}
+	slo := sloState{budget: o.planBudget}
 	if o.alg == SolverAuto {
 		span := o.explain.Start(obs.PhaseRoute)
 		prof := shape.Classify(g)
 		routed := routeAuto(prof, o.workers(g, filter))
+		final := routed
+		if slo.budget > 0 {
+			// Budget-aware routing happens before the cache lookup for
+			// the same reason SolverAuto resolution does: the key must
+			// name the algorithm that actually plans, so a degraded call
+			// shares entries with direct greedy/iterdp traffic and never
+			// poisons the exact tier's entries. The budget itself stays
+			// out of configKey — it only influences this choice.
+			final, slo.predicted, slo.degraded = p.routeBudget(prof, routed, &o)
+		}
 		o.explain.End(span)
-		o.alg = routed
-		p.routed[int(routed)].Add(1)
+		o.alg = final
+		p.routed[int(final)].Add(1)
 		annotate = func(st *dp.Stats) {
 			st.AutoRouted = true
 			st.Shape = prof.Class.String()
-			st.RoutedAlgorithm = routed.String()
+			st.RoutedAlgorithm = final.String()
 		}
 	}
 
@@ -413,7 +447,9 @@ func (p *Planner) planGraph(ctx context.Context, g *Graph, o options, filter dp.
 			res.Stats.Trace = o.explain
 			p.plans.Add(1)
 			p.cacheHits.Add(1)
-			p.observePlan(g, &res.Stats, res.Algorithm, time.Since(start))
+			elapsed := time.Since(start)
+			p.recordSLO(&res.Stats, slo, res.Algorithm, elapsed)
+			p.observePlan(g, &res.Stats, res.Algorithm, elapsed)
 			return res, nil
 		}
 		p.cacheMisses.Add(1)
@@ -499,7 +535,9 @@ func (p *Planner) planGraph(ctx context.Context, g *Graph, o options, filter dp.
 	o.explain.Finish()
 	st.Trace = o.explain
 	p.plans.Add(1)
-	p.observePlan(g, &st, o.alg, time.Since(start))
+	elapsed := time.Since(start)
+	p.recordSLO(&st, slo, o.alg, elapsed)
+	p.observePlan(g, &st, o.alg, elapsed)
 	return &Result{Plan: pl, Stats: st, Graph: g, Algorithm: o.alg}, nil
 }
 

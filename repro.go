@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/bitset"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/dp"
@@ -202,8 +204,9 @@ type options struct {
 	cacheSize   int
 	noFallback  bool
 	pool        *memo.Pool
-	parallelism int // 0 = GOMAXPROCS, 1 = serial
-	clusterSize int // IterDP subproblem budget; 0 = DefaultClusterSize
+	parallelism int           // 0 = GOMAXPROCS, 1 = serial
+	clusterSize int           // IterDP subproblem budget; 0 = DefaultClusterSize
+	planBudget  time.Duration // planning-time SLO for budget routing; 0 = none
 }
 
 func defaultOptions() options {
@@ -335,6 +338,14 @@ func (r *Result) Cardinality() float64 { return r.Plan.Card }
 // can account for the work an aborted exact pass performed before its
 // Greedy fallback.
 func runSolver(g *Graph, o options, filter dp.Filter) (*PlanNode, Stats, error) {
+	// Fault injection: one visit per solver dispatch. An injected error
+	// fails the enumeration before it starts (wrap ErrBudgetExhausted to
+	// exercise the greedy fallback); a delay models a slow solver.
+	if chaos.Armed() {
+		if err := chaos.Inject(chaos.SiteEnumerate); err != nil {
+			return nil, Stats{}, err
+		}
+	}
 	limits := dp.Limits{
 		Ctx:            o.ctx,
 		MaxCsgCmpPairs: o.budget.MaxCsgCmpPairs,

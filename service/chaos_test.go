@@ -1,0 +1,250 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/chaos"
+	"repro/internal/obs"
+)
+
+// The chaos suite: arm a fault, run real traffic through a real server,
+// and assert the robustness layer does what its comments promise —
+// degrade plan quality instead of availability, mark every degraded
+// plan, recover when the fault clears, and never trust a damaged
+// snapshot. Faults are process-global, so these tests never t.Parallel
+// and always defer chaos.Reset.
+
+// TestChaosLadderEngagesDegradesRecovers is the headline scenario:
+// injected solver slowness pushes the windowed p99 past the target, the
+// ladder escalates to greedy-only planning — every degraded response
+// marked by pressure_tier, algorithm, and the SLO block — and once the
+// fault is disarmed the ladder steps back down to normal service.
+func TestChaosLadderEngagesDegradesRecovers(t *testing.T) {
+	defer chaos.Reset()
+	s, ts := newOverloadServer(t, &OverloadConfig{
+		TargetP99:      5 * time.Millisecond,
+		Window:         500 * time.Millisecond,
+		Hold:           100 * time.Millisecond,
+		DegradedBudget: 10 * time.Millisecond,
+	})
+
+	// Every solver dispatch is now 20ms slower: p99 ≥ 4×target.
+	chaos.Arm(chaos.SiteEnumerate, chaos.Fault{Delay: 20 * time.Millisecond})
+
+	// mustPlan posts one dphyp request (card varies the fingerprint so
+	// each is a cache miss that actually visits the slow solver) and
+	// enforces the marking invariant: a plan this request did not ask
+	// for is only ever returned with the pressure tier that forced it.
+	mustPlan := func(card float64) PlanResponse {
+		t.Helper()
+		code, body := postPlan(t, ts.Client(), ts.URL, PlanRequest{
+			Query: starDoc(6, card), Algorithm: "dphyp",
+		})
+		if code != http.StatusOK {
+			t.Fatalf("status = %d, body %s", code, body)
+		}
+		var resp PlanResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Algorithm == "greedy" && resp.PressureTier < tierGreedy {
+			t.Fatalf("unmarked degraded plan: algorithm greedy at pressure_tier %d", resp.PressureTier)
+		}
+		return resp
+	}
+
+	// Engage: within a few slow plans the ladder must reach tier 2 and
+	// start returning marked greedy plans.
+	var degraded *PlanResponse
+	for i := 0; i < 20; i++ {
+		resp := mustPlan(float64(1000 + i))
+		if resp.PressureTier >= tierGreedy {
+			degraded = &resp
+			break
+		}
+	}
+	if degraded == nil {
+		t.Fatal("ladder never reached tier 2 under injected slowness")
+	}
+	if degraded.Algorithm != "greedy" {
+		t.Fatalf("tier-2 response algorithm = %q, want greedy", degraded.Algorithm)
+	}
+	if degraded.Stats.PlanBudgetMS != 10 {
+		t.Fatalf("tier-2 response plan_budget_ms = %g, want 10 (imposed)", degraded.Stats.PlanBudgetMS)
+	}
+	if degraded.Stats.SLORung != "greedy" {
+		t.Fatalf("tier-2 response slo_rung = %q, want greedy", degraded.Stats.SLORung)
+	}
+
+	// Under pressure, the full metrics surface must still be a valid
+	// exposition: tier gauge, transitions, SLO counters and all.
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err := obs.ValidatePrometheusText(string(mbody)); err != nil {
+		t.Fatalf("invalid /metrics under pressure: %v", err)
+	}
+	for _, want := range []string{"dpserved_pressure_tier 2", "planner_slo_"} {
+		if !strings.Contains(string(mbody), want) {
+			t.Fatalf("/metrics missing %q under pressure", want)
+		}
+	}
+
+	// Recover: disarm the fault; the slow mass ages out of the window
+	// and the ladder steps back down to tier 0, one hold at a time.
+	chaos.Reset()
+	deadline := time.Now().Add(10 * time.Second)
+	recovered := false
+	for i := 0; time.Now().Before(deadline); i++ {
+		resp := mustPlan(float64(5000 + i))
+		if resp.PressureTier == tierNormal && resp.Algorithm == "dphyp" {
+			recovered = true
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("ladder never recovered to tier 0 after the fault was disarmed")
+	}
+	if got := s.ladder.transitions[tierNormal].Load(); got == 0 {
+		t.Fatal("recovery recorded no transition back into tier 0")
+	}
+}
+
+// TestChaosPoolStarvation: a fault at the pool admission site starves
+// one request into the shedding path (429 + Retry-After), after which
+// service resumes untouched.
+func TestChaosPoolStarvation(t *testing.T) {
+	defer chaos.Reset()
+	s := New(Config{Planner: repro.NewPlanner(), Workers: 2, QueueDepth: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	chaos.Arm(chaos.SitePoolAcquire, chaos.Fault{Err: ErrQueueFull, Limit: 1})
+
+	code, body, err := tryPostPlan(ts.Client(), ts.URL, PlanRequest{Query: starDoc(4, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("starved request: status = %d, body %s", code, body)
+	}
+	if got := chaos.Triggered(chaos.SitePoolAcquire); got != 1 {
+		t.Fatalf("fault triggered %d times, want 1", got)
+	}
+
+	// The fault's limit is spent: the very next request plans normally.
+	code, body = postPlan(t, ts.Client(), ts.URL, PlanRequest{Query: starDoc(4, 100)})
+	if code != http.StatusOK {
+		t.Fatalf("post-fault request: status = %d, body %s", code, body)
+	}
+}
+
+// TestChaosSnapshotWarmRestart is the kill→restart scenario: a server
+// saves its plan cache on shutdown, a fresh process restores it and
+// serves the first repeat request as a cache hit without a single
+// enumeration — and when the snapshot file is damaged in between, the
+// restarted server runs cold, loudly disables persistence, and never
+// overwrites the evidence.
+func TestChaosSnapshotWarmRestart(t *testing.T) {
+	defer chaos.Reset()
+	path := filepath.Join(t.TempDir(), "cache.json")
+	req := PlanRequest{Query: starDoc(8, 500), Algorithm: "dphyp"}
+
+	// First life: plan once, drain, snapshot.
+	p1 := repro.NewPlanner()
+	s1 := New(Config{Planner: p1, Workers: 2, QueueDepth: 8, SnapshotPath: path})
+	ts1 := httptest.NewServer(s1.Handler())
+	code, body := postPlan(t, ts1.Client(), ts1.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("first life: status = %d, body %s", code, body)
+	}
+	var first PlanResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	// Second life: a brand-new planner restores the snapshot and serves
+	// the same request from cache — zero enumerations, zero misses.
+	p2 := repro.NewPlanner()
+	s2 := New(Config{Planner: p2, Workers: 2, QueueDepth: 8, SnapshotPath: path})
+	ts2 := httptest.NewServer(s2.Handler())
+	code, body = postPlan(t, ts2.Client(), ts2.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("second life: status = %d, body %s", code, body)
+	}
+	var warm PlanResponse
+	if err := json.Unmarshal(body, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Stats.CacheHit {
+		t.Fatal("restored server did not serve the repeat request from cache")
+	}
+	if warm.Cost != first.Cost {
+		t.Fatalf("restored plan cost = %g, want %g", warm.Cost, first.Cost)
+	}
+	m := p2.Metrics()
+	if m.CacheMisses != 0 || m.CacheHits != 1 {
+		t.Fatalf("restored planner: misses = %d hits = %d, want 0 and 1", m.CacheMisses, m.CacheHits)
+	}
+	if err := s2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts2.Close()
+
+	// Third life, after the process died mid-write: the truncated file
+	// is rejected, the server runs cold but runs, and shutdown leaves
+	// the damaged file byte-for-byte intact for the operator.
+	if err := chaos.TruncateFile(path, 20); err != nil {
+		t.Fatal(err)
+	}
+	damaged, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3 := repro.NewPlanner()
+	s3 := New(Config{Planner: p3, Workers: 2, QueueDepth: 8, SnapshotPath: path})
+	ts3 := httptest.NewServer(s3.Handler())
+	defer ts3.Close()
+	code, body = postPlan(t, ts3.Client(), ts3.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("third life: status = %d, body %s", code, body)
+	}
+	var cold PlanResponse
+	if err := json.Unmarshal(body, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.CacheHit {
+		t.Fatal("server restored a plan from a truncated snapshot")
+	}
+	if cold.Cost != first.Cost {
+		t.Fatalf("cold replan cost = %g, want %g", cold.Cost, first.Cost)
+	}
+	if err := s3.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(damaged) {
+		t.Fatal("shutdown overwrote the damaged snapshot file")
+	}
+}

@@ -75,6 +75,58 @@
 // Config.SlowPlanThreshold slow are upgraded to Warn with phase
 // totals; transport-level access records sit at Debug.
 //
+// # SLOs and degradation
+//
+// Requests may carry plan_budget_ms, a planning-time SLO the planner's
+// budget router satisfies by degrading to a cheaper algorithm rung
+// (exact → iterdp → greedy) when the predicted cost of the topology
+// route would miss the budget; the response's stats carry slo_rung,
+// slo_degraded, and slo_met, and /metrics exports the
+// planner_slo_{met,missed,degraded}_total counters.
+//
+// Config.Overload enables the server-wide overload degradation ladder
+// on top of that per-request contract. Pressure is the max of two
+// signals — admission-queue depth as a fraction of capacity (the
+// leading indicator) and the windowed p99 of planning latency against
+// OverloadConfig.TargetP99 (the trailing confirmation) — and maps to
+// four tiers:
+//
+//	tier 0  normal   — requests plan as asked
+//	tier 1  tighten  — OverloadConfig.DegradedBudget is imposed on (or
+//	                   caps) each request's plan budget
+//	tier 2  greedy   — every request plans greedy-only
+//	tier 3  shed     — new requests are rejected with 429 + Retry-After
+//
+// Escalation is immediate; de-escalation steps down one tier at a time
+// after pressure has stayed below the current tier for
+// OverloadConfig.Hold — the asymmetry is the hysteresis that keeps a
+// borderline server from flapping. Latency alone never sheds (a
+// slow-but-keeping-up server degrades quality instead); tier 3 is
+// reachable only through a saturated queue. Every degraded response is
+// marked — pressure_tier on the wire, slo_rung/algorithm in stats —
+// and the ladder exports dpserved_pressure_tier,
+// dpserved_pressure_transitions_total{tier}, and
+// dpserved_pressure_shed_total. cmd/loadgen -retries honors the
+// Retry-After hint with jittered exponential backoff, and CI's
+// overload soak gate drives a server past exact-planning saturation
+// and requires ≥ 99% availability with tiers 1 and 2 engaged.
+//
+// Config.SnapshotPath adds warm-start across restarts: the plan cache
+// is snapshotted to disk (atomic temp+rename, versioned) every
+// SnapshotInterval and at Shutdown, and restored at startup, so a
+// rolling restart resumes with a hot cache instead of stampeding the
+// solvers. Validation is strict — a corrupt or version-mismatched
+// snapshot disables persistence loudly and is never overwritten, the
+// same contract as the history file.
+//
+// The degrade-and-recover cycle is itself under test: the
+// internal/chaos harness injects faults (enumeration delay, pool
+// starvation, snapshot truncation) at named sites inside the serving
+// path, and the service chaos suite asserts the ladder engages,
+// degrades, marks every degraded plan, and returns to tier 0 when the
+// fault clears. Injection sites are arm-gated — one atomic load when
+// disarmed — which the chaosgate static analyzer enforces.
+//
 // # Shutdown
 //
 // Server.Shutdown flips the server into draining mode — /healthz turns

@@ -1,0 +1,390 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// fakeClock is the ladder's injectable time source: tests advance it
+// explicitly, so hysteresis and window expiry are deterministic.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// testLadder builds a ladder over a 1-worker pool with queueCap 20 and
+// a fake clock, so queue fractions are exact twentieths.
+func testLadder(cfg OverloadConfig) (*ladder, *pool, *fakeClock) {
+	p := newPool(1, 20)
+	clk := newFakeClock()
+	return newLadder(cfg, p, clk.now), p, clk
+}
+
+// TestLadderQueueEscalation: queue depth alone drives the tier through
+// every threshold, escalating instantly.
+func TestLadderQueueEscalation(t *testing.T) {
+	l, p, _ := testLadder(OverloadConfig{})
+	for _, tc := range []struct {
+		queued int64
+		want   int
+	}{
+		{0, tierNormal},
+		{9, tierNormal},   // 0.45 < 0.50
+		{10, tierTighten}, // 0.50
+		{14, tierTighten}, // 0.70
+		{15, tierGreedy},  // 0.75
+		{18, tierGreedy},  // 0.90
+		{19, tierShed},    // 0.95
+		{20, tierShed},
+	} {
+		p.queued.Store(tc.queued)
+		if got := l.current(); got != tc.want {
+			t.Fatalf("queued=%d: tier = %d, want %d", tc.queued, got, tc.want)
+		}
+	}
+	// One entry recorded per tier crossed on the way up.
+	for tier, want := range map[int]uint64{tierTighten: 1, tierGreedy: 1, tierShed: 1} {
+		if got := l.transitions[tier].Load(); got != want {
+			t.Fatalf("transitions[%d] = %d, want %d", tier, got, want)
+		}
+	}
+}
+
+// TestLadderEscalationSkipsTiers: a queue jumping straight to shed
+// pressure enters tier 3 directly — escalation never waits on
+// intermediate tiers.
+func TestLadderEscalationSkipsTiers(t *testing.T) {
+	l, p, _ := testLadder(OverloadConfig{})
+	p.queued.Store(20)
+	if got := l.current(); got != tierShed {
+		t.Fatalf("tier = %d, want %d", got, tierShed)
+	}
+	if got := l.transitions[tierShed].Load(); got != 1 {
+		t.Fatalf("transitions[shed] = %d, want 1", got)
+	}
+	if got := l.transitions[tierTighten].Load() + l.transitions[tierGreedy].Load(); got != 0 {
+		t.Fatalf("intermediate tiers recorded %d entries, want 0", got)
+	}
+}
+
+// TestLadderHysteresis: after pressure vanishes, the tier steps down
+// one level per hold period — never instantly, never more than one
+// step at a time.
+func TestLadderHysteresis(t *testing.T) {
+	hold := 5 * time.Second
+	l, p, clk := testLadder(OverloadConfig{Hold: hold})
+
+	p.queued.Store(15)
+	if got := l.current(); got != tierGreedy {
+		t.Fatalf("under pressure: tier = %d, want %d", got, tierGreedy)
+	}
+
+	// Pressure gone: the tier holds until a full hold period has
+	// elapsed below it.
+	p.queued.Store(0)
+	if got := l.current(); got != tierGreedy {
+		t.Fatalf("immediately after pressure drop: tier = %d, want %d", got, tierGreedy)
+	}
+	clk.advance(hold - time.Millisecond)
+	if got := l.current(); got != tierGreedy {
+		t.Fatalf("just before hold expiry: tier = %d, want %d", got, tierGreedy)
+	}
+	clk.advance(time.Millisecond)
+	if got := l.current(); got != tierTighten {
+		t.Fatalf("after hold expiry: tier = %d, want %d", got, tierTighten)
+	}
+	// One step only: the next step needs its own hold period.
+	if got := l.current(); got != tierTighten {
+		t.Fatalf("right after first step: tier = %d, want %d", got, tierTighten)
+	}
+	clk.advance(hold)
+	if got := l.current(); got != tierNormal {
+		t.Fatalf("after second hold: tier = %d, want %d", got, tierNormal)
+	}
+	// De-escalation entries are recorded too.
+	if got := l.transitions[tierTighten].Load(); got != 1 {
+		t.Fatalf("transitions[tighten] = %d, want 1 (de-escalation entry)", got)
+	}
+	if got := l.transitions[tierNormal].Load(); got != 1 {
+		t.Fatalf("transitions[normal] = %d, want 1", got)
+	}
+}
+
+// TestLadderReEscalationResetsHold: pressure returning mid-hold
+// refreshes the clock — the ladder must see a full quiet hold period,
+// not a net one.
+func TestLadderReEscalationResetsHold(t *testing.T) {
+	hold := 5 * time.Second
+	l, p, clk := testLadder(OverloadConfig{Hold: hold})
+
+	p.queued.Store(10)
+	if got := l.current(); got != tierTighten {
+		t.Fatalf("tier = %d, want %d", got, tierTighten)
+	}
+	p.queued.Store(0)
+	clk.advance(hold - time.Second)
+	// Pressure flickers back at the current tier: lastAbove refreshes.
+	p.queued.Store(10)
+	l.current()
+	p.queued.Store(0)
+	clk.advance(hold - time.Second)
+	if got := l.current(); got != tierTighten {
+		t.Fatalf("hold not yet re-served: tier = %d, want %d", got, tierTighten)
+	}
+	clk.advance(time.Second)
+	if got := l.current(); got != tierNormal {
+		t.Fatalf("after full quiet hold: tier = %d, want %d", got, tierNormal)
+	}
+}
+
+// TestLadderLatencyTiers: the windowed p99 against the target drives
+// tiers 1 and 2 — and never tier 3, no matter how slow plans get.
+func TestLadderLatencyTiers(t *testing.T) {
+	// DefaultBounds put 30ms observations in the (25ms, 50ms] bucket;
+	// an all-mass-in-one-bucket p99 interpolates to ≈49.75ms. With a
+	// 40ms target that is one threshold (≥ target, < 2×target).
+	l, _, clk := testLadder(OverloadConfig{TargetP99: 40 * time.Millisecond})
+	for i := 0; i < 100; i++ {
+		l.observe(30 * time.Millisecond)
+	}
+	if got := l.current(); got != tierTighten {
+		t.Fatalf("p99 ≈ 1.2×target: tier = %d, want %d", got, tierTighten)
+	}
+
+	// Saturate the window with 5s observations: p99 ≫ 2×target, but
+	// latency alone must cap at tier 2 — shedding needs a full queue.
+	clk.advance(time.Minute) // expire the 30ms mass first
+	for i := 0; i < 100; i++ {
+		l.observe(5 * time.Second)
+	}
+	if got := l.current(); got != tierGreedy {
+		t.Fatalf("p99 ≫ 2×target: tier = %d, want %d (latency never sheds)", got, tierGreedy)
+	}
+}
+
+// TestLadderLatencyWindowExpiry: observations age out of the sliding
+// window, and with them the pressure they exerted.
+func TestLadderLatencyWindowExpiry(t *testing.T) {
+	window := 10 * time.Second
+	hold := 5 * time.Second
+	l, _, clk := testLadder(OverloadConfig{
+		TargetP99: 40 * time.Millisecond, Window: window, Hold: hold,
+	})
+	for i := 0; i < 100; i++ {
+		l.observe(5 * time.Second)
+	}
+	if got := l.current(); got != tierGreedy {
+		t.Fatalf("fresh slow mass: tier = %d, want %d", got, tierGreedy)
+	}
+	// Advance past the window: the mass expires, raw pressure drops to
+	// zero, and the hold-gated descent begins.
+	clk.advance(window + time.Second)
+	if got := l.current(); got != tierTighten {
+		t.Fatalf("after window expiry + one hold: tier = %d, want %d", got, tierTighten)
+	}
+	if _, ok := l.win.p99(clk.now()); ok {
+		t.Fatal("window still reports a p99 after full expiry")
+	}
+	clk.advance(hold)
+	if got := l.current(); got != tierNormal {
+		t.Fatalf("after second hold: tier = %d, want %d", got, tierNormal)
+	}
+}
+
+// TestLadderZeroTargetDisablesLatencySignal: without a TargetP99 the
+// latency window never contributes pressure.
+func TestLadderZeroTargetDisablesLatencySignal(t *testing.T) {
+	l, _, _ := testLadder(OverloadConfig{})
+	for i := 0; i < 100; i++ {
+		l.observe(time.Hour)
+	}
+	if got := l.current(); got != tierNormal {
+		t.Fatalf("tier = %d, want %d (latency signal disabled)", got, tierNormal)
+	}
+}
+
+// newOverloadServer builds a real-planner server with a 20-deep queue
+// and the ladder enabled, returning the server and its test listener.
+func newOverloadServer(t *testing.T, cfg *OverloadConfig) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{
+		Planner:    repro.NewPlanner(),
+		Workers:    2,
+		QueueDepth: 20,
+		Overload:   cfg,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestServerTierGreedyRewrites: at tier 2 a /plan request is forced to
+// greedy regardless of what it asked for, and the response is annotated
+// with both the pressure tier and the SLO degradation evidence.
+func TestServerTierGreedyRewrites(t *testing.T) {
+	s, ts := newOverloadServer(t, &OverloadConfig{DegradedBudget: 50 * time.Millisecond})
+	s.pool.queued.Store(15) // 0.75 of 20 → tier 2
+
+	code, body := postPlan(t, ts.Client(), ts.URL, PlanRequest{
+		Query: starDoc(8, 1000), Algorithm: "dphyp",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	var resp PlanResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Algorithm != "greedy" {
+		t.Fatalf("algorithm = %q, want greedy (tier-2 rewrite)", resp.Algorithm)
+	}
+	if resp.PressureTier != tierGreedy {
+		t.Fatalf("pressure_tier = %d, want %d", resp.PressureTier, tierGreedy)
+	}
+	if resp.Stats.PlanBudgetMS != 50 {
+		t.Fatalf("plan_budget_ms = %g, want 50 (imposed degraded budget)", resp.Stats.PlanBudgetMS)
+	}
+}
+
+// TestServerTierTightenCapsBudget: at tier 1 a request's own generous
+// budget is capped at the degraded budget, while a tighter one is kept.
+func TestServerTierTightenCapsBudget(t *testing.T) {
+	s, ts := newOverloadServer(t, &OverloadConfig{DegradedBudget: 50 * time.Millisecond})
+	s.pool.queued.Store(10) // 0.50 of 20 → tier 1
+
+	code, body := postPlan(t, ts.Client(), ts.URL, PlanRequest{
+		Query: starDoc(6, 1000), PlanBudgetMS: 10_000,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	var resp PlanResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats.PlanBudgetMS != 50 {
+		t.Fatalf("plan_budget_ms = %g, want 50 (capped)", resp.Stats.PlanBudgetMS)
+	}
+	if resp.PressureTier != tierTighten {
+		t.Fatalf("pressure_tier = %d, want %d", resp.PressureTier, tierTighten)
+	}
+
+	code, body = postPlan(t, ts.Client(), ts.URL, PlanRequest{
+		Query: starDoc(6, 2000), PlanBudgetMS: 5,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats.PlanBudgetMS != 5 {
+		t.Fatalf("plan_budget_ms = %g, want 5 (request's tighter budget kept)", resp.Stats.PlanBudgetMS)
+	}
+}
+
+// TestServerTierShed: at tier 3 /plan and /batch are rejected with 429
+// + Retry-After before any planning work, the shed counter advances,
+// and /metrics + /healthz expose the tier.
+func TestServerTierShed(t *testing.T) {
+	s, ts := newOverloadServer(t, &OverloadConfig{})
+	s.pool.queued.Store(19) // 0.95 of 20 → tier 3
+
+	code, body := postPlan(t, ts.Client(), ts.URL, PlanRequest{Query: starDoc(4, 100)})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("plan status = %d, body %s", code, body)
+	}
+
+	breq, _ := json.Marshal(BatchRequest{Queries: []*repro.QueryJSON{starDoc(4, 100)}})
+	resp, err := ts.Client().Post(ts.URL+"/batch", "application/json", strings.NewReader(string(breq)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if got := s.ladder.sheds.Load(); got != 2 {
+		t.Fatalf("sheds = %d, want 2", got)
+	}
+
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"dpserved_pressure_tier 3",
+		"dpserved_pressure_shed_total 2",
+		`dpserved_pressure_transitions_total{tier="3"} 1`,
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, mbody)
+		}
+	}
+
+	hresp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz healthzResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hz.PressureTier != tierShed {
+		t.Fatalf("healthz pressure_tier = %d, want %d", hz.PressureTier, tierShed)
+	}
+}
+
+// TestServerLadderDisabledByDefault: without Config.Overload, a
+// saturated-looking queue neither rewrites nor sheds, and no pressure
+// metrics are emitted.
+func TestServerLadderDisabledByDefault(t *testing.T) {
+	s := New(Config{Planner: repro.NewPlanner(), Workers: 2, QueueDepth: 20})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.pool.queued.Store(20)
+
+	code, body := postPlan(t, ts.Client(), ts.URL, PlanRequest{
+		Query: starDoc(8, 300), Algorithm: "dphyp",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	var resp PlanResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Algorithm != "dphyp" {
+		t.Fatalf("algorithm = %q, want dphyp (no ladder, no rewrite)", resp.Algorithm)
+	}
+	if resp.PressureTier != 0 {
+		t.Fatalf("pressure_tier = %d, want 0", resp.PressureTier)
+	}
+
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if strings.Contains(string(mbody), "dpserved_pressure_tier") {
+		t.Fatalf("/metrics emits pressure metrics with the ladder disabled:\n%s", mbody)
+	}
+}

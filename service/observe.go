@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro"
@@ -18,6 +19,23 @@ import (
 // planner_plan_seconds family are simply absent.
 type planObserver interface {
 	PlanObs() *obs.PlanMetrics
+}
+
+// baselineSetter is the optional backend surface through which the
+// loaded planning-cost history is handed to the budget router
+// (repro.Planner.SetBaselineHistory), so WithPlanBudget routing starts
+// from persisted measurements instead of the static tables.
+type baselineSetter interface {
+	SetBaselineHistory(h *obs.History)
+}
+
+// cacheSnapshotter is the optional backend surface for warm-start
+// snapshots: *repro.Planner implements it with its plan-cache
+// persistence (repro's snapshot.go). Backends without it simply run
+// with Config.SnapshotPath ignored (logged once at startup).
+type cacheSnapshotter interface {
+	SaveCacheSnapshot(path string) error
+	LoadCacheSnapshot(path string) (int, error)
 }
 
 // fingerprintOf condenses a coalescing/cache key into the short stable
@@ -199,37 +217,53 @@ func (s *Server) saveHistory() error {
 	return s.historyView().Save(s.histPath)
 }
 
-// startHistorySaver launches the periodic snapshot goroutine. The
-// cadence keeps a crash from losing more than one interval of history;
-// Shutdown performs the authoritative final save.
-func (s *Server) startHistorySaver(interval time.Duration) {
-	s.histStop = make(chan struct{})
-	s.histDone = make(chan struct{})
+// saveSnapshot persists the plan cache atomically. A no-op without a
+// usable snapshot backend.
+func (s *Server) saveSnapshot() error {
+	if s.snap == nil || s.snapPath == "" {
+		return nil
+	}
+	return s.snap.SaveCacheSnapshot(s.snapPath)
+}
+
+// periodicSaver runs a save function on a fixed cadence until halted.
+// Both persistence surfaces (planning-cost history, plan-cache
+// snapshot) use one: the cadence bounds what a crash can lose to one
+// interval, and Shutdown performs the authoritative final save after
+// halting the ticker, so the final save cannot race a periodic one.
+type periodicSaver struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+func startSaver(interval time.Duration, save func()) *periodicSaver {
+	p := &periodicSaver{stop: make(chan struct{}), done: make(chan struct{})}
 	go func() {
-		defer close(s.histDone)
+		defer close(p.done)
 		t := time.NewTicker(interval)
 		defer t.Stop()
 		for {
 			select {
 			case <-t.C:
-				if err := s.saveHistory(); err != nil {
-					s.log.Warn("periodic history save failed", "path", s.histPath, "error", err)
-				}
-			case <-s.histStop:
+				save()
+			case <-p.stop:
 				return
 			}
 		}
 	}()
+	return p
 }
 
-// stopHistorySaver stops the periodic saver (idempotent) and waits for
-// it to exit, so Shutdown's final save cannot race a periodic one.
-func (s *Server) stopHistorySaver() {
-	s.histOnce.Do(func() {
-		if s.histStop != nil {
-			close(s.histStop)
-			<-s.histDone
-		}
+// halt stops the saver and waits for it to exit. Idempotent, and safe
+// on a nil receiver (persistence disabled).
+func (p *periodicSaver) halt() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() {
+		close(p.stop)
+		<-p.done
 	})
 }
 

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync/atomic"
+
+	"repro/internal/chaos"
 )
 
 // ErrQueueFull is returned by pool.acquire when the admission queue is
@@ -41,6 +43,14 @@ func newPool(workers, queueCap int) *pool {
 // capacity, and with ctx.Err() when the caller's deadline expires while
 // still queued. On success the caller must release().
 func (p *pool) acquire(ctx context.Context) error {
+	// Fault injection: an armed error simulates a saturated pool
+	// (ErrQueueFull drives the shedding path), a delay starves
+	// admission without occupying workers.
+	if chaos.Armed() {
+		if err := chaos.Inject(chaos.SitePoolAcquire); err != nil {
+			return err
+		}
+	}
 	// Fast path: a free slot needs no queueing accounting.
 	select {
 	case p.sem <- struct{}{}:

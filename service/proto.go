@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"time"
 
 	"repro"
 	"repro/internal/obs"
@@ -23,6 +24,12 @@ type PlanRequest struct {
 	CostModel string `json:"cost_model,omitempty"`
 	// Budget bounds the exact enumeration effort for this request.
 	Budget *BudgetJSON `json:"budget,omitempty"`
+	// PlanBudgetMS is the request's planning-time SLO: the budget
+	// router degrades to a cheaper algorithm when the preferred one is
+	// predicted to miss it (see repro.WithPlanBudget). Advisory for
+	// routing — combine with timeout_ms for a hard cutoff. Under
+	// overload the server may impose or tighten it (pressure tier 1+).
+	PlanBudgetMS int64 `json:"plan_budget_ms,omitempty"`
 	// TimeoutMS bounds this request's total time (queueing included).
 	// 0 uses the server default; values above Config.MaxTimeout are
 	// clamped to it.
@@ -44,7 +51,11 @@ type BatchRequest struct {
 	Algorithm string             `json:"algorithm,omitempty"`
 	CostModel string             `json:"cost_model,omitempty"`
 	Budget    *BudgetJSON        `json:"budget,omitempty"`
-	TimeoutMS int64              `json:"timeout_ms,omitempty"`
+	// PlanBudgetMS is the per-query planning-time SLO (see
+	// PlanRequest.PlanBudgetMS); it applies to each query separately,
+	// not to the batch as a whole.
+	PlanBudgetMS int64 `json:"plan_budget_ms,omitempty"`
+	TimeoutMS    int64 `json:"timeout_ms,omitempty"`
 }
 
 // PlanResponse is the body of a successful POST /plan.
@@ -58,6 +69,11 @@ type PlanResponse struct {
 	// in-flight request instead of enumerating again.
 	Coalesced bool    `json:"coalesced,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// PressureTier is the overload-ladder tier this request planned
+	// under (1 = tightened plan budget, 2 = greedy-only); absent at
+	// tier 0 and when the ladder is disabled. A degraded plan is thus
+	// always marked — by this field and by stats.slo_rung/algorithm.
+	PressureTier int `json:"pressure_tier,omitempty"`
 	// Trace is the explain trace of the planning call, present only when
 	// the request asked for one (POST /plan?explain=1). A coalesced
 	// response carries the leader's trace — the phases that actually ran.
@@ -149,6 +165,16 @@ type StatsJSON struct {
 	// absent when the query planned in one exact enumeration.
 	Subproblems int `json:"subproblems,omitempty"`
 	Rounds      int `json:"rounds,omitempty"`
+	// The planning-time SLO block, present only when the request
+	// planned under a plan budget (its own or a pressure-imposed one).
+	// SLORung names the degradation-ladder rung that produced the plan
+	// ("exact" | "iterdp" | "greedy"); SLOMet reports whether the call
+	// fit its budget.
+	PlanBudgetMS    float64 `json:"plan_budget_ms,omitempty"`
+	PredictedCostMS float64 `json:"predicted_cost_ms,omitempty"`
+	SLORung         string  `json:"slo_rung,omitempty"`
+	SLODegraded     bool    `json:"slo_degraded,omitempty"`
+	SLOMet          *bool   `json:"slo_met,omitempty"`
 }
 
 // PlanNodeJSON is the wire form of an optimized operator tree. Leaves
@@ -173,8 +199,10 @@ type ErrorResponse struct {
 // plus a canonical key fragment for the coalescer. Unset fields resolve
 // to the literal "default" in the key — the server's planner defaults
 // are fixed for the process lifetime, so the fragment still identifies
-// one planning configuration.
-func planOptions(algorithm, costModel string, budget *BudgetJSON) ([]repro.Option, string, error) {
+// one planning configuration. The plan budget is part of the key
+// because it steers routing: a tier-1 request with a tightened budget
+// must not coalesce onto (or feed) the population planning without one.
+func planOptions(algorithm, costModel string, budget *BudgetJSON, planBudget time.Duration) ([]repro.Option, string, error) {
 	var opts []repro.Option
 	algKey, costKey := "default", "default"
 	if algorithm != "" {
@@ -204,7 +232,14 @@ func planOptions(algorithm, costModel string, budget *BudgetJSON) ([]repro.Optio
 		}
 		opts = append(opts, repro.WithBudget(b))
 	}
-	key := fmt.Sprintf("%s/%s/%d:%d", algKey, costKey, b.MaxCsgCmpPairs, b.MaxCostedPlans)
+	if planBudget < 0 {
+		return nil, "", fmt.Errorf("service: plan budget must be non-negative")
+	}
+	if planBudget > 0 {
+		opts = append(opts, repro.WithPlanBudget(planBudget))
+	}
+	key := fmt.Sprintf("%s/%s/%d:%d/%d", algKey, costKey,
+		b.MaxCsgCmpPairs, b.MaxCostedPlans, planBudget.Milliseconds())
 	return opts, key, nil
 }
 
@@ -255,24 +290,33 @@ func planResponse(res *repro.Result, coalesced bool, elapsedMS float64) *PlanRes
 		}
 	}
 	st := res.Stats
+	sj := StatsJSON{
+		CsgCmpPairs:     st.CsgCmpPairs,
+		CostedPlans:     st.CostedPlans,
+		CacheHit:        st.CacheHit,
+		BudgetExhausted: st.BudgetExhausted,
+		FallbackGreedy:  st.FallbackGreedy,
+		Shape:           st.Shape,
+		RoutedAlgorithm: st.RoutedAlgorithm,
+		Workers:         st.Workers,
+		Subproblems:     st.Subproblems,
+		Rounds:          st.Rounds,
+	}
+	if st.PlanBudget > 0 {
+		sj.PlanBudgetMS = float64(st.PlanBudget.Microseconds()) / 1000
+		sj.PredictedCostMS = float64(st.PredictedCost.Microseconds()) / 1000
+		sj.SLORung = repro.SLORungName(st.SLORung)
+		sj.SLODegraded = st.SLODegraded
+		met := st.SLOMet
+		sj.SLOMet = &met
+	}
 	return &PlanResponse{
 		Plan:        planNodeJSON(res.Plan, names),
 		Cost:        res.Cost(),
 		Cardinality: res.Cardinality(),
 		Algorithm:   res.Algorithm.String(),
-		Stats: StatsJSON{
-			CsgCmpPairs:     st.CsgCmpPairs,
-			CostedPlans:     st.CostedPlans,
-			CacheHit:        st.CacheHit,
-			BudgetExhausted: st.BudgetExhausted,
-			FallbackGreedy:  st.FallbackGreedy,
-			Shape:           st.Shape,
-			RoutedAlgorithm: st.RoutedAlgorithm,
-			Workers:         st.Workers,
-			Subproblems:     st.Subproblems,
-			Rounds:          st.Rounds,
-		},
-		Coalesced: coalesced,
-		ElapsedMS: elapsedMS,
+		Stats:       sj,
+		Coalesced:   coalesced,
+		ElapsedMS:   elapsedMS,
 	}
 }

@@ -79,6 +79,24 @@ type Config struct {
 	// RingSize bounds the /debug/plans ring of slowest plans. Default
 	// 32 (obs.DefaultRingSize).
 	RingSize int
+	// SnapshotPath, when set (and the backend is a *repro.Planner or
+	// anything else implementing its snapshot methods), makes the plan
+	// cache persistent: the file is restored at startup — so the first
+	// request on a warm fingerprint is a cache hit, not an enumeration —
+	// and saved every SnapshotInterval and again at Shutdown. A corrupt
+	// or version-mismatched file disables snapshot persistence for the
+	// process without overwriting the file, and is reported loudly
+	// through Logger.
+	SnapshotPath string
+	// SnapshotInterval is the periodic plan-cache save cadence when
+	// SnapshotPath is set. Default 5m.
+	SnapshotInterval time.Duration
+	// Overload enables the overload degradation ladder (see ladder.go):
+	// under pressure the server tightens plan budgets, then forces
+	// greedy-only planning, then sheds with 429 — degrading plan
+	// quality before availability. Nil disables the ladder; requests
+	// are then never rerouted or shed by pressure.
+	Overload *OverloadConfig
 }
 
 // Server is the concurrent plan-serving subsystem: it owns the worker
@@ -99,11 +117,15 @@ type Server struct {
 	reqSeq    atomic.Uint64 //dp:atomic
 	sampleSeq atomic.Uint64 //dp:atomic
 
-	histBase *obs.History // loaded baseline; immutable after New
-	histPath string       // "" disables persistence
-	histStop chan struct{}
-	histDone chan struct{}
-	histOnce sync.Once
+	histBase  *obs.History // loaded baseline; immutable after New
+	histPath  string       // "" disables persistence
+	histSaver *periodicSaver
+
+	snap      cacheSnapshotter // nil when unsupported or disabled
+	snapPath  string           // "" disables snapshot persistence
+	snapSaver *periodicSaver
+
+	ladder *ladder // nil when Config.Overload is nil
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -134,6 +156,9 @@ func New(cfg Config) *Server {
 	if cfg.HistoryInterval <= 0 {
 		cfg.HistoryInterval = 5 * time.Minute
 	}
+	if cfg.SnapshotInterval <= 0 {
+		cfg.SnapshotInterval = 5 * time.Minute
+	}
 	s := &Server{
 		cfg:     cfg,
 		planner: cfg.Planner,
@@ -159,8 +184,46 @@ func New(cfg Config) *Server {
 		} else {
 			s.histBase = base
 			s.histPath = cfg.HistoryPath
-			s.startHistorySaver(cfg.HistoryInterval)
+			s.histSaver = startSaver(cfg.HistoryInterval, func() {
+				if err := s.saveHistory(); err != nil {
+					s.log.Warn("periodic history save failed", "path", s.histPath, "error", err)
+				}
+			})
 		}
+	}
+	// The loaded history doubles as the budget router's cold-start
+	// prediction source: a restarted server routes WithPlanBudget calls
+	// on yesterday's measured costs instead of the static tables.
+	if bs, ok := cfg.Planner.(baselineSetter); ok && s.histBase.Len() > 0 {
+		bs.SetBaselineHistory(s.histBase)
+	}
+	if cfg.SnapshotPath != "" {
+		if cs, ok := cfg.Planner.(cacheSnapshotter); ok {
+			n, err := cs.LoadCacheSnapshot(cfg.SnapshotPath)
+			if err != nil {
+				// Strict load contract: never overwrite the evidence.
+				// The process runs cold and unpersisted; the operator
+				// inspects or deletes the file to re-enable.
+				s.log.Error("plan-cache snapshot unreadable; snapshot persistence disabled",
+					"path", cfg.SnapshotPath, "error", err)
+			} else {
+				s.log.Info("plan cache restored from snapshot",
+					"path", cfg.SnapshotPath, "entries", n)
+				s.snap = cs
+				s.snapPath = cfg.SnapshotPath
+				s.snapSaver = startSaver(cfg.SnapshotInterval, func() {
+					if err := s.saveSnapshot(); err != nil {
+						s.log.Warn("periodic snapshot save failed", "path", s.snapPath, "error", err)
+					}
+				})
+			}
+		} else {
+			s.log.Warn("snapshot path set but backend does not support cache snapshots",
+				"path", cfg.SnapshotPath)
+		}
+	}
+	if cfg.Overload != nil {
+		s.ladder = newLadder(*cfg.Overload, s.pool, nil)
 	}
 
 	mux := http.NewServeMux()
@@ -204,13 +267,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		err = ctx.Err()
 	}
-	// Persist the planning-cost history last, so the file carries the
-	// requests that finished during the drain. Saved even when the drain
-	// timed out — the dimensional metrics are cumulative, so the save is
-	// merely missing the still-running requests.
-	s.stopHistorySaver()
+	// Persist the planning-cost history and plan-cache snapshot last, so
+	// the files carry the requests that finished during the drain. Saved
+	// even when the drain timed out — the dimensional metrics are
+	// cumulative and the cache snapshot is a point-in-time copy, so the
+	// saves are merely missing the still-running requests.
+	s.histSaver.halt()
+	s.snapSaver.halt()
 	if serr := s.saveHistory(); serr != nil {
 		s.log.Error("history save at shutdown failed", "path", s.histPath, "error", serr)
+	}
+	if serr := s.saveSnapshot(); serr != nil {
+		s.log.Error("snapshot save at shutdown failed", "path", s.snapPath, "error", serr)
 	}
 	return err
 }
@@ -265,6 +333,20 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.end()
 
+	// Overload ladder: evaluate the pressure tier before spending any
+	// work on the request. Tier 3 sheds immediately; lower tiers adjust
+	// the planning configuration below.
+	tier := tierNormal
+	if s.ladder != nil {
+		tier = s.ladder.current()
+		if tier >= tierShed {
+			s.ladder.sheds.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, errors.New("service: shedding under overload"))
+			return
+		}
+	}
+
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("service: reading body: %w", err))
@@ -283,7 +365,21 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	opts, optKey, err := planOptions(req.Algorithm, req.CostModel, req.Budget)
+	// Tier 1+ tightens the plan budget (imposing one when the request
+	// carried none); tier 2 forces greedy-only planning outright. Both
+	// rewrites flow into the option key, so degraded requests coalesce
+	// — and fill the plan cache — strictly among themselves.
+	algorithm := req.Algorithm
+	planBudget := time.Duration(req.PlanBudgetMS) * time.Millisecond
+	if tier >= tierTighten {
+		if db := s.ladder.cfg.DegradedBudget; planBudget <= 0 || planBudget > db {
+			planBudget = db
+		}
+	}
+	if tier >= tierGreedy {
+		algorithm = "greedy"
+	}
+	opts, optKey, err := planOptions(algorithm, req.CostModel, req.Budget, planBudget)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -388,8 +484,12 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	elapsed := time.Since(start)
+	if s.ladder != nil {
+		s.ladder.observe(elapsed)
+	}
 	s.observePlan(requestID(r.Context()), key, res, shared, elapsed)
 	resp := planResponse(res, shared, float64(elapsed.Microseconds())/1000)
+	resp.PressureTier = tier
 	if explain {
 		resp.Trace = traceJSON(res.Stats.Trace)
 	}
@@ -406,6 +506,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.end()
+
+	// Batches shed under tier-3 pressure like single requests; the
+	// budget-tightening and greedy-forcing tiers do not rewrite batch
+	// configuration (a batch already occupies exactly one worker slot,
+	// so its marginal pressure is bounded).
+	if s.ladder != nil && s.ladder.current() >= tierShed {
+		s.ladder.sheds.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, errors.New("service: shedding under overload"))
+		return
+	}
 
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
 	if err != nil {
@@ -425,7 +536,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("service: batch has no queries"))
 		return
 	}
-	opts, optKey, err := planOptions(req.Algorithm, req.CostModel, req.Budget)
+	opts, optKey, err := planOptions(req.Algorithm, req.CostModel, req.Budget,
+		time.Duration(req.PlanBudgetMS)*time.Millisecond)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -478,6 +590,9 @@ type healthzResponse struct {
 	Running  int64  `json:"running"`
 	Workers  int    `json:"workers"`
 	Plans    uint64 `json:"plans"`
+	// PressureTier is the overload ladder's current tier; absent when
+	// the ladder is disabled (and at tier 0).
+	PressureTier int `json:"pressure_tier,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -493,6 +608,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Running:  running,
 		Workers:  s.pool.workers(),
 		Plans:    s.planner.Metrics().Plans,
+	}
+	if s.ladder != nil {
+		resp.PressureTier = s.ladder.current()
 	}
 	code := http.StatusOK
 	if draining {
@@ -520,6 +638,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE dpserved_request_timeouts_total counter\ndpserved_request_timeouts_total %d\n", s.met.timeouts.Load())
 	fmt.Fprintf(w, "# TYPE dpserved_handler_panics_total counter\ndpserved_handler_panics_total %d\n", s.met.panics.Load())
 
+	if s.ladder != nil {
+		fmt.Fprintf(w, "# TYPE dpserved_pressure_tier gauge\ndpserved_pressure_tier %d\n", s.ladder.current())
+		fmt.Fprintf(w, "# TYPE dpserved_pressure_transitions_total counter\n")
+		for t := 0; t < numTiers; t++ {
+			fmt.Fprintf(w, "dpserved_pressure_transitions_total{tier=\"%d\"} %d\n", t, s.ladder.transitions[t].Load())
+		}
+		fmt.Fprintf(w, "# TYPE dpserved_pressure_shed_total counter\ndpserved_pressure_shed_total %d\n", s.ladder.sheds.Load())
+	}
+
 	fmt.Fprintf(w, "# TYPE dpserved_coalesce_leaders_total counter\ndpserved_coalesce_leaders_total %d\n", s.co.leaders.Load())
 	fmt.Fprintf(w, "# TYPE dpserved_coalesced_requests_total counter\ndpserved_coalesced_requests_total %d\n", s.co.coalesced.Load())
 	fmt.Fprintf(w, "# TYPE dpserved_coalesce_waiting gauge\ndpserved_coalesce_waiting %d\n", s.co.waiting.Load())
@@ -532,6 +659,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE planner_cache_entries gauge\nplanner_cache_entries %d\n", pm.CacheEntries)
 	fmt.Fprintf(w, "# TYPE planner_fallbacks_total counter\nplanner_fallbacks_total %d\n", pm.Fallbacks)
 	fmt.Fprintf(w, "# TYPE planner_failures_total counter\nplanner_failures_total %d\n", pm.Failures)
+	fmt.Fprintf(w, "# TYPE planner_slo_met_total counter\nplanner_slo_met_total %d\n", pm.SLOMet)
+	fmt.Fprintf(w, "# TYPE planner_slo_missed_total counter\nplanner_slo_missed_total %d\n", pm.SLOMissed)
+	fmt.Fprintf(w, "# TYPE planner_slo_degraded_total counter\nplanner_slo_degraded_total %d\n", pm.SLODegraded)
 	writeMemoMetrics(w, pm.PairsEmitted, pm.ArenaReuses, pm.MemoPeakEntries)
 	writeParallelMetrics(w, pm.ParallelRuns, pm.ParallelPairs)
 	if len(pm.AutoRouted) > 0 {

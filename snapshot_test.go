@@ -1,0 +1,269 @@
+package repro
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/workload"
+)
+
+// snapshotWorkload plans a handful of distinct graphs so the cache has
+// entries worth persisting, and returns the graphs for replay.
+func snapshotWorkload(t *testing.T, p *Planner) []*Graph {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	graphs := []*Graph{
+		workload.Chain(6, cfg),
+		workload.Star(7, cfg),
+		workload.Cycle(8, cfg),
+		workload.Clique(5, cfg),
+	}
+	for _, g := range graphs {
+		if _, err := p.PlanGraph(context.Background(), g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return graphs
+}
+
+// TestSnapshotRoundTrip: save, restart into a fresh planner, and every
+// warm fingerprint is served from cache — the first request after the
+// restore does zero enumeration (CacheMisses stays 0).
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plancache.json")
+	p1 := NewPlanner(WithAlgorithm(SolverAuto))
+	graphs := snapshotWorkload(t, p1)
+	if err := p1.SaveCacheSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": an entirely fresh planner with the same configuration.
+	p2 := NewPlanner(WithAlgorithm(SolverAuto))
+	n, err := p2.LoadCacheSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(graphs) {
+		t.Fatalf("restored %d entries, want %d", n, len(graphs))
+	}
+	for _, g := range graphs {
+		res, err := p2.PlanGraph(context.Background(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stats.CacheHit {
+			t.Fatalf("warm fingerprint was not a cache hit")
+		}
+		// The restored plan must be byte-for-byte the plan the first
+		// planner produced.
+		orig, err := p1.PlanGraph(context.Background(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Plan.Equal(orig.Plan) || res.Plan.Cost != orig.Plan.Cost {
+			t.Fatalf("restored plan differs:\n%v\nwant:\n%v", res.Plan, orig.Plan)
+		}
+	}
+	if m := p2.Metrics(); m.CacheMisses != 0 {
+		t.Fatalf("CacheMisses = %d after warm restart, want 0", m.CacheMisses)
+	}
+}
+
+// TestSnapshotPreservesLRUOrder: a capacity-limited planner restoring a
+// larger snapshot keeps the most recently used entries, not arbitrary
+// ones.
+func TestSnapshotPreservesLRUOrder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plancache.json")
+	p1 := NewPlanner(WithAlgorithm(SolverAuto))
+	graphs := snapshotWorkload(t, p1)
+	if err := p1.SaveCacheSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := NewPlanner(WithAlgorithm(SolverAuto), WithPlanCacheSize(2))
+	n, err := p2.LoadCacheSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("restored %d entries into a 2-entry cache, want 2", n)
+	}
+	// The two most recently planned graphs are the survivors.
+	for _, g := range graphs[len(graphs)-2:] {
+		res, err := p2.PlanGraph(context.Background(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stats.CacheHit {
+			t.Fatal("most recently used entry did not survive the restore")
+		}
+	}
+}
+
+// TestSnapshotMissingFileIsColdStart: no file, no error, no entries.
+func TestSnapshotMissingFileIsColdStart(t *testing.T) {
+	p := NewPlanner()
+	n, err := p.LoadCacheSnapshot(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || n != 0 {
+		t.Fatalf("LoadCacheSnapshot(absent) = %d, %v; want 0, nil", n, err)
+	}
+}
+
+// TestSnapshotTruncatedFileRejected: a file cut off mid-write (the
+// crash-during-save shape, simulated with the chaos helper) is rejected
+// wholesale and the cache stays cold.
+func TestSnapshotTruncatedFileRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plancache.json")
+	p1 := NewPlanner(WithAlgorithm(SolverAuto))
+	snapshotWorkload(t, p1)
+	if err := p1.SaveCacheSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chaos.TruncateFile(path, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := NewPlanner(WithAlgorithm(SolverAuto))
+	n, err := p2.LoadCacheSnapshot(path)
+	if err == nil {
+		t.Fatal("truncated snapshot loaded without error")
+	}
+	if n != 0 || p2.Metrics().CacheEntries != 0 {
+		t.Fatalf("truncated snapshot restored %d entries", n)
+	}
+}
+
+// TestSnapshotVersionMismatchRejected: a snapshot from a different
+// format version is refused with a loud error naming both versions.
+func TestSnapshotVersionMismatchRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plancache.json")
+	if err := os.WriteFile(path, []byte(`{"version":99,"entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlanner()
+	if _, err := p.LoadCacheSnapshot(path); err == nil ||
+		!strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("version mismatch error = %v", err)
+	}
+}
+
+// TestSnapshotInvalidPlanRejected: an entry whose plan tree fails
+// structural validation (here: overlapping children) poisons the whole
+// file.
+func TestSnapshotInvalidPlanRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plancache.json")
+	doc := `{"version":1,"entries":[{"key":"k","algorithm":"dphyp","stats":{},
+		"plan":{"op":"join","rel":-1,"card":1,"cost":1,
+			"left":{"rel":0,"card":1,"cost":0},
+			"right":{"rel":0,"card":1,"cost":0}}}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlanner()
+	if _, err := p.LoadCacheSnapshot(path); err == nil {
+		t.Fatal("overlapping-children plan loaded without error")
+	}
+	// Same for NaN costs.
+	doc = strings.Replace(doc, `"cost":1`, `"cost":-1`, 1)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.LoadCacheSnapshot(path); err == nil {
+		t.Fatal("negative-cost plan loaded without error")
+	}
+}
+
+// TestSnapshotScrubsPerRequestState: a snapshot cannot smuggle
+// per-request markers (CacheHit, SLO fields) into restored entries.
+func TestSnapshotScrubsPerRequestState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plancache.json")
+	p1 := NewPlanner(WithAlgorithm(SolverAuto))
+	g := workload.Chain(5, workload.DefaultConfig())
+	if _, err := p1.PlanGraph(context.Background(), g, WithPlanBudget(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.SaveCacheSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	// Forge the per-request fields into the file.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := strings.Replace(string(data), `"CacheHit":false`, `"CacheHit":true`, 1)
+	forged = strings.Replace(forged, `"SLOMet":false`, `"SLOMet":true`, 1)
+	if forged == string(data) {
+		t.Fatal("forgery found nothing to replace; field names changed?")
+	}
+	if err := os.WriteFile(path, []byte(forged), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := NewPlanner(WithAlgorithm(SolverAuto))
+	if _, err := p2.LoadCacheSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p2.PlanGraph(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SLOMet || res.Stats.PlanBudget != 0 {
+		t.Fatalf("restored entry leaked SLO state: %+v", res.Stats)
+	}
+}
+
+// TestSnapshotSaveWhilePlanning: saving under concurrent planning
+// traffic is race-free (run with -race) and always produces a loadable
+// file.
+func TestSnapshotSaveWhilePlanning(t *testing.T) {
+	dir := t.TempDir()
+	p := NewPlanner(WithAlgorithm(SolverAuto))
+	cfg := workload.DefaultConfig()
+	graphs := []*Graph{
+		workload.Chain(6, cfg), workload.Star(7, cfg),
+		workload.Cycle(8, cfg), workload.Clique(5, cfg),
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := p.PlanGraph(context.Background(), graphs[(i+w)%len(graphs)]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 20; i++ {
+		path := filepath.Join(dir, "snap.json")
+		if err := p.SaveCacheSnapshot(path); err != nil {
+			t.Error(err)
+			break
+		}
+		fresh := NewPlanner(WithAlgorithm(SolverAuto))
+		if _, err := fresh.LoadCacheSnapshot(path); err != nil {
+			t.Errorf("save %d produced an unloadable snapshot: %v", i, err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
